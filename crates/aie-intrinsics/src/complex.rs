@@ -1,0 +1,200 @@
+//! Complex fixed-point and floating-point vector support.
+//!
+//! AIE1's DSP identity is built around complex arithmetic: `cint16` /
+//! `cfloat` vectors with complex MACs (including conjugate variants) are
+//! the workhorses of FIR/FFT/beamforming kernels. AMD's emulation headers
+//! cover these types; this module is the reproduction's equivalent —
+//! functionally exact wide-accumulator complex arithmetic, instrumented for
+//! the cycle model like the rest of the crate.
+
+use crate::counter::{record, OpKind};
+use crate::vector::Vector;
+
+/// A complex number with `i16` components (`cint16`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CInt16 {
+    /// Real part.
+    pub re: i16,
+    /// Imaginary part.
+    pub im: i16,
+}
+
+impl CInt16 {
+    /// Construct from parts.
+    pub const fn new(re: i16, im: i16) -> Self {
+        CInt16 { re, im }
+    }
+
+    /// Complex conjugate.
+    pub const fn conj(self) -> Self {
+        CInt16 {
+            re: self.re,
+            im: self.im.wrapping_neg(),
+        }
+    }
+}
+
+/// A complex number with wide (`i64`) components — one accumulator lane of
+/// the AIE `cacc48` register.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CAcc {
+    /// Real accumulator.
+    pub re: i64,
+    /// Imaginary accumulator.
+    pub im: i64,
+}
+
+/// An `N`-lane complex 48-bit accumulator (AIE `cacc48`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CAccI48<const N: usize> {
+    lanes: [CAcc; N],
+}
+
+impl<const N: usize> Default for CAccI48<N> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<const N: usize> CAccI48<N> {
+    /// The zero accumulator.
+    pub const fn zero() -> Self {
+        CAccI48 {
+            lanes: [CAcc { re: 0, im: 0 }; N],
+        }
+    }
+
+    /// Raw lanes.
+    pub fn to_array(self) -> [CAcc; N] {
+        self.lanes
+    }
+
+    /// `acc += a * b` lane-wise complex multiply-accumulate (AIE `cmac`):
+    /// `(ar·br − ai·bi) + j(ar·bi + ai·br)` in full precision.
+    pub fn cmac(mut self, a: Vector<CInt16, N>, b: Vector<CInt16, N>) -> Self {
+        record(OpKind::VMac);
+        for i in 0..N {
+            let (x, y) = (a[i], b[i]);
+            self.lanes[i].re += (x.re as i64) * (y.re as i64) - (x.im as i64) * (y.im as i64);
+            self.lanes[i].im += (x.re as i64) * (y.im as i64) + (x.im as i64) * (y.re as i64);
+        }
+        self
+    }
+
+    /// `acc += a * conj(b)` (AIE `cmac_conf` / conjugate MAC) — the
+    /// correlation primitive.
+    pub fn cmac_conj(mut self, a: Vector<CInt16, N>, b: Vector<CInt16, N>) -> Self {
+        record(OpKind::VMac);
+        for i in 0..N {
+            let (x, y) = (a[i], b[i]);
+            self.lanes[i].re += (x.re as i64) * (y.re as i64) + (x.im as i64) * (y.im as i64);
+            self.lanes[i].im += (x.im as i64) * (y.re as i64) - (x.re as i64) * (y.im as i64);
+        }
+        self
+    }
+
+    /// Shift-round-saturate both components back to `cint16` lanes.
+    pub fn srs(self, shift: u32) -> Vector<CInt16, N> {
+        record(OpKind::VSrs);
+        let mut out = [CInt16::default(); N];
+        for i in 0..N {
+            out[i] = CInt16 {
+                re: crate::fixed::srs(self.lanes[i].re, shift),
+                im: crate::fixed::srs(self.lanes[i].im, shift),
+            };
+        }
+        Vector::from_array(out)
+    }
+}
+
+/// Lane-wise complex magnitude-squared into wide lanes (|z|² = re² + im²) —
+/// the power-detector primitive; counted as one MAC issue.
+pub fn cmag_sq<const N: usize>(v: &Vector<CInt16, N>) -> [i64; N] {
+    record(OpKind::VMac);
+    std::array::from_fn(|i| {
+        let z = v[i];
+        (z.re as i64) * (z.re as i64) + (z.im as i64) * (z.im as i64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cv<const N: usize>(vals: [(i16, i16); N]) -> Vector<CInt16, N> {
+        Vector::from_array(vals.map(|(re, im)| CInt16::new(re, im)))
+    }
+
+    #[test]
+    fn cmac_multiplies_complex() {
+        // (1+2j)(3+4j) = 3+4j+6j+8j² = -5 + 10j
+        let a = cv([(1, 2); 4]);
+        let b = cv([(3, 4); 4]);
+        let acc = CAccI48::zero().cmac(a, b);
+        for lane in acc.to_array() {
+            assert_eq!((lane.re, lane.im), (-5, 10));
+        }
+    }
+
+    #[test]
+    fn cmac_conj_correlates() {
+        // a·conj(a) = |a|² purely real.
+        let a = cv([(300, -400); 8]);
+        let acc = CAccI48::zero().cmac_conj(a, a);
+        for lane in acc.to_array() {
+            assert_eq!(lane.re, 300 * 300 + 400 * 400);
+            assert_eq!(lane.im, 0);
+        }
+    }
+
+    #[test]
+    fn srs_rescales_both_components() {
+        let a = cv([(100, -100); 4]);
+        let b = cv([(1 << 8, 0); 4]); // ×256 real scale
+        let out = CAccI48::zero().cmac(a, b).srs(8);
+        for i in 0..4 {
+            assert_eq!((out[i].re, out[i].im), (100, -100));
+        }
+    }
+
+    #[test]
+    fn magnitude_squared() {
+        let v = cv([(3, 4), (0, 0), (-5, 12), (1, -1)]);
+        assert_eq!(cmag_sq(&v), [25, 0, 169, 2]);
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        assert_eq!(CInt16::new(7, -9).conj(), CInt16::new(7, 9));
+        // Wrapping at the i16 boundary.
+        assert_eq!(CInt16::new(0, i16::MIN).conj().im, i16::MIN);
+    }
+
+    proptest! {
+        /// cmac matches exact complex arithmetic over random inputs.
+        #[test]
+        fn cmac_matches_reference(
+            ar in any::<i16>(), ai in any::<i16>(),
+            br in any::<i16>(), bi in any::<i16>(),
+        ) {
+            let a = cv([(ar, ai); 2]);
+            let b = cv([(br, bi); 2]);
+            let acc = CAccI48::zero().cmac(a, b);
+            let expect_re = (ar as i64) * (br as i64) - (ai as i64) * (bi as i64);
+            let expect_im = (ar as i64) * (bi as i64) + (ai as i64) * (br as i64);
+            prop_assert_eq!(acc.to_array()[0], CAcc { re: expect_re, im: expect_im });
+        }
+
+        /// Conjugate MAC of z with itself is |z|² (real, non-negative).
+        #[test]
+        fn self_correlation_is_power(re in any::<i16>(), im in any::<i16>()) {
+            let z = cv([(re, im); 2]);
+            let acc = CAccI48::zero().cmac_conj(z, z);
+            let lane = acc.to_array()[0];
+            prop_assert!(lane.re >= 0);
+            prop_assert_eq!(lane.im, 0);
+            prop_assert_eq!(lane.re, cmag_sq(&z)[0]);
+        }
+    }
+}

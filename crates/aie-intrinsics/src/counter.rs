@@ -1,0 +1,215 @@
+//! Thread-local instruction counting.
+//!
+//! AMD's emulation headers reproduce intrinsic *values*; this crate
+//! additionally reproduces intrinsic *cost inputs*. Every emulated operation
+//! records one event here; `aie-sim` converts the counts into cycles with a
+//! VLIW slot-packing model. Counting is thread-local so concurrently
+//! simulated kernels (the thread-per-kernel runtime) do not interfere.
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// Classes of operations the cost model distinguishes.
+///
+/// The granularity follows the AIE1 core's issue slots: one vector ALU/MAC
+/// op, two loads, one store and scalar/move ops can issue per cycle
+/// (AM009/UG1079). Shuffles occupy the vector unit's permute stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Vector multiply or multiply-accumulate (fixed or float).
+    VMac,
+    /// Vector add/sub/min/max/compare/select — simple vector ALU ops.
+    VAlu,
+    /// Vector lane permute (shuffle/select patterns).
+    VShuffle,
+    /// Shift-round-saturate / upshift datapath conversions.
+    VSrs,
+    /// Vector register load from local memory.
+    VLoad,
+    /// Vector register store to local memory.
+    VStore,
+    /// Scalar ALU operation.
+    Scalar,
+}
+
+impl OpKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [OpKind; 7] = [
+        OpKind::VMac,
+        OpKind::VAlu,
+        OpKind::VShuffle,
+        OpKind::VSrs,
+        OpKind::VLoad,
+        OpKind::VStore,
+        OpKind::Scalar,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::VMac => 0,
+            OpKind::VAlu => 1,
+            OpKind::VShuffle => 2,
+            OpKind::VSrs => 3,
+            OpKind::VLoad => 4,
+            OpKind::VStore => 5,
+            OpKind::Scalar => 6,
+        }
+    }
+}
+
+/// A snapshot of per-kind operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    counts: [u64; 7],
+}
+
+impl OpCounts {
+    /// Count for one kind.
+    pub fn get(&self, kind: OpKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total operations of all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn merged(mut self, other: OpCounts) -> OpCounts {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+        self
+    }
+
+    /// Element-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(mut self, earlier: OpCounts) -> OpCounts {
+        for i in 0..self.counts.len() {
+            self.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        self
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in OpKind::ALL {
+            let n = self.get(kind);
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{kind:?}={n}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    static COUNTS: RefCell<OpCounts> = const { RefCell::new(OpCounts { counts: [0; 7] }) };
+}
+
+/// Record one operation of the given kind (called by every emulated
+/// intrinsic).
+#[inline]
+pub fn record(kind: OpKind) {
+    COUNTS.with(|c| c.borrow_mut().counts[kind.index()] += 1);
+}
+
+/// Reset this thread's counters to zero.
+pub fn reset_counts() {
+    COUNTS.with(|c| *c.borrow_mut() = OpCounts::default());
+}
+
+/// Read this thread's counters.
+pub fn snapshot_counts() -> OpCounts {
+    COUNTS.with(|c| *c.borrow())
+}
+
+/// Run `f` with fresh counters and return its result together with the ops
+/// it recorded; the previous counter state is restored afterwards, so
+/// metered sections nest cleanly.
+pub fn metered<R>(f: impl FnOnce() -> R) -> (R, OpCounts) {
+    let outer = snapshot_counts();
+    reset_counts();
+    let result = f();
+    let inner = snapshot_counts();
+    COUNTS.with(|c| *c.borrow_mut() = outer.merged(inner));
+    (result, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        reset_counts();
+        record(OpKind::VMac);
+        record(OpKind::VMac);
+        record(OpKind::VLoad);
+        let c = snapshot_counts();
+        assert_eq!(c.get(OpKind::VMac), 2);
+        assert_eq!(c.get(OpKind::VLoad), 1);
+        assert_eq!(c.get(OpKind::VStore), 0);
+        assert_eq!(c.total(), 3);
+        reset_counts();
+        assert_eq!(snapshot_counts().total(), 0);
+    }
+
+    #[test]
+    fn metered_sections_nest_and_restore() {
+        reset_counts();
+        record(OpKind::Scalar);
+        let ((), inner) = metered(|| {
+            record(OpKind::VMac);
+            record(OpKind::VMac);
+        });
+        assert_eq!(inner.get(OpKind::VMac), 2);
+        assert_eq!(inner.get(OpKind::Scalar), 0);
+        // Outer counts preserved and inner merged back.
+        let outer = snapshot_counts();
+        assert_eq!(outer.get(OpKind::Scalar), 1);
+        assert_eq!(outer.get(OpKind::VMac), 2);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = OpCounts::default();
+        a.counts[0] = 10;
+        let mut b = OpCounts::default();
+        b.counts[0] = 3;
+        assert_eq!(a.since(b).get(OpKind::VMac), 7);
+        assert_eq!(b.since(a).get(OpKind::VMac), 0); // saturating
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let mut c = OpCounts::default();
+        c.counts[0] = 5;
+        c.counts[4] = 2;
+        let s = c.to_string();
+        assert!(s.contains("VMac=5") && s.contains("VLoad=2"));
+        assert_eq!(OpCounts::default().to_string(), "(none)");
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset_counts();
+        record(OpKind::VMac);
+        std::thread::spawn(|| {
+            assert_eq!(snapshot_counts().total(), 0);
+            record(OpKind::VAlu);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(snapshot_counts().get(OpKind::VAlu), 0);
+        assert_eq!(snapshot_counts().get(OpKind::VMac), 1);
+    }
+}

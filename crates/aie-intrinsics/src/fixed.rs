@@ -1,0 +1,152 @@
+//! Fixed-point datapath conversions.
+//!
+//! AIE fixed-point kernels move between narrow storage types and wide
+//! accumulators through two datapath operations:
+//!
+//! * **`srs`** (shift-round-saturate): scale an accumulator down by a power
+//!   of two with round-half-up (the AIE default rounding mode when
+//!   configured symmetrically) and saturate into the narrow type;
+//! * **`ups`** (upshift): widen a narrow value into accumulator precision,
+//!   scaled up by a power of two.
+//!
+//! Plus Q-format helpers used by the Farrow example to quantise filter
+//! coefficients.
+
+/// Shift-round-saturate a wide accumulator lane to `i16`.
+///
+/// Computes `round_half_up(value / 2^shift)` saturated to the `i16` range.
+pub fn srs(value: i64, shift: u32) -> i16 {
+    saturate_i16(round_shift(value, shift))
+}
+
+/// Shift-round-saturate a wide accumulator lane to `i32`.
+pub fn srs32(value: i64, shift: u32) -> i32 {
+    let r = round_shift(value, shift);
+    if r > i32::MAX as i64 {
+        i32::MAX
+    } else if r < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+/// Upshift: widen `value` into accumulator precision scaled by `2^shift`
+/// (the AIE `ups` intrinsic).
+pub fn ups(value: i16, shift: u32) -> i64 {
+    (value as i64) << shift
+}
+
+/// Round-half-up division by `2^shift` without saturation.
+fn round_shift(value: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return value;
+    }
+    let bias = 1i64 << (shift - 1);
+    // Arithmetic shift after adding half of the divisor implements
+    // round-half-up for both signs (matching the AIE rounding mode
+    // `rnd_sym_inf` for positive bias).
+    (value.wrapping_add(bias)) >> shift
+}
+
+fn saturate_i16(v: i64) -> i16 {
+    if v > i16::MAX as i64 {
+        i16::MAX
+    } else if v < i16::MIN as i64 {
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+/// Quantise a real coefficient into Qm.n fixed point (`n` fractional bits),
+/// saturating to the `i16` range. Used when porting the Farrow filter's
+/// floating-point prototype coefficients to the fixed-point kernel.
+pub fn quantize_q15(value: f64, frac_bits: u32) -> i16 {
+    let scaled = (value * f64::from(1u32 << frac_bits)).round();
+    if scaled > i16::MAX as f64 {
+        i16::MAX
+    } else if scaled < i16::MIN as f64 {
+        i16::MIN
+    } else {
+        scaled as i16
+    }
+}
+
+/// Convert a Qm.n fixed-point value back to a real number.
+pub fn dequantize_q15(value: i16, frac_bits: u32) -> f64 {
+    f64::from(value) / f64::from(1u32 << frac_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn srs_rounds_half_up() {
+        assert_eq!(srs(10, 2), 3); // 2.5 → 3
+        assert_eq!(srs(9, 2), 2); // 2.25 → 2
+        assert_eq!(srs(11, 2), 3); // 2.75 → 3
+        assert_eq!(srs(-10, 2), -2); // -2.5 → -2 (half-up = toward +inf)
+        assert_eq!(srs(-11, 2), -3); // -2.75 → -3
+        assert_eq!(srs(7, 0), 7);
+    }
+
+    #[test]
+    fn srs_saturates() {
+        assert_eq!(srs(1 << 40, 8), i16::MAX);
+        assert_eq!(srs(-(1 << 40), 8), i16::MIN);
+        assert_eq!(srs32(1 << 62, 8), i32::MAX);
+        assert_eq!(srs32(-(1 << 62), 8), i32::MIN);
+    }
+
+    #[test]
+    fn ups_then_srs_is_identity() {
+        for v in [-32768i16, -1, 0, 1, 12345, 32767] {
+            assert_eq!(srs(ups(v, 10), 10), v);
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_within_lsb() {
+        for v in [-0.99, -0.5, 0.0, 0.123, 0.5, 0.99] {
+            let q = quantize_q15(v, 15);
+            let back = dequantize_q15(q, 15);
+            assert!((back - v).abs() <= 1.0 / 32768.0, "{v} → {q} → {back}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        assert_eq!(quantize_q15(1.5, 15), i16::MAX);
+        assert_eq!(quantize_q15(-1.5, 15), i16::MIN);
+    }
+
+    proptest! {
+        /// srs output is always within i16 and within 1 LSB of exact
+        /// division.
+        #[test]
+        fn srs_error_bounded(v in any::<i32>(), shift in 1u32..16) {
+            let out = srs(v as i64, shift) as f64;
+            let exact = (v as f64) / f64::from(1u32 << shift);
+            if exact.abs() < 32000.0 {
+                prop_assert!((out - exact).abs() <= 0.5 + 1e-9,
+                    "v={v} shift={shift} out={out} exact={exact}");
+            }
+        }
+
+        /// ups/srs roundtrip for every i16 and shift.
+        #[test]
+        fn ups_srs_roundtrip(v in any::<i16>(), shift in 0u32..30) {
+            prop_assert_eq!(srs(ups(v, shift), shift), v);
+        }
+
+        /// srs is monotone in its input.
+        #[test]
+        fn srs_monotone(a in any::<i32>(), b in any::<i32>(), shift in 0u32..16) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(srs(lo as i64, shift) <= srs(hi as i64, shift));
+        }
+    }
+}

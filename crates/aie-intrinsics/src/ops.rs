@@ -1,0 +1,195 @@
+//! Higher-level vector algorithms built from the emulated intrinsics.
+//!
+//! These correspond to the AIE API's algorithmic helpers the evaluation
+//! kernels lean on: the bitonic compare-exchange network building blocks and
+//! interleave patterns (`shuffle_up/down`, unzip/zip) documented in UG1079.
+
+use crate::counter::{record, OpKind};
+use crate::vector::Vector;
+
+/// Compare-exchange two vectors lane-wise: returns `(min, max)` — the core
+/// step of a bitonic merge network.
+pub fn compare_exchange<T: Copy + PartialOrd, const N: usize>(
+    a: &Vector<T, N>,
+    b: &Vector<T, N>,
+) -> (Vector<T, N>, Vector<T, N>) {
+    (a.min(b), a.max(b))
+}
+
+/// Generate the butterfly permutation pattern of `stride` for an `N`-lane
+/// vector: lane `i` maps to `i ^ stride`. Used to build bitonic stages.
+pub fn butterfly_pattern<const N: usize>(stride: usize) -> [usize; N] {
+    assert!(stride > 0 && stride < N && N.is_power_of_two());
+    std::array::from_fn(|i| i ^ stride)
+}
+
+/// One in-register bitonic compare-exchange stage over lane distance
+/// `stride`, with direction per lane taken from `ascending` (true = keep the
+/// smaller value in the lower lane).
+///
+/// This mirrors how the AMD bitonic example composes `shuffle`, `min`, `max`
+/// and `select` instead of scalar comparisons.
+pub fn bitonic_stage<T: Copy + PartialOrd, const N: usize>(
+    v: &Vector<T, N>,
+    stride: usize,
+    ascending: &[bool; N],
+) -> Vector<T, N> {
+    let partner = v.shuffle(&butterfly_pattern::<N>(stride));
+    let mn = v.min(&partner);
+    let mx = v.max(&partner);
+    // Lane i keeps min when (it is the lower index of its pair) == ascending.
+    let mut keep_min = [false; N];
+    for (i, k) in keep_min.iter_mut().enumerate() {
+        let lower = i & stride == 0;
+        *k = lower == ascending[i];
+    }
+    mn.select(&mx, &keep_min)
+}
+
+/// Full 16-lane bitonic sort of one vector register, ascending — the
+/// algorithm of the AMD `bitonic-sorting` example graph, expressed with the
+/// same shuffle/min/max/select instruction mix.
+pub fn bitonic_sort16(v: Vector<f32, 16>) -> Vector<f32, 16> {
+    let mut v = v;
+    // Stages k = 2, 4, 8, 16 (run size); within each, strides k/2 … 1.
+    let mut k = 2usize;
+    while k <= 16 {
+        let mut stride = k / 2;
+        while stride >= 1 {
+            // Direction per lane: ascending iff bit `k` of the lane index is
+            // clear (standard bitonic network formulation).
+            let ascending: [bool; 16] = std::array::from_fn(|i| i & k == 0);
+            v = bitonic_stage(&v, stride, &ascending);
+            stride /= 2;
+        }
+        k *= 2;
+    }
+    v
+}
+
+/// Interleave the even lanes of `a` with the even lanes of `b`
+/// (`zip`-style): output = `[a0, b0, a1, b1, …]` over the first `N/2` lanes
+/// of each input.
+pub fn zip_lo<T: Copy, const N: usize>(a: &Vector<T, N>, b: &Vector<T, N>) -> Vector<T, N> {
+    let pattern: [usize; N] = std::array::from_fn(|i| if i % 2 == 0 { i / 2 } else { N + i / 2 });
+    a.shuffle2(b, &pattern)
+}
+
+/// De-interleave: gather even lanes of the `a:b` concatenation —
+/// output = `[a0, a2, …, b0, b2, …]`.
+pub fn unzip_even<T: Copy, const N: usize>(a: &Vector<T, N>, b: &Vector<T, N>) -> Vector<T, N> {
+    let pattern: [usize; N] = std::array::from_fn(|i| {
+        if i < N / 2 {
+            2 * i
+        } else {
+            N + 2 * (i - N / 2)
+        }
+    });
+    a.shuffle2(b, &pattern)
+}
+
+/// Shift the lane window up by `k`: output lane `i` = input lane `i+k`,
+/// with the top `k` lanes filled from `next` (the AIE `shift_bytes` /
+/// stream-advance idiom used by FIR kernels to slide their data window).
+pub fn shift_lanes_up<T: Copy, const N: usize>(
+    v: &Vector<T, N>,
+    next: &Vector<T, N>,
+    k: usize,
+) -> Vector<T, N> {
+    assert!(k <= N);
+    record(OpKind::VShuffle);
+    let a = v.to_array();
+    let b = next.to_array();
+    Vector::from_array(std::array::from_fn(|i| {
+        if i + k < N {
+            a[i + k]
+        } else {
+            b[i + k - N]
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compare_exchange_orders_pairs() {
+        let a = Vector::<i32, 4>::from_array([5, 1, 7, 2]);
+        let b = Vector::<i32, 4>::from_array([3, 4, 6, 9]);
+        let (mn, mx) = compare_exchange(&a, &b);
+        assert_eq!(mn.to_array(), [3, 1, 6, 2]);
+        assert_eq!(mx.to_array(), [5, 4, 7, 9]);
+    }
+
+    #[test]
+    fn butterfly_pattern_is_involution() {
+        let p = butterfly_pattern::<8>(2);
+        for (i, &t) in p.iter().enumerate() {
+            assert_eq!(p[t], i);
+        }
+        assert_eq!(p, [2, 3, 0, 1, 6, 7, 4, 5]);
+    }
+
+    #[test]
+    fn bitonic_sort16_sorts_known_input() {
+        let input: [f32; 16] = [
+            9.0, -3.0, 5.5, 0.0, 12.0, -8.0, 7.0, 1.0, 3.0, 3.0, -1.0, 100.0, -50.0, 2.5, 6.0, 4.0,
+        ];
+        let sorted = bitonic_sort16(Vector::from_array(input)).to_array();
+        let mut expect = input;
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn zip_unzip_are_inverse_on_even_data() {
+        let a = Vector::<i32, 8>::from_array([0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = Vector::<i32, 8>::from_array([10, 11, 12, 13, 14, 15, 16, 17]);
+        let zipped = zip_lo(&a, &b);
+        assert_eq!(zipped.to_array(), [0, 10, 1, 11, 2, 12, 3, 13]);
+        let hi_pattern: [usize; 8] =
+            std::array::from_fn(|i| if i % 2 == 0 { 4 + i / 2 } else { 12 + i / 2 });
+        let zipped_hi = a.shuffle2(&b, &hi_pattern);
+        let even = unzip_even(&zipped, &zipped_hi);
+        assert_eq!(even.to_array(), a.to_array());
+    }
+
+    #[test]
+    fn shift_lanes_up_slides_window() {
+        let cur = Vector::<i16, 8>::from_array([0, 1, 2, 3, 4, 5, 6, 7]);
+        let nxt = Vector::<i16, 8>::from_array([8, 9, 10, 11, 12, 13, 14, 15]);
+        let s = shift_lanes_up(&cur, &nxt, 3);
+        assert_eq!(s.to_array(), [3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(shift_lanes_up(&cur, &nxt, 0).to_array(), cur.to_array());
+        assert_eq!(shift_lanes_up(&cur, &nxt, 8).to_array(), nxt.to_array());
+    }
+
+    proptest! {
+        /// bitonic_sort16 sorts every input and is a permutation of it.
+        #[test]
+        fn bitonic_sorts_everything(vals in proptest::array::uniform16(-1000i32..1000)) {
+            let f: [f32; 16] = vals.map(|v| v as f32);
+            let sorted = bitonic_sort16(Vector::from_array(f)).to_array();
+            let mut expect = f;
+            expect.sort_by(f32::total_cmp);
+            prop_assert_eq!(sorted, expect);
+        }
+
+        /// Every bitonic stage output is a permutation of its input.
+        #[test]
+        fn stage_is_permutation(vals in proptest::array::uniform16(any::<i32>()),
+                                stride_pow in 0usize..4) {
+            let stride = 1usize << stride_pow;
+            let v = Vector::<i32, 16>::from_array(vals);
+            let ascending = [true; 16];
+            let out = bitonic_stage(&v, stride, &ascending).to_array();
+            let mut a = vals.to_vec();
+            let mut b = out.to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

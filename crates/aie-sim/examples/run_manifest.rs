@@ -1,0 +1,96 @@
+//! Deploy-and-run a graph manifest on the cycle-approximate simulator —
+//! the target of the `sim-manifest` rule in extractor-generated Makefiles.
+//!
+//! Accepts either a full [`aie_sim::DeployManifest`] JSON or a bare
+//! `graph.json` (a flattened graph) — in the latter case nominal
+//! stream cost profiles are synthesised so the topology can be timed
+//! without measured kernels.
+//!
+//! ```text
+//! cargo run -p aie-sim --example run_manifest -- graph.json [blocks]
+//! ```
+
+use aie_sim::{
+    run_manifest, simulate_graph, DeployManifest, KernelCostProfile, PortTraffic, SimConfig,
+    SimReport, WorkloadSpec,
+};
+use cgsim_core::{FlatGraph, PortDir};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: run_manifest <manifest.json | graph.json> [blocks]");
+        std::process::exit(2);
+    };
+    let blocks: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(64);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("run_manifest: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Try the full manifest first, then fall back to a bare graph.
+    let (trace, graph, profiles, config) = if let Ok(manifest) = DeployManifest::from_json(&text) {
+        let trace = run_manifest(&manifest).expect("manifest simulates");
+        (
+            trace,
+            manifest.graph.clone(),
+            manifest.profile_map(),
+            manifest.config,
+        )
+    } else {
+        let graph: FlatGraph = match serde_json::from_str(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("run_manifest: {path} is neither a manifest nor a graph: {e}");
+                std::process::exit(1);
+            }
+        };
+        graph.validate().expect("graph validates");
+
+        // Nominal per-kernel profiles: 8-element stream iterations.
+        let mut profiles: HashMap<String, KernelCostProfile> = HashMap::new();
+        for k in &graph.kernels {
+            profiles.entry(k.kind.clone()).or_insert_with(|| {
+                let traffic = |dir: PortDir| {
+                    k.ports
+                        .iter()
+                        .filter(|p| p.dir == dir)
+                        .map(|p| PortTraffic {
+                            elems_per_iter: 8,
+                            elem_bytes: p.dtype.size.max(1) as u64,
+                            kind: graph.connectors[p.connector.index()].kind,
+                        })
+                        .collect::<Vec<_>>()
+                };
+                KernelCostProfile::measured(
+                    &k.kind,
+                    Default::default(),
+                    traffic(PortDir::In),
+                    traffic(PortDir::Out),
+                )
+            });
+        }
+        let config = SimConfig::extracted();
+        let workload = WorkloadSpec {
+            blocks,
+            elems_per_block_in: vec![64; graph.inputs.len()],
+            elems_per_block_out: vec![64; graph.outputs.len()],
+        };
+        let trace = simulate_graph(&graph, &profiles, &config, &workload).expect("graph simulates");
+        (trace, graph, profiles, config)
+    };
+
+    let kinds: HashMap<String, String> = graph
+        .kernels
+        .iter()
+        .map(|k| (k.instance.clone(), k.kind.clone()))
+        .collect();
+    let report = SimReport::build(&trace, &profiles, &kinds, &config);
+    println!("deployed `{}` onto aie-sim:", graph.name);
+    println!("{}", report.render());
+}

@@ -1,0 +1,196 @@
+//! Deployment manifests — the interchange format between the graph
+//! extractor and this simulator.
+//!
+//! In the paper's flow the extractor emits a Vitis project that
+//! `aiecompiler` turns into a hardware image which `aiesim` then executes.
+//! Without AMD's toolchain, the extracted project instead carries a JSON
+//! *deployment manifest*: the flattened graph, the kernels' cost profiles
+//! and the workload. [`run_manifest`] is the "board" it deploys onto.
+
+use crate::config::SimConfig;
+use crate::cost::KernelCostProfile;
+use crate::graphsim::{simulate_graph, GraphTrace, WorkloadSpec};
+use cgsim_core::{FlatGraph, GraphError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete, self-contained description of one simulatable AIE project.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeployManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// The compute graph to deploy.
+    pub graph: FlatGraph,
+    /// Cost profiles for every kernel kind in the graph.
+    pub profiles: Vec<KernelCostProfile>,
+    /// Simulation configuration (clocks, variant).
+    pub config: SimConfig,
+    /// Default workload for evaluation runs.
+    pub workload: WorkloadSpec,
+}
+
+/// Current manifest version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+impl DeployManifest {
+    /// Assemble a manifest.
+    pub fn new(
+        graph: FlatGraph,
+        profiles: Vec<KernelCostProfile>,
+        config: SimConfig,
+        workload: WorkloadSpec,
+    ) -> Self {
+        DeployManifest {
+            version: MANIFEST_VERSION,
+            graph,
+            profiles,
+            config,
+            workload,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parse from JSON; the graph is re-validated.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let m: DeployManifest =
+            serde_json::from_str(json).map_err(|e| format!("manifest parse error: {e}"))?;
+        if m.version != MANIFEST_VERSION {
+            return Err(format!(
+                "unsupported manifest version {} (expected {MANIFEST_VERSION})",
+                m.version
+            ));
+        }
+        m.graph
+            .validate()
+            .map_err(|e| format!("manifest graph invalid: {e}"))?;
+        Ok(m)
+    }
+
+    /// Profiles keyed by kernel kind.
+    pub fn profile_map(&self) -> HashMap<String, KernelCostProfile> {
+        self.profiles
+            .iter()
+            .map(|p| (p.kernel.clone(), p.clone()))
+            .collect()
+    }
+}
+
+/// Simulate the manifest's graph with its embedded configuration and
+/// workload.
+pub fn run_manifest(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
+    simulate_graph(
+        &manifest.graph,
+        &manifest.profile_map(),
+        &manifest.config,
+        &manifest.workload,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PortTraffic;
+    use aie_intrinsics::counter::metered;
+    use aie_intrinsics::{AccF32, Vector};
+    use cgsim_core::{
+        GraphBuilder, KernelDecl, KernelMeta, PortKind, PortSettings, PortSig, Realm,
+    };
+
+    struct K;
+    impl KernelDecl for K {
+        const NAME: &'static str = "k";
+        const REALM: Realm = Realm::Aie;
+        fn meta() -> KernelMeta {
+            KernelMeta {
+                name: Self::NAME.into(),
+                realm: Self::REALM,
+                ports: vec![
+                    PortSig::read::<f32>("in", PortSettings::DEFAULT),
+                    PortSig::write::<f32>("out", PortSettings::DEFAULT),
+                ],
+            }
+        }
+    }
+
+    fn manifest() -> DeployManifest {
+        let graph = GraphBuilder::build("m", |g| {
+            let a = g.input::<f32>("a");
+            let b = g.wire::<f32>();
+            g.invoke::<K>(&[a.id(), b.id()])?;
+            g.output(&b);
+            Ok(())
+        })
+        .unwrap();
+        let ((), ops) = metered(|| {
+            let a = Vector::<f32, 8>::load(&[1.0; 8]);
+            let acc = AccF32::<8>::zero().fpmac(a, a);
+            let mut out = [0.0; 8];
+            acc.to_vector().store(&mut out);
+        });
+        let stream = |elems| PortTraffic {
+            elems_per_iter: elems,
+            elem_bytes: 4,
+            kind: PortKind::Stream,
+        };
+        let profile = KernelCostProfile::measured("k", ops, vec![stream(8)], vec![stream(8)]);
+        DeployManifest::new(
+            graph,
+            vec![profile],
+            SimConfig::extracted(),
+            WorkloadSpec {
+                blocks: 8,
+                elems_per_block_in: vec![32],
+                elems_per_block_out: vec![32],
+            },
+        )
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = manifest();
+        let j = m.to_json();
+        let back = DeployManifest::from_json(&j).unwrap();
+        assert_eq!(back.graph, m.graph);
+        assert_eq!(back.workload, m.workload);
+        assert_eq!(
+            back.profiles[0].compute_cycles,
+            m.profiles[0].compute_cycles
+        );
+    }
+
+    #[test]
+    fn run_manifest_simulates() {
+        let m = manifest();
+        let t = run_manifest(&m).unwrap();
+        assert_eq!(t.trace.block_times.len(), 8);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut m = manifest();
+        m.version = 99;
+        let j = m.to_json();
+        assert!(DeployManifest::from_json(&j)
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn corrupt_graph_rejected() {
+        let mut m = manifest();
+        m.graph.outputs.clear();
+        let j = m.to_json();
+        assert!(DeployManifest::from_json(&j)
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn parse_garbage_rejected() {
+        assert!(DeployManifest::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! VLIW issue-slot packing model.
+//!
+//! AIE1 tiles are 7-way VLIW processors (UG1079): per cycle the core can
+//! issue, among others, one vector multiply/MAC, one vector permute/ALU
+//! datapath operation, two 256-bit loads, one 256-bit store and one scalar
+//! op. Given the per-iteration operation counts recorded by the instrumented
+//! intrinsics (`aie_intrinsics::counter`), this module computes the minimum
+//! number of cycles a perfectly software-pipelined loop body needs — the
+//! initiation-interval bound of the slot that saturates first.
+//!
+//! The model deliberately ignores instruction latency *chains* (hand-tuned
+//! AIE kernels are pipelined to hide them, which is exactly what the paper's
+//! examples do with "VLIW loop pipelining"), but exposes a pipelining factor
+//! for modelling *un*-pipelined code.
+
+use aie_intrinsics::{OpCounts, OpKind};
+
+/// Issue-width description of one AIE core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlotModel {
+    /// Vector multiply/MAC issues per cycle.
+    pub vmac_per_cycle: f64,
+    /// Vector ALU/permute/SRS datapath issues per cycle (shared slot).
+    pub valu_per_cycle: f64,
+    /// Vector loads per cycle.
+    pub loads_per_cycle: f64,
+    /// Vector stores per cycle.
+    pub stores_per_cycle: f64,
+    /// Scalar ops per cycle.
+    pub scalar_per_cycle: f64,
+}
+
+impl SlotModel {
+    /// The AIE1 issue model used throughout the evaluation.
+    pub const AIE1: SlotModel = SlotModel {
+        vmac_per_cycle: 1.0,
+        valu_per_cycle: 1.0,
+        loads_per_cycle: 2.0,
+        stores_per_cycle: 1.0,
+        scalar_per_cycle: 1.0,
+    };
+
+    /// The AIE-ML (AIE2) issue model: doubled MAC throughput and wider
+    /// loads (AM020). Not used by the paper's evaluation (VC1902 is AIE1);
+    /// provided for what-if studies of the same graphs on newer silicon.
+    pub const AIE2: SlotModel = SlotModel {
+        vmac_per_cycle: 2.0,
+        valu_per_cycle: 1.0,
+        loads_per_cycle: 2.0,
+        stores_per_cycle: 1.0,
+        scalar_per_cycle: 1.0,
+    };
+
+    /// Minimum cycles to issue `ops` with perfect pipelining: the slot that
+    /// saturates first bounds the loop.
+    pub fn pack(&self, ops: &OpCounts) -> u64 {
+        let vmac = ops.get(OpKind::VMac) as f64 / self.vmac_per_cycle;
+        // Permutes, lane ALU ops and SRS conversions share the non-MAC
+        // vector datapath slot.
+        let valu = (ops.get(OpKind::VAlu) + ops.get(OpKind::VShuffle) + ops.get(OpKind::VSrs))
+            as f64
+            / self.valu_per_cycle;
+        let loads = ops.get(OpKind::VLoad) as f64 / self.loads_per_cycle;
+        let stores = ops.get(OpKind::VStore) as f64 / self.stores_per_cycle;
+        let scalar = ops.get(OpKind::Scalar) as f64 / self.scalar_per_cycle;
+        let bound = vmac.max(valu).max(loads).max(stores).max(scalar);
+        bound.ceil() as u64
+    }
+
+    /// Cycles for an *un*pipelined loop body: every op serialises (used to
+    /// model naive generated code in ablation studies).
+    pub fn serial(&self, ops: &OpCounts) -> u64 {
+        ops.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aie_intrinsics::counter::{metered, record};
+    use aie_intrinsics::Vector;
+
+    fn counts(f: impl FnOnce()) -> OpCounts {
+        metered(f).1
+    }
+
+    #[test]
+    fn mac_bound_loop() {
+        // 8 MACs, 2 loads, 1 store → MAC slot dominates at 8 cycles.
+        let ops = counts(|| {
+            let a = Vector::<f32, 8>::load(&[1.0; 8]);
+            let b = Vector::<f32, 8>::load(&[2.0; 8]);
+            let mut acc = aie_intrinsics::AccF32::<8>::zero();
+            for _ in 0..8 {
+                acc = acc.fpmac(a, b);
+            }
+            let mut out = [0.0; 8];
+            acc.to_vector().store(&mut out);
+        });
+        assert_eq!(SlotModel::AIE1.pack(&ops), 8);
+    }
+
+    #[test]
+    fn load_bound_loop() {
+        // 8 loads and nothing else → 2/cycle → 4 cycles.
+        let ops = counts(|| {
+            for _ in 0..8 {
+                let _ = Vector::<f32, 8>::load(&[0.0; 8]);
+            }
+        });
+        assert_eq!(SlotModel::AIE1.pack(&ops), 4);
+    }
+
+    #[test]
+    fn shared_valu_slot_accumulates() {
+        // 3 shuffles + 2 min/max + 1 srs = 6 shared-slot ops → 6 cycles.
+        let ops = counts(|| {
+            let v = Vector::<i16, 16>::from_array([0; 16]);
+            let p: [usize; 16] = std::array::from_fn(|i| i);
+            let _ = v.shuffle(&p);
+            let _ = v.shuffle(&p);
+            let _ = v.shuffle(&p);
+            let _ = v.min(&v);
+            let _ = v.max(&v);
+            let _ = aie_intrinsics::AccI48::<16>::zero().srs(0);
+        });
+        assert_eq!(SlotModel::AIE1.pack(&ops), 6);
+    }
+
+    #[test]
+    fn aie2_halves_mac_bound_loops() {
+        let ops = counts(|| {
+            let a = Vector::<f32, 8>::load(&[1.0; 8]);
+            let mut acc = aie_intrinsics::AccF32::<8>::zero();
+            for _ in 0..16 {
+                acc = acc.fpmac(a, a);
+            }
+        });
+        assert_eq!(SlotModel::AIE1.pack(&ops), 16);
+        assert_eq!(SlotModel::AIE2.pack(&ops), 8);
+    }
+
+    #[test]
+    fn serial_counts_everything() {
+        let ops = counts(|| {
+            let v = Vector::<f32, 8>::load(&[0.0; 8]);
+            let _ = v + v;
+        });
+        assert_eq!(SlotModel::AIE1.serial(&ops), 2);
+        assert_eq!(SlotModel::AIE1.pack(&ops), 1);
+    }
+
+    #[test]
+    fn empty_ops_take_zero_cycles() {
+        assert_eq!(SlotModel::AIE1.pack(&OpCounts::default()), 0);
+    }
+
+    #[test]
+    fn scalar_slot_binds() {
+        let ops = counts(|| {
+            for _ in 0..5 {
+                record(aie_intrinsics::OpKind::Scalar);
+            }
+        });
+        assert_eq!(SlotModel::AIE1.pack(&ops), 5);
+    }
+}

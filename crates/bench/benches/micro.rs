@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the framework's building blocks: broadcast-queue
+//! transfer, scheduler overhead, and the emulated AIE intrinsics. These
+//! quantify the §5.2 observation that cgsim's synchronisation overhead is
+//! negligible next to kernel compute.
+
+use cgsim_core::GraphBuilder;
+use cgsim_runtime::{
+    compute_kernel, Channel, Executor, KernelLibrary, RuntimeConfig, RuntimeContext,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+compute_kernel! {
+    #[realm(aie)]
+    pub fn pass_kernel(input: ReadPort<u64>, out: WritePort<u64>) {
+        while let Some(v) = input.get().await {
+            out.put(v).await;
+        }
+    }
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("spsc_1024_elems", |b| {
+        b.iter(|| {
+            let chan = Channel::new(64);
+            let mut tx = chan.add_producer();
+            let mut rx = chan.add_consumer();
+            let mut ex = Executor::new();
+            ex.spawn(
+                "tx",
+                Box::pin(async move {
+                    for i in 0..1024u64 {
+                        tx.send(i).await;
+                    }
+                }),
+            );
+            ex.spawn(
+                "rx",
+                Box::pin(async move {
+                    let mut acc = 0u64;
+                    while let Some(v) = rx.recv().await {
+                        acc = acc.wrapping_add(v);
+                    }
+                    black_box(acc);
+                }),
+            );
+            ex.run()
+        })
+    });
+    g.bench_function("broadcast_4_consumers_1024_elems", |b| {
+        b.iter(|| {
+            let chan = Channel::new(64);
+            let mut tx = chan.add_producer();
+            let mut ex = Executor::new();
+            for _ in 0..4 {
+                let mut rx = chan.add_consumer();
+                ex.spawn(
+                    "rx",
+                    Box::pin(async move {
+                        let mut n = 0u64;
+                        while rx.recv().await.is_some() {
+                            n += 1;
+                        }
+                        black_box(n);
+                    }),
+                );
+            }
+            ex.spawn(
+                "tx",
+                Box::pin(async move {
+                    for i in 0..1024u64 {
+                        tx.send(i).await;
+                    }
+                }),
+            );
+            ex.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("spawn_and_drain_100_tasks", |b| {
+        b.iter(|| {
+            let mut ex = Executor::new();
+            for _ in 0..100 {
+                ex.spawn("t", Box::pin(async {}));
+            }
+            ex.run()
+        })
+    });
+    g.bench_function("graph_instantiation", |b| {
+        let graph = GraphBuilder::build("pipe", |g| {
+            let a = g.input::<u64>("a");
+            let mut prev = a;
+            for _ in 0..4 {
+                let next = g.wire::<u64>();
+                pass_kernel::invoke(g, &prev, &next)?;
+                prev = next;
+            }
+            g.output(&prev);
+            Ok(())
+        })
+        .unwrap();
+        let lib = KernelLibrary::with(|l| {
+            l.register::<pass_kernel>();
+        });
+        b.iter_batched(
+            || (),
+            |()| RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_intrinsics(c: &mut Criterion) {
+    use aie_intrinsics::ops::bitonic_sort16;
+    use aie_intrinsics::{AccF32, AccI48, Vector};
+
+    let mut g = c.benchmark_group("intrinsics");
+    let data: Vec<f32> = (0..16).map(|i| (31 - i) as f32).collect();
+    g.bench_function("bitonic_sort16", |b| {
+        let v = Vector::<f32, 16>::load(&data);
+        b.iter(|| black_box(bitonic_sort16(black_box(v))))
+    });
+    g.bench_function("fpmac_8x64", |b| {
+        let a = Vector::<f32, 8>::splat(1.5);
+        let w = Vector::<f32, 8>::splat(0.25);
+        b.iter(|| {
+            let mut acc = AccF32::<8>::zero();
+            for _ in 0..64 {
+                acc = acc.fpmac(black_box(a), black_box(w));
+            }
+            black_box(acc.to_vector())
+        })
+    });
+    g.bench_function("mac16_srs", |b| {
+        let a = Vector::<i16, 16>::splat(1234);
+        let w = Vector::<i16, 16>::splat(-321);
+        b.iter(|| {
+            let acc = AccI48::<16>::zero().mac(black_box(a), black_box(w));
+            black_box(acc.srs(15))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_channel, bench_scheduler, bench_intrinsics);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 1 as a Criterion benchmark: one benchmark per (graph, variant)
+//! cell. The *measured value* here is the wall-clock cost of running the
+//! cycle-approximate simulation; the reproduced Table 1 numbers themselves
+//! (simulated ns/block) are printed once per benchmark via the
+//! `repro-table1` binary and asserted in `bench/src/table1.rs` tests.
+
+use aie_sim::{simulate_graph, SimConfig};
+use cgsim_graphs::all_apps;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for app in all_apps() {
+        let graph = app.graph();
+        let profiles = app.profiles();
+        let workload = app.workload(64);
+        for (label, config) in [
+            ("hand_optimized", SimConfig::hand_optimized()),
+            ("extracted", SimConfig::extracted()),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, app.name()), &config, |b, config| {
+                b.iter(|| {
+                    let trace = simulate_graph(&graph, &profiles, config, &workload).unwrap();
+                    black_box(trace.ns_per_block())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 2 as a Criterion benchmark: for each evaluation graph, measure
+//! wall-clock time of the three simulators on identical workloads —
+//! cgsim (cooperative), the x86sim substitute (thread-per-kernel) and the
+//! aiesim substitute (cycle-stepped cycle-approximate).
+
+use aie_sim::{simulate_graph, SimConfig};
+use cgsim_graphs::{all_apps, Runtime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Small per-app block counts so the full matrix stays in benchmark-able
+/// range; `repro-table2` runs the scaled version.
+fn blocks_for(name: &str) -> u64 {
+    match name {
+        "bitonic" => 256,
+        "farrow" => 8,
+        "IIR" => 4,
+        "bilinear" => 32,
+        _ => 8,
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for app in all_apps() {
+        let blocks = blocks_for(app.name());
+        g.bench_with_input(BenchmarkId::new("cgsim", app.name()), &blocks, |b, &n| {
+            b.iter(|| black_box(app.run_functional(Runtime::Cooperative, n).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("x86sim", app.name()), &blocks, |b, &n| {
+            b.iter(|| black_box(app.run_functional(Runtime::Threaded, n).unwrap()))
+        });
+        let graph = app.graph();
+        let profiles = app.profiles();
+        let config = SimConfig {
+            cycle_stepping: true,
+            ..SimConfig::hand_optimized()
+        };
+        g.bench_with_input(BenchmarkId::new("aiesim", app.name()), &blocks, |b, &n| {
+            let workload = app.workload(n);
+            b.iter(|| black_box(simulate_graph(&graph, &profiles, &config, &workload).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

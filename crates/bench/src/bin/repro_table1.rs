@@ -1,0 +1,47 @@
+//! Reproduce the paper's Table 1: processing time per input block for
+//! hand-optimized vs cgsim-extracted implementations on the simulated AIE
+//! hardware, printed side by side with the paper's published values.
+//!
+//! Usage: `cargo run --release -p bench --bin repro-table1 [-- --blocks N]`
+
+use bench::{table1, PAPER_TABLE1};
+
+fn main() {
+    let blocks = std::env::args()
+        .skip_while(|a| a != "--blocks")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256u64);
+
+    println!("Table 1 — processing time per input block (simulated AIE @ 1250 MHz)");
+    println!("    {blocks} blocks per run; see EXPERIMENTS.md for calibration notes\n");
+    println!(
+        "{:<10} | {:>10} | {:>12} | {:>12} | {:>9} || {:>12} | {:>12} | {:>9}",
+        "", "", "— this reproduction —", "", "", "— paper —", "", ""
+    );
+    println!(
+        "{:<10} | {:>10} | {:>12} | {:>12} | {:>9} || {:>12} | {:>12} | {:>9}",
+        "Graph", "Block (B)", "AMD (ns)", "cgsim (ns)", "rel %", "AMD (ns)", "cgsim (ns)", "rel %"
+    );
+    println!("{}", "-".repeat(116));
+
+    for row in table1::compute(blocks) {
+        let paper = PAPER_TABLE1
+            .iter()
+            .find(|(n, ..)| *n == row.graph)
+            .expect("paper row");
+        println!(
+            "{:<10} | {:>10} | {:>12.1} | {:>12.1} | {:>8.2}% || {:>12.1} | {:>12.1} | {:>8.2}%",
+            row.graph,
+            row.block_bytes,
+            row.hand_ns,
+            row.extracted_ns,
+            row.rel_throughput_pct(),
+            paper.2,
+            paper.3,
+            paper.2 / paper.3 * 100.0,
+        );
+    }
+    println!();
+    println!("Shape checks: every row ≥ 85 % relative throughput; IIR at parity.");
+}

@@ -1,0 +1,133 @@
+//! Table 1: processing time per input block, hand-optimized AMD kernels vs
+//! cgsim-extracted kernels, on the cycle-approximate simulator.
+//!
+//! Methodology follows §5.2: the metric is the time between iterations in
+//! the execution trace at an AIE clock of 1250 MHz (PL 625 MHz). The two
+//! variants run the *same* graph and measured cost profiles; they differ
+//! only in the modeled stream-access code generation
+//! ([`aie_sim::Variant`]), the paper's stated cause of the gap.
+
+use aie_sim::{simulate_graph, SimConfig};
+use cgsim_graphs::{all_apps, EvalApp};
+
+/// One reproduced Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Graph name.
+    pub graph: String,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// ns per block, hand-optimized variant ("AMD").
+    pub hand_ns: f64,
+    /// ns per block, extracted variant ("This work").
+    pub extracted_ns: f64,
+}
+
+impl Table1Row {
+    /// Relative throughput of the extracted variant in percent
+    /// (hand-optimized time / extracted time × 100).
+    pub fn rel_throughput_pct(&self) -> f64 {
+        self.hand_ns / self.extracted_ns * 100.0
+    }
+}
+
+/// Simulate one app under both variants.
+pub fn measure_app(app: &dyn EvalApp, blocks: u64) -> Table1Row {
+    let graph = app.graph();
+    let profiles = app.profiles();
+    let workload = app.workload(blocks);
+
+    let hand = simulate_graph(&graph, &profiles, &SimConfig::hand_optimized(), &workload)
+        .expect("hand-optimized simulation")
+        .ns_per_block()
+        .expect("enough blocks for steady state");
+    let extracted = simulate_graph(&graph, &profiles, &SimConfig::extracted(), &workload)
+        .expect("extracted simulation")
+        .ns_per_block()
+        .expect("enough blocks for steady state");
+
+    Table1Row {
+        graph: app.name().to_owned(),
+        block_bytes: app.block_bytes(),
+        hand_ns: hand,
+        extracted_ns: extracted,
+    }
+}
+
+/// Reproduce all four rows.
+pub fn compute(blocks: u64) -> Vec<Table1Row> {
+    all_apps()
+        .iter()
+        .map(|a| measure_app(a.as_ref(), blocks))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline claim (§5.2 / Table 1): every extracted graph reaches
+    /// **at least 85 %** of the hand-optimized throughput, and the IIR
+    /// example reaches parity.
+    #[test]
+    fn headline_claim_at_least_85_percent() {
+        for row in compute(64) {
+            let rel = row.rel_throughput_pct();
+            assert!(
+                rel >= 85.0,
+                "{}: rel throughput {rel:.2}% below the paper's 85% floor",
+                row.graph
+            );
+            assert!(
+                rel <= 101.0,
+                "{}: extracted faster than hand-optimized ({rel:.2}%)?",
+                row.graph
+            );
+        }
+    }
+
+    #[test]
+    fn iir_reaches_parity_others_do_not() {
+        let rows = compute(64);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.graph == n)
+                .unwrap()
+                .rel_throughput_pct()
+        };
+        // Window-bound IIR: ≥ 99 %.
+        assert!(by_name("IIR") >= 99.0, "IIR {:.2}%", by_name("IIR"));
+        // Stream-bound kernels show a visible gap, like the paper's
+        // 85–90 % band.
+        assert!(by_name("bitonic") < 99.0);
+        assert!(by_name("bilinear") < 99.0);
+    }
+
+    #[test]
+    fn block_sizes_match_paper() {
+        let rows = compute(16);
+        let sizes: Vec<(String, u64)> = rows
+            .iter()
+            .map(|r| (r.graph.clone(), r.block_bytes))
+            .collect();
+        assert_eq!(
+            sizes,
+            vec![
+                ("bitonic".to_owned(), 64),
+                ("farrow".to_owned(), 4096),
+                ("IIR".to_owned(), 8192),
+                ("bilinear".to_owned(), 2048),
+            ]
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = compute(32);
+        let b = compute(32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hand_ns, y.hand_ns);
+            assert_eq!(x.extracted_ns, y.extracted_ns);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Table 2: wall-clock simulation time of the three simulators.
+//!
+//! Per §5.2 the paper repeats each example's input vectors until the
+//! functional simulator runs ~20 s, then compares: cgsim's cooperative
+//! single-thread runtime, x86sim's thread-per-kernel runtime, and the
+//! cycle-approximate aiesim. This harness reproduces the comparison at a
+//! configurable scale (absolute seconds depend on the host; the paper's
+//! *shape* — cgsim wins on the sync-heavy bitonic, roughly ties elsewhere,
+//! aiesim is orders slower — is the reproduction target).
+
+use aie_sim::{simulate_graph, SimConfig};
+use cgsim_graphs::{all_apps, EvalApp, Runtime};
+use std::time::Duration;
+
+/// One reproduced Table 2 row.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Graph name.
+    pub graph: String,
+    /// Input blocks simulated.
+    pub blocks: u64,
+    /// Wall time of the cooperative functional simulation (cgsim).
+    pub cgsim: Duration,
+    /// Wall time of the thread-per-kernel functional simulation (x86sim
+    /// substitute).
+    pub x86sim: Duration,
+    /// Wall time of the cycle-stepped cycle-approximate simulation (aiesim
+    /// substitute).
+    pub aiesim: Duration,
+    /// Fraction of cgsim's runtime spent inside kernels (§5.2 perf claim).
+    pub kernel_fraction: f64,
+}
+
+/// Default block counts per app for one "repetition unit", scaled so the
+/// four runs have comparable volume (the paper equalises runtimes by
+/// choosing per-app repetition counts — 1024/512/256/1 — for the same
+/// reason).
+pub fn default_blocks(app: &dyn EvalApp, scale: u64) -> u64 {
+    let base = match app.name() {
+        "bitonic" => 1024, // tiny blocks → many of them
+        "farrow" => 64,
+        "IIR" => 32,
+        "bilinear" => 128,
+        _ => 64,
+    };
+    (base * scale).max(4)
+}
+
+/// Measure one app at the given scale.
+pub fn measure_app(app: &dyn EvalApp, scale: u64) -> Table2Row {
+    let blocks = default_blocks(app, scale);
+
+    let coop = app
+        .run_functional(Runtime::Cooperative, blocks)
+        .expect("cooperative run verifies");
+    let threaded = app
+        .run_functional(Runtime::Threaded, blocks)
+        .expect("threaded run verifies");
+
+    // Cycle-approximate (cycle-stepped) run of the same workload.
+    let graph = app.graph();
+    let profiles = app.profiles();
+    let workload = app.workload(blocks);
+    let config = SimConfig {
+        cycle_stepping: true,
+        ..SimConfig::hand_optimized()
+    };
+    let start = std::time::Instant::now();
+    simulate_graph(&graph, &profiles, &config, &workload).expect("cycle simulation");
+    let aiesim = start.elapsed();
+
+    Table2Row {
+        graph: app.name().to_owned(),
+        blocks,
+        cgsim: coop.wall_time,
+        x86sim: threaded.wall_time,
+        aiesim,
+        kernel_fraction: coop.kernel_fraction.unwrap_or(0.0),
+    }
+}
+
+/// Reproduce all four rows at the given scale factor.
+pub fn compute(scale: u64) -> Vec<Table2Row> {
+    all_apps()
+        .iter()
+        .map(|a| measure_app(a.as_ref(), scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_complete_and_verify() {
+        let rows = compute(1);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.cgsim.as_nanos() > 0);
+            assert!(r.x86sim.as_nanos() > 0);
+            assert!(r.aiesim.as_nanos() > 0);
+        }
+    }
+
+    /// The §5.2 profiling claim: cgsim spends the overwhelming share of its
+    /// runtime executing kernels, not synchronising. (The paper reports
+    /// 99.94 % on bitonic; we assert a conservative bound that holds on any
+    /// host.)
+    #[test]
+    fn cooperative_runtime_is_kernel_dominated() {
+        let apps = all_apps();
+        let iir = apps.iter().find(|a| a.name() == "IIR").unwrap();
+        let row = measure_app(iir.as_ref(), 1);
+        assert!(
+            row.kernel_fraction > 0.80,
+            "kernel fraction {:.4} unexpectedly low",
+            row.kernel_fraction
+        );
+    }
+}

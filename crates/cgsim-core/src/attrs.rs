@@ -1,0 +1,219 @@
+//! Auxiliary connection attributes (§3.4).
+//!
+//! Attributes are key–value pairs with string keys and string **or integer**
+//! values, attached to I/O connections. They do not affect simulation
+//! behaviour; they carry information the extractor cannot infer — PLIO port
+//! names, buffering hints, placement constraints — through to the realm code
+//! generators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute value: string or integer, per the paper.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum AttrValue {
+    /// String-valued attribute (e.g. a PLIO port name).
+    Str(String),
+    /// Integer-valued attribute (e.g. a FIFO depth hint).
+    Int(i64),
+}
+
+impl AttrValue {
+    /// The string payload, if this is a string attribute.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            AttrValue::Int(_) => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer attribute.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            AttrValue::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+            AttrValue::Int(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+/// One key–value attribute on a connection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute key (free-form; realm backends define the vocabulary).
+    pub key: String,
+    /// String or integer value.
+    pub value: AttrValue,
+}
+
+impl Attribute {
+    /// Construct an attribute from anything convertible to an [`AttrValue`].
+    pub fn new(key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        Attribute {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Ordered list of attributes attached to one connector.
+///
+/// Later writes to the same key replace earlier ones, so user code can layer
+/// defaults and overrides; lookup is linear, which is fine for the handful of
+/// attributes real connections carry.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AttrList(Vec<Attribute>);
+
+impl AttrList {
+    /// An empty attribute list.
+    pub const fn new() -> Self {
+        AttrList(Vec::new())
+    }
+
+    /// Set (or replace) the attribute `key`.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<AttrValue>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(existing) = self.0.iter_mut().find(|a| a.key == key) {
+            existing.value = value;
+        } else {
+            self.0.push(Attribute { key, value });
+        }
+    }
+
+    /// Look up an attribute by key.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.0.iter().find(|a| a.key == key).map(|a| &a.value)
+    }
+
+    /// String value for `key`, if present and string-typed.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(AttrValue::as_str)
+    }
+
+    /// Integer value for `key`, if present and integer-typed.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(AttrValue::as_int)
+    }
+
+    /// Iterate over the attributes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.0.iter()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl FromIterator<Attribute> for AttrList {
+    fn from_iter<I: IntoIterator<Item = Attribute>>(iter: I) -> Self {
+        let mut list = AttrList::new();
+        for a in iter {
+            list.set(a.key, a.value);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_both_value_kinds() {
+        let mut attrs = AttrList::new();
+        attrs.set("plio_name", "in0");
+        attrs.set("fifo_depth", 32i64);
+        assert_eq!(attrs.get_str("plio_name"), Some("in0"));
+        assert_eq!(attrs.get_int("fifo_depth"), Some(32));
+        assert_eq!(attrs.get_int("plio_name"), None);
+        assert_eq!(attrs.get("missing"), None);
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut attrs = AttrList::new();
+        attrs.set("mode", "window");
+        attrs.set("mode", "stream");
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs.get_str("mode"), Some("stream"));
+    }
+
+    #[test]
+    fn serde_roundtrip_untagged_values() {
+        let mut attrs = AttrList::new();
+        attrs.set("plio_name", "out0");
+        attrs.set("depth", 8i64);
+        let j = serde_json::to_string(&attrs).unwrap();
+        assert!(j.contains("\"out0\""));
+        assert!(j.contains("8"));
+        let back: AttrList = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, attrs);
+    }
+
+    #[test]
+    fn from_iterator_dedups_keys() {
+        let attrs: AttrList = [
+            Attribute::new("a", 1i64),
+            Attribute::new("b", "x"),
+            Attribute::new("a", 2i64),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs.get_int("a"), Some(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::from("x").to_string(), "\"x\"");
+        assert_eq!(AttrValue::from(7i64).to_string(), "7");
+    }
+}

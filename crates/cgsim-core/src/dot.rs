@@ -1,0 +1,179 @@
+//! Graphviz export of compute graphs.
+//!
+//! Rendering the in-memory graph is how the paper's Figure 4(b) visualises
+//! construction results; `to_dot` produces the equivalent diagram for any
+//! flattened graph: kernels as boxes (clustered by realm), connectors as
+//! edges labelled with their element type and transport class, global I/O
+//! as ellipses.
+
+use crate::flat::FlatGraph;
+use crate::id::ConnectorId;
+use crate::partition::RealmPartition;
+use crate::realm::Realm;
+use std::fmt::Write as _;
+
+/// Render `graph` as a Graphviz `digraph`.
+pub fn to_dot(graph: &FlatGraph) -> String {
+    let partition = RealmPartition::of(graph);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    // Kernels, clustered per realm.
+    for realm in Realm::ALL {
+        let Some(sub) = partition.subgraph(realm) else {
+            continue;
+        };
+        let _ = writeln!(out, "  subgraph \"cluster_{realm}\" {{");
+        let _ = writeln!(out, "    label=\"realm: {realm}\";");
+        for &ki in &sub.kernels {
+            let k = &graph.kernels[ki.index()];
+            let _ = writeln!(
+                out,
+                "    \"{}\" [shape=box, label=\"{}\\n({})\"];",
+                k.instance, k.instance, k.kind
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    // Global I/O nodes.
+    for (i, c) in graph.inputs.iter().enumerate() {
+        let name = io_name(graph, *c, i, "in");
+        let _ = writeln!(out, "  \"{name}\" [shape=ellipse];");
+    }
+    for (i, c) in graph.outputs.iter().enumerate() {
+        let name = io_name(graph, *c, i, "out");
+        let _ = writeln!(out, "  \"{name}\" [shape=ellipse];");
+    }
+
+    // Edges: producer → consumer per connector.
+    for ci in 0..graph.connectors.len() {
+        let c = ConnectorId::new(ci);
+        let conn = &graph.connectors[ci];
+        let label = format!("c{ci}: {} [{}]", conn.dtype.name, conn.kind);
+        let producers: Vec<String> = graph
+            .producers_of(c)
+            .into_iter()
+            .map(|e| graph.kernels[e.kernel.index()].instance.clone())
+            .chain(
+                graph
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, id)| **id == c)
+                    .map(|(i, _)| io_name(graph, c, i, "in")),
+            )
+            .collect();
+        let consumers: Vec<String> = graph
+            .consumers_of(c)
+            .into_iter()
+            .map(|e| graph.kernels[e.kernel.index()].instance.clone())
+            .chain(
+                graph
+                    .outputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, id)| **id == c)
+                    .map(|(i, _)| io_name(graph, c, i, "out")),
+            )
+            .collect();
+        for p in &producers {
+            for q in &consumers {
+                let _ = writeln!(out, "  \"{p}\" -> \"{q}\" [label=\"{label}\"];");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn io_name(graph: &FlatGraph, c: ConnectorId, index: usize, dir: &str) -> String {
+    graph.connectors[c.index()]
+        .attrs
+        .get_str("name")
+        .map(|n| format!("{dir}:{n}"))
+        .unwrap_or_else(|| format!("{dir}:{index}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::kernel::{KernelDecl, KernelMeta, PortSig};
+    use crate::settings::PortSettings;
+
+    struct A;
+    impl KernelDecl for A {
+        const NAME: &'static str = "a_kernel";
+        const REALM: Realm = Realm::Aie;
+        fn meta() -> KernelMeta {
+            KernelMeta {
+                name: Self::NAME.into(),
+                realm: Self::REALM,
+                ports: vec![
+                    PortSig::read::<f32>("in", PortSettings::DEFAULT),
+                    PortSig::write::<f32>("out", PortSettings::DEFAULT),
+                ],
+            }
+        }
+    }
+
+    struct H;
+    impl KernelDecl for H {
+        const NAME: &'static str = "h_kernel";
+        const REALM: Realm = Realm::NoExtract;
+        fn meta() -> KernelMeta {
+            KernelMeta {
+                name: Self::NAME.into(),
+                realm: Self::REALM,
+                ports: vec![
+                    PortSig::read::<f32>("in", PortSettings::DEFAULT),
+                    PortSig::write::<f32>("out", PortSettings::DEFAULT),
+                ],
+            }
+        }
+    }
+
+    #[test]
+    fn dot_contains_clusters_edges_and_io() {
+        let g = GraphBuilder::build("viz", |g| {
+            let a = g.input::<f32>("samples");
+            let m = g.wire::<f32>();
+            let z = g.wire::<f32>();
+            g.invoke::<A>(&[a.id(), m.id()])?;
+            g.invoke::<H>(&[m.id(), z.id()])?;
+            g.output(&z);
+            Ok(())
+        })
+        .unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"viz\""));
+        assert!(dot.contains("cluster_aie"));
+        assert!(dot.contains("cluster_noextract"));
+        assert!(dot.contains("\"a_kernel_0\" -> \"h_kernel_0\""));
+        assert!(dot.contains("\"in:samples\" -> \"a_kernel_0\""));
+        assert!(dot.contains("-> \"out:0\""));
+        assert!(dot.contains("f32 [stream]"));
+        // Balanced braces → parseable by graphviz.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn broadcast_renders_one_edge_per_consumer() {
+        let g = GraphBuilder::build("bc", |g| {
+            let a = g.input::<f32>("a");
+            let x = g.wire::<f32>();
+            let y = g.wire::<f32>();
+            g.invoke::<A>(&[a.id(), x.id()])?;
+            g.invoke::<A>(&[a.id(), y.id()])?;
+            g.output(&x);
+            g.output(&y);
+            Ok(())
+        })
+        .unwrap();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("\"in:a\" ->").count(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Graph-construction and validation errors.
+//!
+//! In the paper most of these conditions are compile-time errors surfaced by
+//! the C++ `constexpr` machinery. The dynamic builder path reports them as
+//! values; the [`crate::static_graph`] path turns them back into
+//! compile-time failures via const panics.
+
+use crate::dtype::DTypeDesc;
+use crate::id::ConnectorId;
+use crate::settings::SettingsConflict;
+use std::fmt;
+
+/// Errors detected while constructing or validating a compute graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// A kernel port was bound to a connector carrying a different element
+    /// type.
+    TypeMismatch {
+        /// Kernel whose port is mis-bound.
+        kernel: String,
+        /// Port name within the kernel.
+        port: String,
+        /// Type declared by the port.
+        port_type: Box<DTypeDesc>,
+        /// Type carried by the connector.
+        connector_type: Box<DTypeDesc>,
+    },
+    /// Kernel invocation supplied the wrong number of connectors.
+    ArityMismatch {
+        /// Kernel being invoked.
+        kernel: String,
+        /// Ports in the kernel signature.
+        expected: usize,
+        /// Connectors supplied.
+        actual: usize,
+    },
+    /// Port settings of connected endpoints could not be merged (§3.4).
+    IncompatibleSettings {
+        /// Connector whose endpoints disagree.
+        connector: ConnectorId,
+        /// The specific field conflict.
+        conflict: SettingsConflict,
+    },
+    /// A connector has no producer: no kernel writes it and it is not a
+    /// global input.
+    DanglingConnector {
+        /// The unconnected connector.
+        connector: ConnectorId,
+    },
+    /// A connector is produced but never consumed (no reader, not a global
+    /// output).
+    UnconsumedConnector {
+        /// The unread connector.
+        connector: ConnectorId,
+    },
+    /// An id stored in a flattened graph points outside its arrays —
+    /// indicates a corrupted or hand-built descriptor.
+    IdOutOfRange {
+        /// What kind of id was out of range.
+        what: &'static str,
+        /// The offending index value.
+        index: usize,
+        /// The length of the array it indexes.
+        len: usize,
+    },
+    /// The same connector appears twice in the global input or output list.
+    DuplicateGlobal {
+        /// The duplicated connector.
+        connector: ConnectorId,
+    },
+    /// A kernel name was not found in the kernel registry during runtime
+    /// instantiation (§3.6).
+    UnknownKernel {
+        /// The registry key that failed to resolve.
+        kind: String,
+    },
+    /// A graph invocation supplied the wrong number of sources/sinks (§3.7).
+    IoArityMismatch {
+        /// "inputs" or "outputs".
+        what: &'static str,
+        /// Global ports declared by the graph.
+        expected: usize,
+        /// Sources/sinks supplied by the caller.
+        actual: usize,
+    },
+    /// A runtime source/sink was supplied with the wrong element type.
+    IoTypeMismatch {
+        /// The global connector involved.
+        connector: ConnectorId,
+        /// Type carried by the connector.
+        expected: Box<DTypeDesc>,
+    },
+    /// A kernel is annotated with a realm the current tool cannot handle.
+    UnsupportedRealm {
+        /// Kernel with the unsupported annotation.
+        kernel: String,
+        /// The realm in question.
+        realm: crate::realm::Realm,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TypeMismatch {
+                kernel,
+                port,
+                port_type,
+                connector_type,
+            } => write!(
+                f,
+                "type mismatch binding port `{kernel}.{port}`: port carries {port_type}, \
+                 connector carries {connector_type}"
+            ),
+            GraphError::ArityMismatch {
+                kernel,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "kernel `{kernel}` has {expected} ports but was invoked with {actual} connectors"
+            ),
+            GraphError::IncompatibleSettings {
+                connector,
+                conflict,
+            } => write!(f, "on connector {connector}: {conflict}"),
+            GraphError::DanglingConnector { connector } => write!(
+                f,
+                "connector {connector} has no producer (no kernel output and not a global input)"
+            ),
+            GraphError::UnconsumedConnector { connector } => write!(
+                f,
+                "connector {connector} is never consumed (no kernel input and not a global output)"
+            ),
+            GraphError::IdOutOfRange { what, index, len } => {
+                write!(f, "{what} id {index} out of range (array length {len})")
+            }
+            GraphError::DuplicateGlobal { connector } => write!(
+                f,
+                "connector {connector} listed more than once as a global port"
+            ),
+            GraphError::UnknownKernel { kind } => {
+                write!(f, "kernel kind `{kind}` is not registered")
+            }
+            GraphError::IoArityMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "graph declares {expected} global {what} but {actual} were supplied"
+            ),
+            GraphError::IoTypeMismatch {
+                connector,
+                expected,
+            } => write!(
+                f,
+                "source/sink for global connector {connector} must carry {expected}"
+            ),
+            GraphError::UnsupportedRealm { kernel, realm } => {
+                write!(
+                    f,
+                    "kernel `{kernel}`: realm `{realm}` is not supported here"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<(ConnectorId, SettingsConflict)> for GraphError {
+    fn from((connector, conflict): (ConnectorId, SettingsConflict)) -> Self {
+        GraphError::IncompatibleSettings {
+            connector,
+            conflict,
+        }
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;
+
+/// Internal helper: may the kernel named `kernel` exist twice? No — keep the
+/// invariant checked in one place for builder and flat-graph validation.
+pub(crate) fn check_index(what: &'static str, index: usize, len: usize) -> Result<()> {
+    if index < len {
+        Ok(())
+    } else {
+        Err(GraphError::IdOutOfRange { what, index, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = GraphError::ArityMismatch {
+            kernel: "adder".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("adder") && msg.contains('3') && msg.contains('2'));
+    }
+
+    #[test]
+    fn check_index_bounds() {
+        assert!(check_index("kernel", 2, 3).is_ok());
+        let err = check_index("kernel", 3, 3).unwrap_err();
+        assert!(matches!(err, GraphError::IdOutOfRange { index: 3, .. }));
+    }
+
+    #[test]
+    fn settings_conflict_converts() {
+        let e: GraphError = (ConnectorId::new(4), SettingsConflict::Depth(1, 2)).into();
+        assert!(e.to_string().contains("c4"));
+    }
+}

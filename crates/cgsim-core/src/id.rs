@@ -1,0 +1,103 @@
+//! Index-based identifiers used throughout the flattened graph representation.
+//!
+//! The paper's compile-time flattening step (§3.5) replaces the pointer-based
+//! graph built during `constexpr` evaluation with index references so the
+//! structure can outlive the construction context. These newtypes are those
+//! indices; they are deliberately small (`u32`) so flattened graphs stay
+//! compact and serializable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Create an id from a raw array index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// The raw array index this id refers to.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Identifies a kernel instance within a flattened graph.
+    KernelId,
+    "k"
+);
+index_id!(
+    /// Identifies an I/O connector (the paper's `IoConnector`) within a graph.
+    ConnectorId,
+    "c"
+);
+index_id!(
+    /// Identifies a port *within one kernel* (positional, matching the kernel
+    /// signature order used by `COMPUTE_KERNEL`).
+    PortId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let k = KernelId::new(7);
+        assert_eq!(k.index(), 7);
+        assert_eq!(k, KernelId::from(7usize));
+    }
+
+    #[test]
+    fn display_uses_tag() {
+        assert_eq!(KernelId::new(3).to_string(), "k3");
+        assert_eq!(ConnectorId::new(0).to_string(), "c0");
+        assert_eq!(PortId::new(12).to_string(), "p12");
+        assert_eq!(format!("{:?}", PortId::new(12)), "p12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ConnectorId::new(1) < ConnectorId::new(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let j = serde_json::to_string(&KernelId::new(5)).unwrap();
+        assert_eq!(j, "5");
+        let k: KernelId = serde_json::from_str("5").unwrap();
+        assert_eq!(k, KernelId::new(5));
+    }
+}

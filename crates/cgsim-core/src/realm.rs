@@ -1,0 +1,120 @@
+//! Execution realms (§4.3).
+//!
+//! Every kernel is annotated with the hardware target (*realm*) it is intended
+//! to execute on. The extractor partitions graphs along realm boundaries and
+//! hands each realm subgraph to a realm-specific backend.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The hardware target a kernel is intended to execute on.
+///
+/// Mirrors the realm annotation of the paper's `COMPUTE_KERNEL` macro. The
+/// paper's implementation supports `aie` and `noextract`; the realm-based
+/// architecture is explicitly designed to admit further backends (the paper
+/// names HLS as future work), so the enum reserves those variants too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Realm {
+    /// AI Engine array tile. Kernels in this realm are extracted into an AIE
+    /// project (`kernel_decls.hpp` / `graph.hpp`).
+    Aie,
+    /// Excluded from extraction (§4): stays in the host application and runs
+    /// only under simulation.
+    #[serde(rename = "noextract")]
+    NoExtract,
+    /// Programmable-logic kernel via high-level synthesis. Declared by the
+    /// paper as future work; the partitioner handles it, no code generator is
+    /// registered for it by default.
+    Hls,
+}
+
+impl Realm {
+    /// All realms, in a stable order (used by the partitioner and tests).
+    pub const ALL: [Realm; 3] = [Realm::Aie, Realm::NoExtract, Realm::Hls];
+
+    /// The annotation spelling used in kernel definitions and extractor
+    /// input files (the paper uses lower-case `aie` / `noextract`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Realm::Aie => "aie",
+            Realm::NoExtract => "noextract",
+            Realm::Hls => "hls",
+        }
+    }
+
+    /// Whether kernels of this realm leave the host binary during extraction.
+    pub const fn is_extracted(self) -> bool {
+        !matches!(self, Realm::NoExtract)
+    }
+}
+
+impl fmt::Display for Realm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown realm annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownRealm(pub String);
+
+impl fmt::Display for UnknownRealm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown realm `{}` (expected one of: aie, noextract, hls)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownRealm {}
+
+impl FromStr for Realm {
+    type Err = UnknownRealm;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "aie" => Ok(Realm::Aie),
+            "noextract" => Ok(Realm::NoExtract),
+            "hls" => Ok(Realm::Hls),
+            other => Err(UnknownRealm(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for r in Realm::ALL {
+            assert_eq!(r.as_str().parse::<Realm>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_realm_is_an_error() {
+        let err = "gpu".parse::<Realm>().unwrap_err();
+        assert!(err.to_string().contains("gpu"));
+    }
+
+    #[test]
+    fn extraction_policy() {
+        assert!(Realm::Aie.is_extracted());
+        assert!(Realm::Hls.is_extracted());
+        assert!(!Realm::NoExtract.is_extracted());
+    }
+
+    #[test]
+    fn serde_spelling_matches_annotation() {
+        assert_eq!(serde_json::to_string(&Realm::Aie).unwrap(), "\"aie\"");
+        assert_eq!(
+            serde_json::to_string(&Realm::NoExtract).unwrap(),
+            "\"noextract\""
+        );
+    }
+}

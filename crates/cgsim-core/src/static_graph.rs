@@ -1,0 +1,523 @@
+//! Compile-time graph construction (§3.2–3.5).
+//!
+//! The paper's central design decision is to move graph construction to
+//! *compile time* so that (a) an unmodified compiler front-end evaluates the
+//! construction code and (b) the result is a plain data structure a tool can
+//! pick up. This module is the Rust rendition: graphs are assembled by
+//! `const fn`s over fixed-size arrays — the analogue of the paper's
+//! `constexpr new` + flattening pipeline — and stored in `const` items.
+//! Invalid constructions (arity errors, settings conflicts, type-size
+//! mismatches) call `panic!` inside constant evaluation, producing a
+//! **compile error**, exactly like the paper's incompatible-settings
+//! diagnostics.
+//!
+//! ```
+//! use cgsim_core::static_graph::*;
+//! use cgsim_core::{PortDir, PortSettings, Realm};
+//!
+//! const ADDER: SKernelDef = SKernelDef {
+//!     name: "adder",
+//!     realm: Realm::Aie,
+//!     ports: &[
+//!         SPortDef { name: "in1", dir: PortDir::In, elem_size: 4, settings: PortSettings::DEFAULT },
+//!         SPortDef { name: "in2", dir: PortDir::In, elem_size: 4, settings: PortSettings::DEFAULT },
+//!         SPortDef { name: "out", dir: PortDir::Out, elem_size: 4, settings: PortSettings::DEFAULT },
+//!     ],
+//! };
+//!
+//! // Built entirely during constant evaluation:
+//! const GRAPH: SGraph<1, 3> = {
+//!     let mut b = SGraphBuilder::<1, 3>::new("sum");
+//!     let a = b.input(4);
+//!     let bb = b.input(4);
+//!     let out = b.wire(4);
+//!     b.invoke(&ADDER, &[a, bb, out]);
+//!     b.output(out);
+//!     b.finish()
+//! };
+//! assert_eq!(GRAPH.num_kernels, 1);
+//! ```
+//!
+//! And the paper's headline diagnostic really is a *compile* error: joining
+//! two ports whose settings conflict aborts constant evaluation, so the
+//! following does not build (§3.4: "If the settings are incompatible, a
+//! compile-time error is generated"):
+//!
+//! ```compile_fail
+//! use cgsim_core::static_graph::*;
+//! use cgsim_core::{PortDir, PortSettings, Realm};
+//!
+//! const BEAT4_WRITER: SKernelDef = SKernelDef {
+//!     name: "w4", realm: Realm::Aie,
+//!     ports: &[
+//!         SPortDef { name: "in", dir: PortDir::In, elem_size: 4, settings: PortSettings::DEFAULT },
+//!         SPortDef { name: "out", dir: PortDir::Out, elem_size: 4,
+//!                    settings: PortSettings::new().beat_bytes(4) },
+//!     ],
+//! };
+//! const BEAT16_READER: SKernelDef = SKernelDef {
+//!     name: "r16", realm: Realm::Aie,
+//!     ports: &[
+//!         SPortDef { name: "in", dir: PortDir::In, elem_size: 4,
+//!                    settings: PortSettings::new().beat_bytes(16) },
+//!         SPortDef { name: "out", dir: PortDir::Out, elem_size: 4, settings: PortSettings::DEFAULT },
+//!     ],
+//! };
+//!
+//! // beat 4 and beat 16 meet on the same connector → const panic → the
+//! // program is rejected at compile time.
+//! const BAD: SGraph<2, 3> = {
+//!     let mut b = SGraphBuilder::<2, 3>::new("conflict");
+//!     let a = b.input(4);
+//!     let m = b.wire(4);
+//!     let z = b.wire(4);
+//!     b.invoke(&BEAT4_WRITER, &[a, m]);
+//!     b.invoke(&BEAT16_READER, &[m, z]);
+//!     b.output(z);
+//!     b.finish()
+//! };
+//! ```
+//!
+//! The same holds for element-type mismatches across a connector:
+//!
+//! ```compile_fail
+//! use cgsim_core::static_graph::*;
+//! use cgsim_core::{PortDir, PortSettings, Realm};
+//!
+//! const F32_KERNEL: SKernelDef = SKernelDef {
+//!     name: "k", realm: Realm::Aie,
+//!     ports: &[
+//!         SPortDef { name: "in", dir: PortDir::In, elem_size: 4, settings: PortSettings::DEFAULT },
+//!         SPortDef { name: "out", dir: PortDir::Out, elem_size: 4, settings: PortSettings::DEFAULT },
+//!     ],
+//! };
+//! const BAD: SGraph<1, 2> = {
+//!     let mut b = SGraphBuilder::<1, 2>::new("badtype");
+//!     let a = b.input(8); // f64-sized input
+//!     let z = b.wire(4);
+//!     b.invoke(&F32_KERNEL, &[a, z]); // 4-byte port ← 8-byte connector
+//!     b.output(z);
+//!     b.finish()
+//! };
+//! ```
+
+use crate::kernel::PortDir;
+use crate::realm::Realm;
+use crate::settings::{PortSettings, SettingsConflict};
+
+/// Port declaration usable in `const` context (no heap).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SPortDef {
+    /// Parameter name.
+    pub name: &'static str,
+    /// Direction from the kernel's perspective.
+    pub dir: PortDir,
+    /// Element size in bytes (stand-in for the full type descriptor, which
+    /// needs allocation; the dynamic path re-attaches full type info).
+    pub elem_size: u32,
+    /// Declared port settings.
+    pub settings: PortSettings,
+}
+
+/// Kernel declaration usable in `const` context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SKernelDef {
+    /// Kernel name (registry key).
+    pub name: &'static str,
+    /// Execution realm.
+    pub realm: Realm,
+    /// Port signature.
+    pub ports: &'static [SPortDef],
+}
+
+/// A connector handle inside the const builder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SConnector {
+    index: usize,
+    elem_size: u32,
+}
+
+/// One kernel instance in the finished const graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SKernelInst {
+    /// The kernel definition invoked.
+    pub def: &'static SKernelDef,
+    /// Connector index per port (positional). Unused tail slots are
+    /// `usize::MAX`.
+    pub bindings: [usize; MAX_PORTS],
+}
+
+/// Maximum ports per kernel in the const path (AIE kernels are small; the
+/// dynamic path has no such limit).
+pub const MAX_PORTS: usize = 8;
+
+/// A compute graph flattened at compile time.
+///
+/// `NK` = kernel capacity, `NC` = connector capacity. The `num_*` fields give
+/// the used prefix, mirroring the paper's flattened arrays whose size is
+/// computed during a first constexpr pass.
+#[derive(Clone, Copy, Debug)]
+pub struct SGraph<const NK: usize, const NC: usize> {
+    /// Graph name.
+    pub name: &'static str,
+    /// Kernel instances (`[..num_kernels]` valid).
+    pub kernels: [Option<SKernelInst>; NK],
+    /// Number of kernels used.
+    pub num_kernels: usize,
+    /// Merged settings per connector (`[..num_connectors]` valid).
+    pub connector_settings: [PortSettings; NC],
+    /// Element size per connector.
+    pub connector_elem_size: [u32; NC],
+    /// Number of connectors used.
+    pub num_connectors: usize,
+    /// Global input connector indices (`usize::MAX` = unused slot).
+    pub inputs: [usize; NC],
+    /// Number of global inputs.
+    pub num_inputs: usize,
+    /// Global output connector indices.
+    pub outputs: [usize; NC],
+    /// Number of global outputs.
+    pub num_outputs: usize,
+}
+
+/// Const-context graph builder.
+pub struct SGraphBuilder<const NK: usize, const NC: usize> {
+    graph: SGraph<NK, NC>,
+}
+
+impl<const NK: usize, const NC: usize> SGraphBuilder<NK, NC> {
+    /// Start a new builder for a graph called `name`.
+    pub const fn new(name: &'static str) -> Self {
+        SGraphBuilder {
+            graph: SGraph {
+                name,
+                kernels: [None; NK],
+                num_kernels: 0,
+                connector_settings: [PortSettings::DEFAULT; NC],
+                connector_elem_size: [0; NC],
+                num_connectors: 0,
+                inputs: [usize::MAX; NC],
+                num_inputs: 0,
+                outputs: [usize::MAX; NC],
+                num_outputs: 0,
+            },
+        }
+    }
+
+    const fn new_connector(&mut self, elem_size: u32) -> SConnector {
+        if self.graph.num_connectors >= NC {
+            panic!("static graph: connector capacity NC exceeded");
+        }
+        let index = self.graph.num_connectors;
+        self.graph.connector_elem_size[index] = elem_size;
+        self.graph.num_connectors += 1;
+        SConnector { index, elem_size }
+    }
+
+    /// Declare a global input carrying elements of `elem_size` bytes.
+    pub const fn input(&mut self, elem_size: u32) -> SConnector {
+        let c = self.new_connector(elem_size);
+        self.graph.inputs[self.graph.num_inputs] = c.index;
+        self.graph.num_inputs += 1;
+        c
+    }
+
+    /// Declare an internal wire.
+    pub const fn wire(&mut self, elem_size: u32) -> SConnector {
+        self.new_connector(elem_size)
+    }
+
+    /// Register a global output.
+    pub const fn output(&mut self, c: SConnector) {
+        self.graph.outputs[self.graph.num_outputs] = c.index;
+        self.graph.num_outputs += 1;
+    }
+
+    /// Invoke `def` on `connectors` (positional). Panics — and therefore
+    /// fails compilation when evaluated in const context — on arity
+    /// mismatch, element-size mismatch, or incompatible settings (§3.4).
+    pub const fn invoke(&mut self, def: &'static SKernelDef, connectors: &[SConnector]) {
+        if def.ports.len() != connectors.len() {
+            panic!("static graph: kernel invoked with wrong number of connectors");
+        }
+        if def.ports.len() > MAX_PORTS {
+            panic!("static graph: kernel exceeds MAX_PORTS");
+        }
+        if self.graph.num_kernels >= NK {
+            panic!("static graph: kernel capacity NK exceeded");
+        }
+        let mut bindings = [usize::MAX; MAX_PORTS];
+        let mut i = 0;
+        while i < def.ports.len() {
+            let port = &def.ports[i];
+            let conn = connectors[i];
+            if port.elem_size != conn.elem_size {
+                panic!("static graph: port element size does not match connector");
+            }
+            // Merge the port's settings into the connector's running merge —
+            // the paper's incompatible-settings compile error.
+            let merged = self.graph.connector_settings[conn.index].merge(port.settings);
+            // Const-context panics need literal messages; name each field.
+            self.graph.connector_settings[conn.index] = match merged {
+                Ok(m) => m,
+                Err(SettingsConflict::BeatBytes(..)) => {
+                    panic!("incompatible port settings: endpoints declare different beat sizes")
+                }
+                Err(SettingsConflict::WindowBytes(..)) => {
+                    panic!("incompatible port settings: endpoints declare different window sizes")
+                }
+                Err(SettingsConflict::Depth(..)) => {
+                    panic!("incompatible port settings: endpoints declare different queue depths")
+                }
+            };
+            bindings[i] = conn.index;
+            i += 1;
+        }
+        self.graph.kernels[self.graph.num_kernels] = Some(SKernelInst { def, bindings });
+        self.graph.num_kernels += 1;
+    }
+
+    /// Finish construction, performing final structural checks.
+    pub const fn finish(self) -> SGraph<NK, NC> {
+        // Every connector must have at least one producer (kernel `Out`
+        // binding or global input) and one consumer.
+        let g = &self.graph;
+        let mut ci = 0;
+        while ci < g.num_connectors {
+            let mut produced = contains(&g.inputs, g.num_inputs, ci);
+            let mut consumed = contains(&g.outputs, g.num_outputs, ci);
+            let mut ki = 0;
+            while ki < g.num_kernels {
+                let inst = match &g.kernels[ki] {
+                    Some(inst) => inst,
+                    None => panic!("static graph: internal inconsistency"),
+                };
+                let mut pi = 0;
+                while pi < inst.def.ports.len() {
+                    if inst.bindings[pi] == ci {
+                        match inst.def.ports[pi].dir {
+                            PortDir::Out => produced = true,
+                            PortDir::In => consumed = true,
+                        }
+                    }
+                    pi += 1;
+                }
+                ki += 1;
+            }
+            if !produced {
+                panic!("static graph: connector has no producer");
+            }
+            if !consumed {
+                panic!("static graph: connector is never consumed");
+            }
+            ci += 1;
+        }
+        self.graph
+    }
+}
+
+const fn contains(arr: &[usize], len: usize, value: usize) -> bool {
+    let mut i = 0;
+    while i < len {
+        if arr[i] == value {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+impl<const NK: usize, const NC: usize> SGraph<NK, NC> {
+    /// Convert the const representation into the dynamic [`crate::FlatGraph`]
+    /// (the runtime-instantiation step of §3.6 operates on that form).
+    ///
+    /// Element types are reconstructed as opaque `u8`-array descriptors of
+    /// the recorded size; the dynamic path is the one that carries full Rust
+    /// type info.
+    pub fn to_flat(&self) -> crate::flat::FlatGraph {
+        use crate::attrs::AttrList;
+        use crate::dtype::DTypeDesc;
+        use crate::flat::{FlatConnector, FlatGraph, FlatKernel, FlatPort};
+        use crate::id::ConnectorId;
+        use crate::kernel::PortKind;
+
+        let dtype_for = |size: u32| DTypeDesc::named(format!("bytes{size}"), size, 1);
+
+        let connectors = (0..self.num_connectors)
+            .map(|ci| FlatConnector {
+                dtype: dtype_for(self.connector_elem_size[ci]),
+                settings: self.connector_settings[ci],
+                kind: PortKind::from_settings(&self.connector_settings[ci]),
+                attrs: AttrList::new(),
+            })
+            .collect();
+
+        let mut kernels = Vec::with_capacity(self.num_kernels);
+        for (idx, inst) in self.kernels.iter().take(self.num_kernels).enumerate() {
+            let inst = inst.as_ref().expect("used kernel slot");
+            let ports = inst
+                .def
+                .ports
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| FlatPort {
+                    name: p.name.to_owned(),
+                    dir: p.dir,
+                    dtype: dtype_for(p.elem_size),
+                    settings: p.settings,
+                    connector: ConnectorId::new(inst.bindings[pi]),
+                })
+                .collect();
+            kernels.push(FlatKernel {
+                kind: inst.def.name.to_owned(),
+                instance: format!("{}_{}", inst.def.name, idx),
+                realm: inst.def.realm,
+                ports,
+            });
+        }
+
+        FlatGraph {
+            name: self.name.to_owned(),
+            kernels,
+            connectors,
+            inputs: self.inputs[..self.num_inputs]
+                .iter()
+                .map(|&i| ConnectorId::new(i))
+                .collect(),
+            outputs: self.outputs[..self.num_outputs]
+                .iter()
+                .map(|&i| ConnectorId::new(i))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PASS: SKernelDef = SKernelDef {
+        name: "pass",
+        realm: Realm::Aie,
+        ports: &[
+            SPortDef {
+                name: "in",
+                dir: PortDir::In,
+                elem_size: 4,
+                settings: PortSettings::DEFAULT,
+            },
+            SPortDef {
+                name: "out",
+                dir: PortDir::Out,
+                elem_size: 4,
+                settings: PortSettings::new().beat_bytes(16),
+            },
+        ],
+    };
+
+    /// The Figure 4 pipeline built entirely at compile time.
+    const FIG4: SGraph<2, 3> = {
+        let mut b = SGraphBuilder::<2, 3>::new("fig4_static");
+        let a = b.input(4);
+        let w1 = b.wire(4);
+        let w2 = b.wire(4);
+        b.invoke(&PASS, &[a, w1]);
+        b.invoke(&PASS, &[w1, w2]);
+        b.output(w2);
+        b.finish()
+    };
+
+    #[test]
+    fn const_graph_has_expected_shape() {
+        assert_eq!(FIG4.num_kernels, 2);
+        assert_eq!(FIG4.num_connectors, 3);
+        assert_eq!(FIG4.num_inputs, 1);
+        assert_eq!(FIG4.num_outputs, 1);
+    }
+
+    #[test]
+    fn const_settings_merge_applied() {
+        // PASS writes with beat 16 into w1, and reads with DEFAULT: merged
+        // connector setting must carry the explicit beat.
+        assert_eq!(FIG4.connector_settings[1].beat_bytes, 16);
+        // The global input is only read (DEFAULT): unset.
+        assert_eq!(FIG4.connector_settings[0].beat_bytes, 0);
+    }
+
+    #[test]
+    fn const_graph_converts_to_flat_and_validates() {
+        let flat = FIG4.to_flat();
+        flat.validate().unwrap();
+        assert_eq!(flat.kernels.len(), 2);
+        assert_eq!(flat.kernels[0].instance, "pass_0");
+        assert_eq!(flat.connectors[1].settings.beat_bytes, 16);
+    }
+
+    #[test]
+    fn runtime_use_of_const_builder_reports_panics() {
+        // The same checks fire at runtime when not const-evaluated.
+        let result = std::panic::catch_unwind(|| {
+            let mut b = SGraphBuilder::<1, 2>::new("bad");
+            let a = b.input(4);
+            // Arity mismatch: PASS has two ports.
+            b.invoke(&PASS, &[a]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn elem_size_mismatch_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut b = SGraphBuilder::<1, 2>::new("bad");
+            let a = b.input(8); // f64-sized input into an f32 port
+            let w = b.wire(4);
+            b.invoke(&PASS, &[a, w]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn settings_conflict_panics() {
+        const BEAT4_READER: SKernelDef = SKernelDef {
+            name: "beat4",
+            realm: Realm::Aie,
+            ports: &[
+                SPortDef {
+                    name: "in",
+                    dir: PortDir::In,
+                    elem_size: 4,
+                    settings: PortSettings::new().beat_bytes(4),
+                },
+                SPortDef {
+                    name: "out",
+                    dir: PortDir::Out,
+                    elem_size: 4,
+                    settings: PortSettings::DEFAULT,
+                },
+            ],
+        };
+        let result = std::panic::catch_unwind(|| {
+            let mut b = SGraphBuilder::<2, 3>::new("conflict");
+            let a = b.input(4);
+            let w = b.wire(4);
+            let z = b.wire(4);
+            b.invoke(&PASS, &[a, w]); // writes w with beat 16
+            b.invoke(&BEAT4_READER, &[w, z]); // reads w with beat 4 → conflict
+            b.output(z);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn unconsumed_connector_panics_at_finish() {
+        let result = std::panic::catch_unwind(|| {
+            let mut b = SGraphBuilder::<1, 3>::new("dangling");
+            let a = b.input(4);
+            let w = b.wire(4);
+            b.invoke(&PASS, &[a, w]);
+            // w never consumed, no output registered
+            b.finish()
+        });
+        assert!(result.is_err());
+    }
+}

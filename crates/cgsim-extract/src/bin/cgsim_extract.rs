@@ -1,0 +1,107 @@
+//! `cgsim-extract` — the command-line graph extractor (paper Figure 2,
+//! right-hand path): reads a cgsim prototype source file and writes one
+//! deployable project directory per compute graph.
+//!
+//! ```text
+//! cgsim-extract INPUT.rs [--out DIR] [--require-marker]
+//!               [--type NAME:SIZE[:ALIGN]]... [--allow-import PATTERN-FREE]
+//! ```
+//!
+//! * `--out DIR` — output directory (default `./extracted`);
+//! * `--require-marker` — only extract graphs annotated
+//!   `#[extract_compute_graph]` (default: every `compute_graph!`);
+//! * `--type NAME:SIZE[:ALIGN]` — register a user element type's layout
+//!   (the stand-in for Clang's full type information);
+//! * `--no-blacklist` — keep simulation-only imports in extracted code.
+
+use cgsim_extract::{Blacklist, Extractor, TypeTable};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgsim-extract INPUT.rs [--out DIR] [--require-marker] \
+         [--type NAME:SIZE[:ALIGN]]... [--no-blacklist]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut input: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("extracted");
+    let mut require_marker = false;
+    let mut types = TypeTable::new();
+    let mut blacklist = Blacklist::aie_default();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--require-marker" => require_marker = true,
+            "--no-blacklist" => blacklist = Blacklist::none(),
+            "--type" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parts: Vec<&str> = spec.split(':').collect();
+                let (name, size, align) = match parts.as_slice() {
+                    [n, s] => (*n, s.parse().ok(), None),
+                    [n, s, a] => (*n, s.parse().ok(), a.parse().ok()),
+                    _ => usage(),
+                };
+                let Some(size) = size else { usage() };
+                types.register(name, size, align.unwrap_or(size.min(8)));
+            }
+            "--help" | "-h" => usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cgsim-extract: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let extractor = Extractor {
+        types,
+        blacklist,
+        require_marker,
+    };
+    let extractions = match extractor.extract(&source) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cgsim-extract: {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for extraction in &extractions {
+        match extraction.project.write_to(&out_dir) {
+            Ok(root) => {
+                println!(
+                    "extracted graph `{}`: {} files, {} bytes → {}",
+                    extraction.project.name,
+                    extraction.project.files.len(),
+                    extraction.project.total_bytes(),
+                    root.display()
+                );
+                for path in extraction.project.files.keys() {
+                    println!("  {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "cgsim-extract: writing project `{}`: {e}",
+                    extraction.project.name
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,382 @@
+//! The extraction pipeline driver (Figure 5).
+//!
+//! Ties the stages together, mirroring the paper's flow: parse the input
+//! source (Clang frontend → our [`crate::parse`]), evaluate the serialized
+//! graph definitions (constexpr interpreter → [`crate::eval`]), partition
+//! by realm (§4.3), transform kernels (§4.4–4.5), co-extract referenced
+//! declarations (§4.6) and generate per-realm project files (§4.7). The
+//! result is one [`ExtractedProject`] per extractable graph.
+
+use crate::codegen_aie;
+use crate::coextract::{co_extract, Blacklist};
+use crate::eval::{eval_graph, EvalError, TypeTable};
+use crate::parse::{scan, KernelDef, ParseError};
+use crate::project::ExtractedProject;
+use crate::rewrite;
+use cgsim_core::{FlatGraph, Realm, RealmPartition};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Extraction failure.
+#[derive(Debug)]
+pub enum ExtractError {
+    /// The input failed to lex/parse.
+    Parse(ParseError),
+    /// A graph definition failed to evaluate.
+    Eval(EvalError),
+    /// The file contained no extractable graph definition.
+    NoGraphs,
+    /// A graph references a kernel defined in no `compute_kernel!` block.
+    MissingKernelSource(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Parse(e) => write!(f, "{e}"),
+            ExtractError::Eval(e) => write!(f, "{e}"),
+            ExtractError::NoGraphs => write!(f, "no compute_graph! definitions found"),
+            ExtractError::MissingKernelSource(k) => {
+                write!(
+                    f,
+                    "kernel `{k}` has no compute_kernel! definition in this file"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<ParseError> for ExtractError {
+    fn from(e: ParseError) -> Self {
+        ExtractError::Parse(e)
+    }
+}
+
+impl From<EvalError> for ExtractError {
+    fn from(e: EvalError) -> Self {
+        ExtractError::Eval(e)
+    }
+}
+
+/// Result of extracting one graph: the project files plus the evaluated
+/// graph and its partition (useful for downstream simulation and reports).
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// Generated project files.
+    pub project: ExtractedProject,
+    /// The evaluated, flattened graph.
+    pub graph: FlatGraph,
+    /// Realm partition (§4.3).
+    pub partition: RealmPartition,
+}
+
+/// The extractor with its configuration.
+pub struct Extractor {
+    /// Known element-type layouts (user types must be registered).
+    pub types: TypeTable,
+    /// Per-realm import blacklist for co-extraction.
+    pub blacklist: Blacklist,
+    /// When true, only graphs annotated `#[extract_compute_graph]` are
+    /// extracted; otherwise every `compute_graph!` definition is.
+    pub require_marker: bool,
+}
+
+impl Default for Extractor {
+    fn default() -> Self {
+        Extractor {
+            types: TypeTable::new(),
+            blacklist: Blacklist::aie_default(),
+            require_marker: false,
+        }
+    }
+}
+
+impl Extractor {
+    /// Default-configured extractor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extract all (marked) graphs from `source`, producing one project per
+    /// graph.
+    pub fn extract(&self, source: &str) -> Result<Vec<Extraction>, ExtractError> {
+        let scanned = scan(source)?;
+        let graphs: Vec<_> = scanned
+            .graphs
+            .iter()
+            .filter(|g| !self.require_marker || g.marked_extract)
+            .collect();
+        if graphs.is_empty() {
+            return Err(ExtractError::NoGraphs);
+        }
+
+        let kernel_defs: HashMap<String, KernelDef> = scanned
+            .kernels
+            .iter()
+            .map(|k| (k.name.clone(), k.clone()))
+            .collect();
+
+        let mut out = Vec::with_capacity(graphs.len());
+        for gdef in graphs {
+            let graph = eval_graph(gdef, &scanned.kernels, &self.types)?;
+            let partition = RealmPartition::of(&graph);
+            let mut project = ExtractedProject::new(graph.name.clone());
+
+            // AIE realm: headers, per-kernel sources, extracted Rust bodies.
+            if partition.subgraph(Realm::Aie).is_some() {
+                let decls = codegen_aie::kernel_decls_hpp(&graph, &kernel_defs, &self.types)?;
+                project.add_file("kernel_decls.hpp", decls);
+                let mut hpp = codegen_aie::classification_comment(&partition);
+                hpp.push_str(&codegen_aie::graph_hpp(&graph, &partition));
+                project.add_file("graph.hpp", hpp);
+
+                let mut seen = std::collections::HashSet::new();
+                let mut aie_defs: Vec<&KernelDef> = Vec::new();
+                for k in graph.kernels.iter().filter(|k| k.realm == Realm::Aie) {
+                    if !seen.insert(k.kind.clone()) {
+                        continue;
+                    }
+                    let def = kernel_defs
+                        .get(&k.kind)
+                        .ok_or_else(|| ExtractError::MissingKernelSource(k.kind.clone()))?;
+                    aie_defs.push(def);
+                    // C++ adapter thunk (§4.5).
+                    project.add_file(
+                        format!("{}.cc", k.kind),
+                        codegen_aie::kernel_cc(def, &self.types)?,
+                    );
+                    // Transformed Rust body: declaration + definition
+                    // (paper: each kernel is processed twice, §4.4).
+                    let mut rs = String::new();
+                    rs.push_str("// Generated by cgsim-extract — do not edit.\n");
+                    rs.push_str("// Forward declaration:\n// ");
+                    rs.push_str(&rewrite::kernel_declaration_rust(def, "aie_realm"));
+                    rs.push('\n');
+                    rs.push_str(&rewrite::kernel_definition_rust(def, source, "aie_realm"));
+                    project.add_file(format!("src/{}.rs", k.kind), rs);
+                }
+
+                // Co-extracted shared declarations (§4.6).
+                let co = co_extract(&aie_defs, &scanned.items, source, &self.blacklist);
+                let shared = co.render(&scanned.items, source);
+                if !shared.trim().is_empty() {
+                    project.add_file("src/shared_decls.rs", shared);
+                }
+            }
+
+            // HLS realm (paper §6 future work, implemented as an
+            // extension): per-kernel HLS C++ plus a dataflow top.
+            for (path, contents) in crate::codegen_hls::hls_project_files(
+                &graph,
+                &partition,
+                &kernel_defs,
+                &self.types,
+            )? {
+                project.add_file(path, contents);
+            }
+
+            // Build script: the aiecompiler invocation a Vitis user would
+            // run on this project (UG1076), plus the simulator fallback.
+            if partition.subgraph(Realm::Aie).is_some() {
+                let mut mk = String::new();
+                mk.push_str("# Generated by cgsim-extract — do not edit.\n");
+                mk.push_str("GRAPH   := graph.hpp\n");
+                mk.push_str("PLATFORM ?= xilinx_vck190_base_202420_1\n\n");
+                mk.push_str("all: libadf.a\n\n");
+                mk.push_str("libadf.a: $(GRAPH) kernel_decls.hpp\n");
+                mk.push_str(
+                    "\taiecompiler --target=hw --platform=$(PLATFORM) \\\n\t    --include=. $(GRAPH)\n\n",
+                );
+                mk.push_str("aiesim: libadf.a\n\taiesimulator --pkg-dir=Work\n\n");
+                mk.push_str("# Toolchain-free fallback: run the deployment manifest on the\n");
+                mk.push_str("# bundled cycle-approximate simulator.\n");
+                mk.push_str("sim-manifest: graph.json\n");
+                mk.push_str("\tcargo run -p aie-sim --example run_manifest -- graph.json\n");
+                project.add_file("Makefile", mk);
+            }
+
+            // Deployment manifest stand-in for the Vitis project archive.
+            project.add_file(
+                "graph.json",
+                serde_json::to_string_pretty(&graph).expect("graph serializes"),
+            );
+            project.add_file(
+                "partition.json",
+                serde_json::to_string_pretty(&partition).expect("partition serializes"),
+            );
+
+            out.push(Extraction {
+                project,
+                graph,
+                partition,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+use std::io::Write;
+
+const SCALE: f32 = 2.0;
+
+fn amplify(v: f32) -> f32 { v * SCALE }
+
+compute_kernel! {
+    /// Amplifies samples.
+    #[realm(aie)]
+    pub fn amp_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(v) = input.get().await {
+            out.put(amplify(v)).await;
+        }
+    }
+}
+
+compute_kernel! {
+    #[realm(noextract)]
+    pub fn host_tap(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(v) = input.get().await {
+            out.put(v).await;
+        }
+    }
+}
+
+#[extract_compute_graph]
+static G: () = compute_graph! {
+    name: amp,
+    inputs: (a: f32),
+    body: {
+        let b = wire::<f32>();
+        let c = wire::<f32>();
+        amp_kernel(a, b);
+        host_tap(b, c);
+        attr(a, "plio_name", "samples");
+    },
+    outputs: (c),
+};
+"#;
+
+    #[test]
+    fn full_pipeline_produces_project() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.project.name, "amp");
+        // Expected files.
+        for f in [
+            "kernel_decls.hpp",
+            "graph.hpp",
+            "amp_kernel.cc",
+            "src/amp_kernel.rs",
+            "src/shared_decls.rs",
+            "graph.json",
+            "partition.json",
+        ] {
+            assert!(r.project.file(f).is_some(), "missing {f}");
+        }
+        // noextract kernel stays out of the AIE project.
+        assert!(r.project.file("host_tap.cc").is_none());
+        assert!(!r
+            .project
+            .file("kernel_decls.hpp")
+            .unwrap()
+            .contains("host_tap"));
+    }
+
+    #[test]
+    fn extracted_rust_is_await_free_and_complete() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        let rs = results[0].project.file("src/amp_kernel.rs").unwrap();
+        assert!(!crate::rewrite::contains_await(rs));
+        assert!(rs.contains("amplify(v)"));
+        assert!(rs.contains("Forward declaration"));
+    }
+
+    #[test]
+    fn co_extraction_lands_in_shared_decls() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        let shared = results[0].project.file("src/shared_decls.rs").unwrap();
+        assert!(shared.contains("fn amplify"));
+        assert!(shared.contains("const SCALE"));
+        // Blacklisted simulation-only import filtered out.
+        assert!(!shared.contains("std::io"));
+    }
+
+    #[test]
+    fn graph_json_roundtrips() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        let json = results[0].project.file("graph.json").unwrap();
+        let graph: FlatGraph = serde_json::from_str(json).unwrap();
+        graph.validate().unwrap();
+        assert_eq!(graph, results[0].graph);
+    }
+
+    #[test]
+    fn marker_filter_respected() {
+        let ex = Extractor {
+            require_marker: true,
+            ..Extractor::new()
+        };
+        // SRC's graph is marked → found.
+        assert_eq!(ex.extract(SRC).unwrap().len(), 1);
+        // An unmarked graph is skipped, leading to NoGraphs.
+        let unmarked = SRC.replace("#[extract_compute_graph]", "");
+        assert!(matches!(ex.extract(&unmarked), Err(ExtractError::NoGraphs)));
+    }
+
+    #[test]
+    fn missing_kernel_definition_is_reported() {
+        let src = r#"
+compute_graph! {
+    name: g,
+    inputs: (a: f32),
+    body: { phantom(a, a); },
+    outputs: (a),
+}
+"#;
+        let ex = Extractor::new();
+        assert!(matches!(
+            ex.extract(src),
+            Err(ExtractError::Eval(EvalError::UnknownKernel(_)))
+        ));
+    }
+
+    #[test]
+    fn no_graphs_is_an_error() {
+        assert!(matches!(
+            Extractor::new().extract("fn main() {}"),
+            Err(ExtractError::NoGraphs)
+        ));
+    }
+
+    #[test]
+    fn project_includes_build_script() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        let mk = results[0].project.file("Makefile").unwrap();
+        assert!(mk.contains("aiecompiler --target=hw"));
+        assert!(mk.contains("aiesimulator"));
+        assert!(mk.contains("graph.json"));
+    }
+
+    #[test]
+    fn inter_realm_boundary_becomes_plio() {
+        let ex = Extractor::new();
+        let results = ex.extract(SRC).unwrap();
+        let hpp = results[0].project.file("graph.hpp").unwrap();
+        // amp_kernel's output crosses into the noextract realm → output
+        // PLIO; the graph input gets an input PLIO named via its attribute.
+        assert!(hpp.contains("adf::input_plio::create(\"samples\""));
+        assert!(hpp.contains("adf::output_plio"));
+    }
+}

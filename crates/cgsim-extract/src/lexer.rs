@@ -1,0 +1,496 @@
+//! Token-level front end.
+//!
+//! The paper's extractor delegates parsing to the Clang frontend; this
+//! reproduction carries its own small lexer for the Rust-subset DSL. Tokens
+//! keep their byte spans in the original source so the
+//! [`crate::rewrite`] stage can do faithful source-to-source rewriting on
+//! exact source ranges — the role `clang::Rewriter`'s expansion ranges play
+//! in §4.4.
+
+use std::fmt;
+
+/// Byte range in the source file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Inclusive start byte.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The source text this span covers.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// Smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Token classes of the subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (raw text; may include `_` separators and suffix).
+    Int(String),
+    /// Float literal.
+    Float(String),
+    /// String literal, unescaped content.
+    Str(String),
+    /// Lifetime token (`'a`) — accepted so arbitrary kernel bodies lex.
+    Lifetime(String),
+    /// One punctuation character: the lexer does not glue compound
+    /// operators; the parser assembles them when needed.
+    Punct(char),
+    /// A doc comment line (`///` or `//!`), content without the marker.
+    DocComment(String),
+}
+
+/// One token with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Is this token the given identifier?
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+
+    /// Is this token the given punctuation character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        matches!(&self.kind, TokenKind::Punct(c) if *c == ch)
+    }
+
+    /// Identifier text, if an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Lexing failure with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Compute 1-based line/column of a byte offset.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let prefix = &source[..offset.min(source.len())];
+    let line = prefix.bytes().filter(|b| *b == b'\n').count() + 1;
+    let column = prefix.rfind('\n').map(|p| offset - p).unwrap_or(offset + 1);
+    (line, column)
+}
+
+/// Tokenize `source`. Ordinary comments vanish; doc comments become tokens
+/// (the extractor copies them into generated files, like the paper carries
+/// comments through expansion ranges).
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    let err = |message: String, offset: usize| {
+        let (line, column) = line_col(source, offset);
+        LexError {
+            message,
+            offset,
+            line,
+            column,
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    let start = i;
+                    let end = source[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
+                    let text = &source[start..end];
+                    let doc = text
+                        .strip_prefix("///")
+                        .or_else(|| text.strip_prefix("//!"));
+                    if let Some(doc) = doc {
+                        tokens.push(Token {
+                            kind: TokenKind::DocComment(doc.trim_start().to_owned()),
+                            span: Span { start, end },
+                        });
+                    }
+                    i = end;
+                    continue;
+                }
+                '*' => {
+                    let start = i;
+                    let mut depth = 1;
+                    let mut j = i + 2;
+                    while j + 1 < bytes.len() && depth > 0 {
+                        if bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                            depth += 1;
+                            j += 2;
+                        } else if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(err("unterminated block comment".into(), start));
+                    }
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_owned()),
+                span: Span { start, end: i },
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else if ch == '.'
+                    && !is_float
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = source[start..i].to_owned();
+            tokens.push(Token {
+                kind: if is_float {
+                    TokenKind::Float(text)
+                } else {
+                    TokenKind::Int(text)
+                },
+                span: Span { start, end: i },
+            });
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            let mut content = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(err("unterminated string literal".into(), start));
+                }
+                match bytes[i] as char {
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\\' => {
+                        if i + 1 >= bytes.len() {
+                            return Err(err("unterminated escape".into(), i));
+                        }
+                        let esc = bytes[i + 1] as char;
+                        content.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '\\' => '\\',
+                            '"' => '"',
+                            '0' => '\0',
+                            other => {
+                                return Err(err(format!("unknown escape `\\{other}`"), i));
+                            }
+                        });
+                        i += 2;
+                    }
+                    ch => {
+                        content.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(content),
+                span: Span { start, end: i },
+            });
+            continue;
+        }
+        // Lifetimes / char literals.
+        if c == '\'' {
+            let start = i;
+            // Lifetime: 'ident not followed by closing quote.
+            if i + 1 < bytes.len()
+                && ((bytes[i + 1] as char).is_ascii_alphabetic() || bytes[i + 1] == b'_')
+            {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'\'' {
+                    // It's a char literal like 'a'.
+                    tokens.push(Token {
+                        kind: TokenKind::Str(source[i + 1..j].to_owned()),
+                        span: Span { start, end: j + 1 },
+                    });
+                    i = j + 1;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime(source[i + 1..j].to_owned()),
+                        span: Span { start, end: j },
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped char literal.
+            let close = source[i + 1..].find('\'').map(|p| i + 1 + p);
+            match close {
+                Some(j) => {
+                    tokens.push(Token {
+                        kind: TokenKind::Str(source[i + 1..j].to_owned()),
+                        span: Span { start, end: j + 1 },
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                None => return Err(err("unterminated char literal".into(), start)),
+            }
+        }
+        // Punctuation: single characters.
+        if c.is_ascii_punctuation() {
+            tokens.push(Token {
+                kind: TokenKind::Punct(c),
+                span: Span {
+                    start: i,
+                    end: i + 1,
+                },
+            });
+            i += 1;
+            continue;
+        }
+        return Err(err(format!("unexpected character `{c}`"), i));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ks = kinds("fn foo(x: f32) -> f32 { x }");
+        assert_eq!(ks[0], TokenKind::Ident("fn".into()));
+        assert_eq!(ks[1], TokenKind::Ident("foo".into()));
+        assert!(ks.contains(&TokenKind::Punct('(')));
+        assert!(ks.contains(&TokenKind::Punct('-')));
+        assert!(ks.contains(&TokenKind::Punct('>')));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 1_000 3.25 16u32"),
+            vec![
+                TokenKind::Int("42".into()),
+                TokenKind::Int("1_000".into()),
+                TokenKind::Float("3.25".into()),
+                TokenKind::Int("16u32".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        // `0..16` must lex as Int, Punct('.'), Punct('.'), Int.
+        assert_eq!(
+            kinds("0..16"),
+            vec![
+                TokenKind::Int("0".into()),
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Int("16".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(kinds(r#""plio\n""#), vec![TokenKind::Str("plio\n".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        let e = lex("let x = \"oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert_eq!(e.line, 1);
+        assert!(e.column > 1);
+    }
+
+    #[test]
+    fn comments_are_skipped_doc_comments_kept() {
+        let ks = kinds("// plain\n/// doc text\n/* block /* nested */ */ x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::DocComment("doc text".into()),
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        assert_eq!(
+            kinds("'static 'a'"),
+            vec![
+                TokenKind::Lifetime("static".into()),
+                TokenKind::Str("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_cover_original_text() {
+        let src = "let answer = 42;";
+        let toks = lex(src).unwrap();
+        let answer = toks.iter().find(|t| t.is_ident("answer")).unwrap();
+        assert_eq!(answer.span.text(src), "answer");
+        let num = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Int(_)))
+            .unwrap();
+        assert_eq!(num.span.text(src), "42");
+    }
+
+    #[test]
+    fn line_col_reports_positions() {
+        let src = "a\nbb\nccc";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (2, 1));
+        assert_eq!(line_col(src, 5), (3, 1));
+        assert_eq!(line_col(src, 7), (3, 3));
+    }
+
+    #[test]
+    fn span_merge() {
+        let a = Span { start: 3, end: 7 };
+        let b = Span { start: 5, end: 12 };
+        assert_eq!(a.merge(b), Span { start: 3, end: 12 });
+    }
+
+    proptest::proptest! {
+        /// The lexer never panics on arbitrary ASCII input — it either
+        /// tokenizes or reports a positioned error.
+        #[test]
+        fn lexing_never_panics(src in "[ -~\n\t]{0,200}") {
+            let _ = lex(&src);
+        }
+
+        /// Token spans are in-bounds, non-overlapping and ordered.
+        #[test]
+        fn spans_are_ordered_and_in_bounds(src in "[a-z0-9_+*(){};., ]{0,200}") {
+            if let Ok(tokens) = lex(&src) {
+                let mut prev_end = 0;
+                for t in &tokens {
+                    proptest::prop_assert!(t.span.start >= prev_end);
+                    proptest::prop_assert!(t.span.end <= src.len());
+                    proptest::prop_assert!(t.span.start < t.span.end);
+                    prev_end = t.span.end;
+                }
+            }
+        }
+
+        /// Lexing is insensitive to inserted whitespace between tokens.
+        #[test]
+        fn whitespace_insensitive(
+            words in proptest::collection::vec("[a-z_][a-z0-9_]{0,8}", 1..10),
+        ) {
+            let tight = words.join(" ");
+            let loose = words.join("  \n\t ");
+            let a: Vec<TokenKind> = lex(&tight).unwrap().into_iter().map(|t| t.kind).collect();
+            let b: Vec<TokenKind> = lex(&loose).unwrap().into_iter().map(|t| t.kind).collect();
+            proptest::prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn full_kernel_source_lexes() {
+        let src = r#"
+compute_kernel! {
+    /// Adds pairs.
+    #[realm(aie)]
+    pub fn adder_kernel(in1: ReadPort<f32>, in2: ReadPort<f32>, out: WritePort<f32>) {
+        loop {
+            let (Some(a), Some(b)) = (in1.get().await, in2.get().await) else { break };
+            out.put(a + b).await;
+        }
+    }
+}
+"#;
+        let toks = lex(src).unwrap();
+        assert!(toks.iter().any(|t| t.is_ident("compute_kernel")));
+        assert!(toks.iter().any(|t| t.is_ident("await")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::DocComment(d) if d == "Adds pairs.")));
+    }
+}

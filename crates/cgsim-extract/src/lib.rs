@@ -1,0 +1,43 @@
+//! # cgsim-extract — source-to-source compute graph extractor
+//!
+//! The second half of the paper's framework (§4): a translator that
+//! processes source files containing cgsim graph prototypes and converts
+//! them into deployable AIE projects by a combination of source rewriting
+//! and code generation.
+//!
+//! The paper builds on Clang LibTooling: Clang parses the C++ source, its
+//! `constexpr` interpreter evaluates the serialized graph variables, and a
+//! `clang::Rewriter` transforms kernel source text. Clang is not available
+//! as a Rust library, so this crate substitutes each role while keeping the
+//! architecture (see DESIGN.md):
+//!
+//! | Paper (Clang)                    | This crate                      |
+//! |----------------------------------|---------------------------------|
+//! | Clang frontend / AST             | [`lexer`] + [`parse`]           |
+//! | `constexpr` interpreter (§4.2)   | [`eval`]                        |
+//! | realm partitioning (§4.3)        | `cgsim_core::partition`         |
+//! | `clang::Rewriter` (§4.4–4.5)     | [`rewrite`]                     |
+//! | co-extraction (§4.6)             | [`coextract`]                   |
+//! | AIE code generation (§4.7)       | [`codegen_aie`]                 |
+//! | HLS code generation (§6, ext.)   | [`codegen_hls`]                 |
+//! | Vitis project output             | [`project`] + `graph.json`      |
+//!
+//! Entry point: [`Extractor::extract`].
+
+#![warn(missing_docs)]
+
+pub mod codegen_aie;
+pub mod codegen_hls;
+pub mod coextract;
+pub mod eval;
+pub mod extractor;
+pub mod lexer;
+pub mod parse;
+pub mod project;
+pub mod rewrite;
+
+pub use coextract::Blacklist;
+pub use eval::{EvalError, TypeTable};
+pub use extractor::{ExtractError, Extraction, Extractor};
+pub use parse::{GraphDef, KernelDef, ParseError, ScanResult};
+pub use project::ExtractedProject;

@@ -1,0 +1,1060 @@
+//! Structural parsing of cgsim source files (§4.2).
+//!
+//! Where the paper walks Clang's AST, this module walks the token stream:
+//! it records every top-level item (for co-extraction, §4.6), parses every
+//! `compute_kernel!` definition into a [`KernelDef`], and every
+//! `compute_graph!` definition into a [`GraphDef`] ready for the
+//! interpreter. Items annotated `#[extract_compute_graph]` mirror the
+//! paper's custom attribute; unannotated graph definitions are still found,
+//! since the macro itself marks them unambiguously.
+
+use crate::lexer::{lex, LexError, Span, Token, TokenKind};
+use std::fmt;
+
+/// Parse failure with location info.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+/// Port direction in a kernel definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortDirSyntax {
+    /// `ReadPort<T>`.
+    Read,
+    /// `WritePort<T>`.
+    Write,
+}
+
+/// One parsed kernel port declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Read or write.
+    pub dir: PortDirSyntax,
+    /// Element type as written (`f32`, `i16`, `MyStruct`).
+    pub elem_ty: String,
+    /// Raw source of the optional `@ settings` expression.
+    pub settings_src: Option<String>,
+}
+
+/// One parsed `compute_kernel!` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelDef {
+    /// Doc comment lines.
+    pub docs: Vec<String>,
+    /// Realm annotation (`aie`, `noextract`, `hls`).
+    pub realm: String,
+    /// Kernel name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<PortDecl>,
+    /// Span of the body block, braces included.
+    pub body_span: Span,
+    /// Span of the whole macro invocation (the paper's "expansion range").
+    pub span: Span,
+}
+
+/// One statement in a graph definition body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphStmt {
+    /// `let w = wire::<T>();`
+    Wire {
+        /// Connector name.
+        name: String,
+        /// Element type text.
+        ty: String,
+    },
+    /// `attr(conn, "key", value);`
+    Attr {
+        /// Connector name.
+        conn: String,
+        /// Attribute key.
+        key: String,
+        /// String or integer value.
+        value: AttrLit,
+    },
+    /// `settings(conn, <expr>);`
+    Settings {
+        /// Connector name.
+        conn: String,
+        /// Raw settings-expression source.
+        expr_src: String,
+    },
+    /// `kernel_name(a, b, c);`
+    Invoke {
+        /// Kernel name.
+        kernel: String,
+        /// Connector arguments, positional.
+        args: Vec<String>,
+    },
+}
+
+/// Literal attribute value in the graph DSL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrLit {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+}
+
+/// One parsed `compute_graph!` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphDef {
+    /// Graph name.
+    pub name: String,
+    /// Global inputs: (name, element type).
+    pub inputs: Vec<(String, String)>,
+    /// Body statements in order.
+    pub body: Vec<GraphStmt>,
+    /// Global output connector names.
+    pub outputs: Vec<String>,
+    /// Whether the definition carried `#[extract_compute_graph]`.
+    pub marked_extract: bool,
+    /// Span of the whole macro invocation.
+    pub span: Span,
+}
+
+/// Kind of a top-level item (for co-extraction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `use …;`
+    Use,
+    /// `fn …`
+    Fn,
+    /// `struct …`
+    Struct,
+    /// `enum …`
+    Enum,
+    /// `const …;`
+    Const,
+    /// `static …;`
+    Static,
+    /// `type …;`
+    TypeAlias,
+    /// Anything else (impl blocks, modules, …).
+    Other,
+}
+
+/// A top-level item record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// Item class.
+    pub kind: ItemKind,
+    /// Declared name, when the item has one.
+    pub name: Option<String>,
+    /// Source span of the whole item (attributes and docs included).
+    pub span: Span,
+    /// Identifiers referenced inside the item (co-extraction seeds).
+    pub referenced: Vec<String>,
+}
+
+/// Result of scanning one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ScanResult {
+    /// All top-level items, in order.
+    pub items: Vec<Item>,
+    /// Parsed kernel definitions.
+    pub kernels: Vec<KernelDef>,
+    /// Parsed graph definitions.
+    pub graphs: Vec<GraphDef>,
+}
+
+struct Cursor<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> Cursor<'t> {
+    fn new(tokens: &'t [Token]) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'t Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'t Token> {
+        self.tokens.get(self.pos + n)
+    }
+
+    fn next(&mut self) -> Option<&'t Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.peek().map(|t| t.span.start).unwrap_or(usize::MAX),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) -> Result<&'t Token, ParseError> {
+        match self.next() {
+            Some(t) if t.is_punct(ch) => Ok(t),
+            Some(t) => Err(ParseError {
+                message: format!("expected `{ch}`, found {:?}", t.kind),
+                offset: t.span.start,
+            }),
+            None => Err(self.err(format!("expected `{ch}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.next() {
+            Some(t) => match &t.kind {
+                TokenKind::Ident(s) => Ok((s.clone(), t.span)),
+                other => Err(ParseError {
+                    message: format!("expected identifier, found {other:?}"),
+                    offset: t.span.start,
+                }),
+            },
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        let (s, span) = self.expect_ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected `{kw}`, found `{s}`"),
+                offset: span.start,
+            })
+        }
+    }
+
+    /// Skip a balanced group starting at the current opening delimiter;
+    /// returns the span of the whole group.
+    fn skip_group(&mut self) -> Result<Span, ParseError> {
+        let open_tok = self.next().ok_or_else(|| self.err("expected group"))?;
+        let open = match &open_tok.kind {
+            TokenKind::Punct(c @ ('(' | '[' | '{')) => *c,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected opening delimiter, found {other:?}"),
+                    offset: open_tok.span.start,
+                })
+            }
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let start = open_tok.span;
+        let mut depth = 1;
+        while depth > 0 {
+            let t = self
+                .next()
+                .ok_or_else(|| self.err(format!("unclosed `{open}`")))?;
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(start.merge(t.span));
+                }
+            }
+        }
+        unreachable!()
+    }
+
+    /// Collect raw source text of tokens until a top-level `,` or the
+    /// closing delimiter (not consumed).
+    fn balanced_until(&mut self, stops: &[char], source: &str) -> Result<String, ParseError> {
+        let mut depth = 0i32;
+        let mut span: Option<Span> = None;
+        loop {
+            let Some(t) = self.peek() else {
+                return Err(self.err("unexpected end of input in expression"));
+            };
+            if depth == 0 {
+                if let TokenKind::Punct(c) = t.kind {
+                    if stops.contains(&c) {
+                        break;
+                    }
+                }
+            }
+            match t.kind {
+                TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                TokenKind::Punct(')' | ']' | '}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            span = Some(match span {
+                None => t.span,
+                Some(s) => s.merge(t.span),
+            });
+            self.pos += 1;
+        }
+        Ok(span.map(|s| s.text(source).to_owned()).unwrap_or_default())
+    }
+}
+
+/// Scan a whole source file.
+pub fn scan(source: &str) -> Result<ScanResult, ParseError> {
+    let tokens = lex(source)?;
+    let mut result = ScanResult::default();
+    let mut cur = Cursor::new(&tokens);
+
+    // Pass 1: top-level items (depth 0 between balanced groups).
+    scan_items(&mut cur, source, &mut result)?;
+
+    // Pass 2: macro definitions anywhere in the file.
+    let mut cur = Cursor::new(&tokens);
+    while !cur.at_end() {
+        if let Some(t) = cur.peek() {
+            if t.is_ident("compute_kernel") && cur.peek_at(1).is_some_and(|t| t.is_punct('!')) {
+                let kernel = parse_kernel_macro(&mut cur, source)?;
+                result.kernels.push(kernel);
+                continue;
+            }
+            if t.is_ident("compute_graph") && cur.peek_at(1).is_some_and(|t| t.is_punct('!')) {
+                let marked = has_extract_attr_before(&tokens, cur.pos, source);
+                let graph = parse_graph_macro(&mut cur, source, marked)?;
+                result.graphs.push(graph);
+                continue;
+            }
+        }
+        cur.pos += 1;
+    }
+    Ok(result)
+}
+
+/// Whether `#[extract_compute_graph]` appears in the statement introducing
+/// this macro call (scan back to the previous `;`/`}` boundary).
+fn has_extract_attr_before(tokens: &[Token], pos: usize, _source: &str) -> bool {
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        match &tokens[i].kind {
+            TokenKind::Punct(';' | '}') => return false,
+            TokenKind::Ident(s) if s == "extract_compute_graph" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn scan_items(cur: &mut Cursor, source: &str, result: &mut ScanResult) -> Result<(), ParseError> {
+    while !cur.at_end() {
+        let item_start = cur.peek().unwrap().span;
+
+        // Leading doc comments and attributes belong to the item.
+        while let Some(t) = cur.peek() {
+            match &t.kind {
+                TokenKind::DocComment(_) => {
+                    cur.pos += 1;
+                }
+                TokenKind::Punct('#') => {
+                    cur.pos += 1;
+                    if cur.peek().is_some_and(|t| t.is_punct('!')) {
+                        cur.pos += 1;
+                    }
+                    cur.skip_group()?; // the [...] group
+                }
+                _ => break,
+            }
+        }
+        if cur.at_end() {
+            break;
+        }
+
+        // Optional visibility.
+        if cur.peek().is_some_and(|t| t.is_ident("pub")) {
+            cur.pos += 1;
+            if cur.peek().is_some_and(|t| t.is_punct('(')) {
+                cur.skip_group()?; // pub(crate)
+            }
+        }
+
+        let Some(head) = cur.peek() else { break };
+        let head_ident = head.ident().map(str::to_owned);
+        let (kind, name, end_span, referenced) = match head_ident.as_deref() {
+            Some("use") => {
+                let span = skip_to_semicolon(cur)?;
+                (ItemKind::Use, None, span, Vec::new())
+            }
+            Some("fn") => {
+                cur.pos += 1;
+                let (name, _) = cur.expect_ident()?;
+                let (span, refs) = skip_fn_rest(cur, source)?;
+                (ItemKind::Fn, Some(name), span, refs)
+            }
+            Some("struct") => {
+                cur.pos += 1;
+                let (name, _) = cur.expect_ident()?;
+                let span = skip_struct_rest(cur)?;
+                (ItemKind::Struct, Some(name), span, Vec::new())
+            }
+            Some("enum") => {
+                cur.pos += 1;
+                let (name, _) = cur.expect_ident()?;
+                let span = skip_generics_then_group(cur)?;
+                (ItemKind::Enum, Some(name), span, Vec::new())
+            }
+            Some("const") | Some("static") => {
+                let kind = if head_ident.as_deref() == Some("const") {
+                    ItemKind::Const
+                } else {
+                    ItemKind::Static
+                };
+                cur.pos += 1;
+                if cur.peek().is_some_and(|t| t.is_ident("mut")) {
+                    cur.pos += 1;
+                }
+                let (name, _) = cur.expect_ident()?;
+                let start_refs = cur.pos;
+                let span = skip_to_semicolon(cur)?;
+                let refs = collect_idents(&cur.tokens[start_refs..cur.pos]);
+                (kind, Some(name), span, refs)
+            }
+            Some("type") => {
+                cur.pos += 1;
+                let (name, _) = cur.expect_ident()?;
+                let span = skip_to_semicolon(cur)?;
+                (ItemKind::TypeAlias, Some(name), span, Vec::new())
+            }
+            Some("impl") | Some("mod") | Some("trait") | Some("unsafe") | Some("extern") => {
+                let span = skip_block_item(cur)?;
+                (ItemKind::Other, None, span, Vec::new())
+            }
+            Some(name)
+                if cur.peek_at(1).is_some_and(|t| t.is_punct('!'))
+                    && (name == "compute_kernel" || name == "compute_graph") =>
+            {
+                // Parsed in pass 2; skip over `name ! { ... }` or the
+                // enclosing statement.
+                cur.pos += 2;
+                let span = cur.skip_group()?;
+                if cur.peek().is_some_and(|t| t.is_punct(';')) {
+                    cur.pos += 1;
+                }
+                (ItemKind::Other, Some(name.to_owned()), span, Vec::new())
+            }
+            _ => {
+                // Unknown construct: advance one token to stay safe.
+                cur.pos += 1;
+                continue;
+            }
+        };
+        result.items.push(Item {
+            kind,
+            name,
+            span: item_start.merge(end_span),
+            referenced,
+        });
+    }
+    Ok(())
+}
+
+fn skip_to_semicolon(cur: &mut Cursor) -> Result<Span, ParseError> {
+    let mut span = cur
+        .peek()
+        .map(|t| t.span)
+        .unwrap_or(Span { start: 0, end: 0 });
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(cur.err("expected `;`"));
+        };
+        match t.kind {
+            TokenKind::Punct(';') => {
+                span = span.merge(t.span);
+                cur.pos += 1;
+                return Ok(span);
+            }
+            TokenKind::Punct('(' | '[' | '{') => {
+                span = span.merge(cur.skip_group()?);
+            }
+            _ => {
+                span = span.merge(t.span);
+                cur.pos += 1;
+            }
+        }
+    }
+}
+
+/// After `fn name`, skip generics/params/return type and body; collect
+/// identifiers referenced in params and body.
+fn skip_fn_rest(cur: &mut Cursor, _source: &str) -> Result<(Span, Vec<String>), ParseError> {
+    let start = cur.pos;
+    // Skip until the body `{` at depth 0 (params are a group).
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(cur.err("unexpected end of function"));
+        };
+        match t.kind {
+            TokenKind::Punct('{') => break,
+            TokenKind::Punct(';') => {
+                // Declaration only.
+                let span = t.span;
+                cur.pos += 1;
+                let refs = collect_idents(&cur.tokens[start..cur.pos]);
+                return Ok((span, refs));
+            }
+            TokenKind::Punct('(' | '[') => {
+                cur.skip_group()?;
+            }
+            _ => cur.pos += 1,
+        }
+    }
+    let body = cur.skip_group()?;
+    let refs = collect_idents(&cur.tokens[start..cur.pos]);
+    Ok((body, refs))
+}
+
+fn skip_struct_rest(cur: &mut Cursor) -> Result<Span, ParseError> {
+    // struct X; | struct X(...); | struct X {...} — with optional generics.
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(cur.err("unexpected end of struct"));
+        };
+        match t.kind {
+            TokenKind::Punct(';') => {
+                let span = t.span;
+                cur.pos += 1;
+                return Ok(span);
+            }
+            TokenKind::Punct('{') => return cur.skip_group(),
+            TokenKind::Punct('(') => {
+                cur.skip_group()?;
+                // Tuple struct: expect `;`.
+            }
+            _ => cur.pos += 1,
+        }
+    }
+}
+
+fn skip_generics_then_group(cur: &mut Cursor) -> Result<Span, ParseError> {
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(cur.err("unexpected end of item"));
+        };
+        match t.kind {
+            TokenKind::Punct('{') => return cur.skip_group(),
+            _ => cur.pos += 1,
+        }
+    }
+}
+
+fn skip_block_item(cur: &mut Cursor) -> Result<Span, ParseError> {
+    // Skip until `{...}` or `;` at depth 0.
+    loop {
+        let Some(t) = cur.peek() else {
+            return Err(cur.err("unexpected end of item"));
+        };
+        match t.kind {
+            TokenKind::Punct('{') => return cur.skip_group(),
+            TokenKind::Punct(';') => {
+                let span = t.span;
+                cur.pos += 1;
+                return Ok(span);
+            }
+            TokenKind::Punct('(' | '[') => {
+                cur.skip_group()?;
+            }
+            _ => cur.pos += 1,
+        }
+    }
+}
+
+fn collect_idents(tokens: &[Token]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for t in tokens {
+        if let TokenKind::Ident(s) = &t.kind {
+            if seen.insert(s.clone()) {
+                out.push(s.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Parse `compute_kernel ! { docs #[realm(r)] vis fn name(ports) {body} }`.
+fn parse_kernel_macro(cur: &mut Cursor, source: &str) -> Result<KernelDef, ParseError> {
+    let macro_start = cur.peek().unwrap().span;
+    cur.expect_kw("compute_kernel")?;
+    cur.expect_punct('!')?;
+    cur.expect_punct('{')?;
+
+    let mut docs = Vec::new();
+    while let Some(TokenKind::DocComment(d)) = cur.peek().map(|t| &t.kind) {
+        docs.push(d.clone());
+        cur.pos += 1;
+    }
+
+    cur.expect_punct('#')?;
+    cur.expect_punct('[')?;
+    cur.expect_kw("realm")?;
+    cur.expect_punct('(')?;
+    let (realm, _) = cur.expect_ident()?;
+    cur.expect_punct(')')?;
+    cur.expect_punct(']')?;
+
+    if cur.peek().is_some_and(|t| t.is_ident("pub")) {
+        cur.pos += 1;
+        if cur.peek().is_some_and(|t| t.is_punct('(')) {
+            cur.skip_group()?;
+        }
+    }
+    cur.expect_kw("fn")?;
+    let (name, _) = cur.expect_ident()?;
+
+    cur.expect_punct('(')?;
+    let mut ports = Vec::new();
+    loop {
+        if cur.peek().is_some_and(|t| t.is_punct(')')) {
+            cur.pos += 1;
+            break;
+        }
+        let (pname, _) = cur.expect_ident()?;
+        cur.expect_punct(':')?;
+        let (kind, kspan) = cur.expect_ident()?;
+        let dir = match kind.as_str() {
+            "ReadPort" => PortDirSyntax::Read,
+            "WritePort" => PortDirSyntax::Write,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected ReadPort/WritePort, found `{other}`"),
+                    offset: kspan.start,
+                })
+            }
+        };
+        cur.expect_punct('<')?;
+        let elem_ty = cur.balanced_until(&['>'], source)?;
+        cur.expect_punct('>')?;
+        let settings_src = if cur.peek().is_some_and(|t| t.is_punct('@')) {
+            cur.pos += 1;
+            Some(cur.balanced_until(&[',', ')'], source)?)
+        } else {
+            None
+        };
+        ports.push(PortDecl {
+            name: pname,
+            dir,
+            elem_ty: elem_ty.trim().to_owned(),
+            settings_src,
+        });
+        if cur.peek().is_some_and(|t| t.is_punct(',')) {
+            cur.pos += 1;
+        }
+    }
+
+    let body_span = cur.skip_group()?;
+    let close = cur.expect_punct('}')?; // macro's closing brace
+    Ok(KernelDef {
+        docs,
+        realm,
+        name,
+        ports,
+        body_span,
+        span: macro_start.merge(close.span),
+    })
+}
+
+/// Parse `compute_graph ! { name: n, inputs: (...), body: {...}, outputs: (...) }`.
+fn parse_graph_macro(
+    cur: &mut Cursor,
+    source: &str,
+    marked_extract: bool,
+) -> Result<GraphDef, ParseError> {
+    let macro_start = cur.peek().unwrap().span;
+    cur.expect_kw("compute_graph")?;
+    cur.expect_punct('!')?;
+    cur.expect_punct('{')?;
+
+    cur.expect_kw("name")?;
+    cur.expect_punct(':')?;
+    let (name, _) = cur.expect_ident()?;
+    cur.expect_punct(',')?;
+
+    cur.expect_kw("inputs")?;
+    cur.expect_punct(':')?;
+    cur.expect_punct('(')?;
+    let mut inputs = Vec::new();
+    loop {
+        if cur.peek().is_some_and(|t| t.is_punct(')')) {
+            cur.pos += 1;
+            break;
+        }
+        let (iname, _) = cur.expect_ident()?;
+        cur.expect_punct(':')?;
+        let ty = cur.balanced_until(&[',', ')'], source)?;
+        inputs.push((iname, ty.trim().to_owned()));
+        if cur.peek().is_some_and(|t| t.is_punct(',')) {
+            cur.pos += 1;
+        }
+    }
+    cur.expect_punct(',')?;
+
+    cur.expect_kw("body")?;
+    cur.expect_punct(':')?;
+    cur.expect_punct('{')?;
+    let mut body = Vec::new();
+    loop {
+        if cur.peek().is_some_and(|t| t.is_punct('}')) {
+            cur.pos += 1;
+            break;
+        }
+        body.push(parse_graph_stmt(cur, source)?);
+    }
+    cur.expect_punct(',')?;
+
+    cur.expect_kw("outputs")?;
+    cur.expect_punct(':')?;
+    cur.expect_punct('(')?;
+    let mut outputs = Vec::new();
+    loop {
+        if cur.peek().is_some_and(|t| t.is_punct(')')) {
+            cur.pos += 1;
+            break;
+        }
+        let (oname, _) = cur.expect_ident()?;
+        outputs.push(oname);
+        if cur.peek().is_some_and(|t| t.is_punct(',')) {
+            cur.pos += 1;
+        }
+    }
+    if cur.peek().is_some_and(|t| t.is_punct(',')) {
+        cur.pos += 1;
+    }
+    let close = cur.expect_punct('}')?;
+    Ok(GraphDef {
+        name,
+        inputs,
+        body,
+        outputs,
+        marked_extract,
+        span: macro_start.merge(close.span),
+    })
+}
+
+fn parse_graph_stmt(cur: &mut Cursor, source: &str) -> Result<GraphStmt, ParseError> {
+    let (head, head_span) = cur.expect_ident()?;
+    match head.as_str() {
+        "let" => {
+            let (wname, _) = cur.expect_ident()?;
+            cur.expect_punct('=')?;
+            cur.expect_kw("wire")?;
+            cur.expect_punct(':')?;
+            cur.expect_punct(':')?;
+            cur.expect_punct('<')?;
+            let ty = cur.balanced_until(&['>'], source)?;
+            cur.expect_punct('>')?;
+            cur.expect_punct('(')?;
+            cur.expect_punct(')')?;
+            cur.expect_punct(';')?;
+            Ok(GraphStmt::Wire {
+                name: wname,
+                ty: ty.trim().to_owned(),
+            })
+        }
+        "attr" => {
+            cur.expect_punct('(')?;
+            let (conn, _) = cur.expect_ident()?;
+            cur.expect_punct(',')?;
+            let key = match cur.next().map(|t| t.kind.clone()) {
+                Some(TokenKind::Str(s)) => s,
+                other => {
+                    return Err(ParseError {
+                        message: format!("attr key must be a string literal, found {other:?}"),
+                        offset: head_span.start,
+                    })
+                }
+            };
+            cur.expect_punct(',')?;
+            let negative = if cur.peek().is_some_and(|t| t.is_punct('-')) {
+                cur.pos += 1;
+                true
+            } else {
+                false
+            };
+            let value = match cur.next().map(|t| t.kind.clone()) {
+                Some(TokenKind::Str(s)) if !negative => AttrLit::Str(s),
+                Some(TokenKind::Int(raw)) => {
+                    let v: i64 = raw
+                        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| ParseError {
+                            message: format!("bad integer literal `{raw}`"),
+                            offset: head_span.start,
+                        })?;
+                    AttrLit::Int(if negative { -v } else { v })
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("attr value must be string or int, found {other:?}"),
+                        offset: head_span.start,
+                    })
+                }
+            };
+            cur.expect_punct(')')?;
+            cur.expect_punct(';')?;
+            Ok(GraphStmt::Attr { conn, key, value })
+        }
+        "settings" => {
+            cur.expect_punct('(')?;
+            let (conn, _) = cur.expect_ident()?;
+            cur.expect_punct(',')?;
+            let expr_src = cur.balanced_until(&[')'], source)?;
+            cur.expect_punct(')')?;
+            cur.expect_punct(';')?;
+            Ok(GraphStmt::Settings { conn, expr_src })
+        }
+        kernel => {
+            cur.expect_punct('(')?;
+            let mut args = Vec::new();
+            loop {
+                if cur.peek().is_some_and(|t| t.is_punct(')')) {
+                    cur.pos += 1;
+                    break;
+                }
+                let (a, _) = cur.expect_ident()?;
+                args.push(a);
+                if cur.peek().is_some_and(|t| t.is_punct(',')) {
+                    cur.pos += 1;
+                }
+            }
+            cur.expect_punct(';')?;
+            Ok(GraphStmt::Invoke {
+                kernel: kernel.to_owned(),
+                args,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+use cgsim_runtime::compute_kernel;
+
+/// A lookup table the kernel needs.
+const GAIN_TABLE: [f32; 4] = [1.0, 2.0, 4.0, 8.0];
+
+fn helper(x: f32) -> f32 {
+    x * GAIN_TABLE[0]
+}
+
+compute_kernel! {
+    /// Scales values by a table-driven gain.
+    #[realm(aie)]
+    pub fn scale_kernel(input: ReadPort<f32>, out: WritePort<f32> @ PortSettings::new().beat_bytes(16)) {
+        while let Some(v) = input.get().await {
+            out.put(helper(v)).await;
+        }
+    }
+}
+
+#[extract_compute_graph]
+static SCALE: () = compute_graph! {
+    name: scale,
+    inputs: (a: f32),
+    body: {
+        let b = wire::<f32>();
+        scale_kernel(a, b);
+        attr(b, "plio_name", "out0");
+        attr(b, "depth_hint", 32);
+        settings(b, PortSettings::new().depth(8));
+    },
+    outputs: (b),
+};
+"#;
+
+    #[test]
+    fn scan_finds_all_parts() {
+        let r = scan(SAMPLE).unwrap();
+        assert_eq!(r.kernels.len(), 1);
+        assert_eq!(r.graphs.len(), 1);
+        let names: Vec<_> = r.items.iter().filter_map(|i| i.name.as_deref()).collect();
+        assert!(names.contains(&"GAIN_TABLE"));
+        assert!(names.contains(&"helper"));
+    }
+
+    #[test]
+    fn kernel_parsed_fully() {
+        let r = scan(SAMPLE).unwrap();
+        let k = &r.kernels[0];
+        assert_eq!(k.name, "scale_kernel");
+        assert_eq!(k.realm, "aie");
+        assert_eq!(k.docs, vec!["Scales values by a table-driven gain."]);
+        assert_eq!(k.ports.len(), 2);
+        assert_eq!(k.ports[0].name, "input");
+        assert_eq!(k.ports[0].dir, PortDirSyntax::Read);
+        assert_eq!(k.ports[0].elem_ty, "f32");
+        assert!(k.ports[0].settings_src.is_none());
+        assert_eq!(k.ports[1].dir, PortDirSyntax::Write);
+        assert!(k.ports[1]
+            .settings_src
+            .as_deref()
+            .unwrap()
+            .contains("beat_bytes"));
+        let body = k.body_span.text(SAMPLE);
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains("helper(v)"));
+    }
+
+    #[test]
+    fn graph_parsed_fully() {
+        let r = scan(SAMPLE).unwrap();
+        let g = &r.graphs[0];
+        assert_eq!(g.name, "scale");
+        assert!(g.marked_extract);
+        assert_eq!(g.inputs, vec![("a".to_owned(), "f32".to_owned())]);
+        assert_eq!(g.outputs, vec!["b"]);
+        assert_eq!(g.body.len(), 5);
+        assert_eq!(
+            g.body[0],
+            GraphStmt::Wire {
+                name: "b".into(),
+                ty: "f32".into()
+            }
+        );
+        assert_eq!(
+            g.body[1],
+            GraphStmt::Invoke {
+                kernel: "scale_kernel".into(),
+                args: vec!["a".into(), "b".into()]
+            }
+        );
+        assert_eq!(
+            g.body[2],
+            GraphStmt::Attr {
+                conn: "b".into(),
+                key: "plio_name".into(),
+                value: AttrLit::Str("out0".into())
+            }
+        );
+        assert_eq!(
+            g.body[3],
+            GraphStmt::Attr {
+                conn: "b".into(),
+                key: "depth_hint".into(),
+                value: AttrLit::Int(32)
+            }
+        );
+        assert!(matches!(&g.body[4], GraphStmt::Settings { conn, expr_src }
+            if conn == "b" && expr_src.contains("depth")));
+    }
+
+    #[test]
+    fn unmarked_graph_is_found_but_not_marked() {
+        let src = r#"
+fn build() {
+    let g = compute_graph! {
+        name: g,
+        inputs: (a: i32),
+        body: { },
+        outputs: (a),
+    };
+}
+"#;
+        let r = scan(src).unwrap();
+        assert_eq!(r.graphs.len(), 1);
+        assert!(!r.graphs[0].marked_extract);
+    }
+
+    #[test]
+    fn fn_references_are_collected() {
+        let r = scan(SAMPLE).unwrap();
+        let helper = r
+            .items
+            .iter()
+            .find(|i| i.name.as_deref() == Some("helper"))
+            .unwrap();
+        assert!(helper.referenced.iter().any(|s| s == "GAIN_TABLE"));
+    }
+
+    #[test]
+    fn malformed_kernel_reports_error() {
+        let src = "compute_kernel! { #[realm(aie)] fn k(x: BogusPort<f32>) {} }";
+        let err = scan(src).unwrap_err();
+        assert!(err.message.contains("ReadPort"));
+    }
+
+    #[test]
+    fn missing_outputs_reports_error() {
+        let src = "compute_graph! { name: g, inputs: (a: f32), body: { } }";
+        assert!(scan(src).is_err());
+    }
+
+    proptest::proptest! {
+        /// The scanner never panics on arbitrary ASCII input.
+        #[test]
+        fn scan_never_panics(src in "[ -~\n]{0,300}") {
+            let _ = scan(&src);
+        }
+
+        /// Scanning is robust against arbitrary garbage *around* a valid
+        /// kernel definition: the kernel is still found.
+        #[test]
+        fn kernel_found_amid_garbage(
+            prefix in "[a-z ;{}()0-9\n]{0,80}",
+            suffix in "[a-z ;()0-9\n]{0,80}",
+        ) {
+            // Keep delimiters in the prefix balanced by neutralising braces
+            // (an unbalanced `{` would swallow the macro in skip_group).
+            let prefix = prefix.replace(['{', '}'], " ");
+            let src = format!(
+                "{prefix}\ncompute_kernel! {{\n  #[realm(aie)]\n  fn kk(input: ReadPort<f32>, out: WritePort<f32>) {{ }}\n}}\n{suffix}"
+            );
+            if let Ok(r) = scan(&src) {
+                proptest::prop_assert_eq!(r.kernels.len(), 1);
+                proptest::prop_assert_eq!(r.kernels[0].name.as_str(), "kk");
+            }
+        }
+    }
+
+    #[test]
+    fn items_have_correct_kinds() {
+        let r = scan(SAMPLE).unwrap();
+        let kind_of = |name: &str| {
+            r.items
+                .iter()
+                .find(|i| i.name.as_deref() == Some(name))
+                .map(|i| i.kind)
+        };
+        assert_eq!(kind_of("GAIN_TABLE"), Some(ItemKind::Const));
+        assert_eq!(kind_of("helper"), Some(ItemKind::Fn));
+    }
+}

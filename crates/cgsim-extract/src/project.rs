@@ -1,0 +1,101 @@
+//! Extracted project representation.
+//!
+//! One [`ExtractedProject`] corresponds to one Vitis-compatible AIE project
+//! in the paper's flow: a set of generated files that can be written to
+//! disk as a directory tree. Because AMD's `aiecompiler` is unavailable,
+//! the project additionally carries `graph.json` — the flattened graph in
+//! manifest form — which `aie-sim` accepts as its deployment input.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// A generated project: file name → contents, ordered for stable output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractedProject {
+    /// Project (graph) name.
+    pub name: String,
+    /// Generated files, keyed by project-relative path.
+    pub files: BTreeMap<String, String>,
+}
+
+impl ExtractedProject {
+    /// New empty project.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExtractedProject {
+            name: name.into(),
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) a file.
+    pub fn add_file(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    /// Fetch a file's contents.
+    pub fn file(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Write the project under `dir/<project name>/`, creating directories
+    /// as needed; returns the project root.
+    pub fn write_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        let root = dir.join(&self.name);
+        for (rel, contents) in &self.files {
+            let path = root.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, contents)?;
+        }
+        Ok(root)
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(String::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = ExtractedProject::new("demo");
+        p.add_file("graph.hpp", "// graph");
+        p.add_file("kernel_decls.hpp", "// decls");
+        assert_eq!(p.file("graph.hpp"), Some("// graph"));
+        assert_eq!(p.file("missing"), None);
+        assert_eq!(p.files.len(), 2);
+        assert_eq!(p.total_bytes(), 16);
+    }
+
+    #[test]
+    fn writes_directory_tree() {
+        let mut p = ExtractedProject::new("demo_proj");
+        p.add_file("graph.hpp", "a");
+        p.add_file("src/kernel.rs", "b");
+        let tmp = std::env::temp_dir().join(format!("cgsim_extract_test_{}", std::process::id()));
+        let root = p.write_to(&tmp).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(root.join("graph.hpp")).unwrap(),
+            "a"
+        );
+        assert_eq!(
+            std::fs::read_to_string(root.join("src/kernel.rs")).unwrap(),
+            "b"
+        );
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut p = ExtractedProject::new("x");
+        p.add_file("f", "1");
+        p.add_file("f", "2");
+        assert_eq!(p.file("f"), Some("2"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Kernel source transformation (§4.4–4.5).
+//!
+//! The paper's extractor rewrites each kernel's source text with a
+//! `clang::Rewriter` over the macro expansion range: it removes `co_await`
+//! tokens (turning asynchronous stream operations into synchronous blocking
+//! calls), emits a forward declaration and a full definition per kernel,
+//! and — for the AIE realm — prepends an adapter thunk converting
+//! AIE-native parameters into the generic port types the kernel body
+//! expects.
+//!
+//! The Rust rendition rewrites the same way, token-aware and
+//! formatting-preserving: `.await` spans are excised from the original
+//! text, port types are re-spelled per realm, and the C++ thunk/declaration
+//! text for `kernel_decls.hpp` is generated from the kernel signature.
+
+use crate::lexer::{lex, Span};
+use crate::parse::{KernelDef, PortDecl, PortDirSyntax};
+
+/// Map a Rust element type to its AIE C++ spelling.
+pub fn cpp_type(rust_ty: &str) -> String {
+    match rust_ty {
+        "f32" => "float".into(),
+        "f64" => "double".into(),
+        "i8" => "int8".into(),
+        "u8" => "uint8".into(),
+        "i16" => "int16".into(),
+        "u16" => "uint16".into(),
+        "i32" => "int32".into(),
+        "u32" => "uint32".into(),
+        "i64" => "int64".into(),
+        "u64" => "uint64".into(),
+        other => other.into(), // user structs keep their name
+    }
+}
+
+/// Remove every `.await` from `body`, preserving all other formatting —
+/// the analogue of the paper's `co_await` removal. Token-aware: an
+/// identifier `await` inside a string literal or a name like `awaited` is
+/// left alone.
+pub fn strip_await(body: &str) -> String {
+    let Ok(tokens) = lex(body) else {
+        // Un-lexable text is returned untouched; the caller works on spans
+        // that already lexed once, so this is unreachable in practice.
+        return body.to_owned();
+    };
+    let mut remove: Vec<Span> = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_punct('.') && tokens[i + 1].is_ident("await") {
+            remove.push(tokens[i].span.merge(tokens[i + 1].span));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = String::with_capacity(body.len());
+    let mut pos = 0;
+    for span in remove {
+        out.push_str(&body[pos..span.start]);
+        pos = span.end;
+    }
+    out.push_str(&body[pos..]);
+    out
+}
+
+/// The realm-specific spelling of a port parameter in transformed *Rust*
+/// kernel source. The port type names stay (`KernelReadPort` /
+/// `KernelWritePort`), per §4.4: "each realm must provide its own
+/// implementations of these types that adapt the cgsim API to the native
+/// streaming I/O interface of the target realm."
+pub fn rust_port_param(port: &PortDecl, realm_ns: &str) -> String {
+    let dir = match port.dir {
+        PortDirSyntax::Read => "KernelReadPort",
+        PortDirSyntax::Write => "KernelWritePort",
+    };
+    format!(
+        "{name}: &mut {ns}::{dir}<{ty}>",
+        name = port.name,
+        ns = realm_ns,
+        dir = dir,
+        ty = port.elem_ty
+    )
+}
+
+/// Generate the transformed Rust *definition* of a kernel for the given
+/// realm namespace: doc comments, blocking signature, body with `.await`
+/// stripped.
+pub fn kernel_definition_rust(def: &KernelDef, source: &str, realm_ns: &str) -> String {
+    let mut out = String::new();
+    for d in &def.docs {
+        out.push_str("/// ");
+        out.push_str(d);
+        out.push('\n');
+    }
+    out.push_str("pub fn ");
+    out.push_str(&def.name);
+    out.push('(');
+    let params: Vec<String> = def
+        .ports
+        .iter()
+        .map(|p| rust_port_param(p, realm_ns))
+        .collect();
+    out.push_str(&params.join(", "));
+    out.push_str(") ");
+    out.push_str(&strip_await(def.body_span.text(source)));
+    out.push('\n');
+    out
+}
+
+/// Generate the Rust forward declaration (signature only) — the paper
+/// processes every kernel twice, once for the declaration and once for the
+/// definition.
+pub fn kernel_declaration_rust(def: &KernelDef, realm_ns: &str) -> String {
+    let params: Vec<String> = def
+        .ports
+        .iter()
+        .map(|p| rust_port_param(p, realm_ns))
+        .collect();
+    format!("pub fn {}({});\n", def.name, params.join(", "))
+}
+
+/// C++ parameter spelling of one port for `kernel_decls.hpp`, following the
+/// AIE kernel ABI: streams become `input_stream<T>*`/`output_stream<T>*`,
+/// window ports become `input_window<T>*`/`output_window<T>*`, runtime
+/// parameters become scalars/references.
+pub fn cpp_port_param(port: &PortDecl, settings_window: bool, settings_rtp: bool) -> String {
+    let ty = cpp_type(&port.elem_ty);
+    match (port.dir, settings_window, settings_rtp) {
+        (PortDirSyntax::Read, _, true) => format!("{ty} {}", port.name),
+        (PortDirSyntax::Write, _, true) => format!("{ty}& {}", port.name),
+        (PortDirSyntax::Read, true, _) => format!("input_window<{ty}>* {}", port.name),
+        (PortDirSyntax::Write, true, _) => format!("output_window<{ty}>* {}", port.name),
+        (PortDirSyntax::Read, false, _) => format!("input_stream<{ty}>* {}", port.name),
+        (PortDirSyntax::Write, false, _) => format!("output_stream<{ty}>* {}", port.name),
+    }
+}
+
+/// Is the `await` keyword (or any other marker) still present in rewritten
+/// source? Used as a post-rewrite sanity check.
+pub fn contains_await(text: &str) -> bool {
+    match lex(text) {
+        Ok(tokens) => tokens.iter().any(|t| t.is_ident("await")),
+        Err(_) => text.contains("await"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::scan;
+
+    const KERNEL_SRC: &str = r#"
+compute_kernel! {
+    /// Adds pairs of values.
+    #[realm(aie)]
+    pub fn adder_kernel(in1: ReadPort<f32>, in2: ReadPort<f32>, out: WritePort<f32>) {
+        loop {
+            let (Some(a), Some(b)) = (in1.get().await, in2.get().await) else { break };
+            out.put(a + b).await;
+        }
+    }
+}
+"#;
+
+    fn kernel() -> (KernelDef, &'static str) {
+        let r = scan(KERNEL_SRC).unwrap();
+        (r.kernels[0].clone(), KERNEL_SRC)
+    }
+
+    #[test]
+    fn strip_await_removes_all_awaits() {
+        let (k, src) = kernel();
+        let body = k.body_span.text(src);
+        let stripped = strip_await(body);
+        assert!(!contains_await(&stripped));
+        // The calls themselves survive.
+        assert!(stripped.contains("in1.get()"));
+        assert!(stripped.contains("out.put(a + b)"));
+        // Formatting (newlines/indentation) survives.
+        assert_eq!(stripped.lines().count(), body.lines().count());
+    }
+
+    #[test]
+    fn strip_await_spares_lookalikes() {
+        let s = r#"{ let awaited = 1; let x = "say .await"; foo.await; }"#;
+        let stripped = strip_await(s);
+        assert!(stripped.contains("awaited"));
+        assert!(stripped.contains("say .await")); // inside string literal
+        assert!(stripped.contains("foo;")); // real await removed
+    }
+
+    #[test]
+    fn definition_contains_signature_docs_and_body() {
+        let (k, src) = kernel();
+        let def = kernel_definition_rust(&k, src, "aie_realm");
+        assert!(def.starts_with("/// Adds pairs of values.\n"));
+        assert!(def.contains(
+            "pub fn adder_kernel(in1: &mut aie_realm::KernelReadPort<f32>, \
+             in2: &mut aie_realm::KernelReadPort<f32>, \
+             out: &mut aie_realm::KernelWritePort<f32>)"
+        ));
+        assert!(!contains_await(&def));
+    }
+
+    #[test]
+    fn declaration_is_signature_only() {
+        let (k, _) = kernel();
+        let decl = kernel_declaration_rust(&k, "aie_realm");
+        assert!(decl.ends_with(");\n"));
+        assert!(!decl.contains('{'));
+    }
+
+    #[test]
+    fn cpp_types_map() {
+        assert_eq!(cpp_type("f32"), "float");
+        assert_eq!(cpp_type("i16"), "int16");
+        assert_eq!(cpp_type("u64"), "uint64");
+        assert_eq!(cpp_type("Pixel"), "Pixel");
+    }
+
+    #[test]
+    fn cpp_params_follow_port_class() {
+        let read = PortDecl {
+            name: "in1".into(),
+            dir: PortDirSyntax::Read,
+            elem_ty: "f32".into(),
+            settings_src: None,
+        };
+        let write = PortDecl {
+            name: "out".into(),
+            dir: PortDirSyntax::Write,
+            elem_ty: "i16".into(),
+            settings_src: None,
+        };
+        assert_eq!(
+            cpp_port_param(&read, false, false),
+            "input_stream<float>* in1"
+        );
+        assert_eq!(
+            cpp_port_param(&read, true, false),
+            "input_window<float>* in1"
+        );
+        assert_eq!(cpp_port_param(&read, false, true), "float in1");
+        assert_eq!(
+            cpp_port_param(&write, false, false),
+            "output_stream<int16>* out"
+        );
+        assert_eq!(cpp_port_param(&write, false, true), "int16& out");
+    }
+}

@@ -1,0 +1,119 @@
+//! Common harness interface over the four evaluation applications (§5).
+//!
+//! Each ported AMD example implements [`EvalApp`], exposing everything the
+//! benchmark harnesses need: the graph, the kernel library, measured cost
+//! profiles, workload specs matching the paper's block sizes, and
+//! self-verifying functional runs on both the cooperative runtime (cgsim)
+//! and the thread-per-kernel runtime (x86sim substitute).
+
+use aie_sim::{KernelCostProfile, WorkloadSpec};
+use cgsim_core::FlatGraph;
+use cgsim_runtime::KernelLibrary;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Which functional runtime executed a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Runtime {
+    /// Cooperative single-threaded simulator (`cgsim`).
+    Cooperative,
+    /// Thread-per-kernel simulator (`x86sim` substitute).
+    Threaded,
+}
+
+/// Outcome of one functional simulation run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Wall-clock duration of graph execution.
+    pub wall_time: Duration,
+    /// Output elements produced.
+    pub out_elems: usize,
+    /// FNV-1a checksum over the output bytes (for cross-runtime equality
+    /// checks without holding the data).
+    pub checksum: u64,
+    /// Fraction of time spent in kernels (cooperative runs only; the §5.2
+    /// profiling claim).
+    pub kernel_fraction: Option<f64>,
+}
+
+/// One ported evaluation application.
+pub trait EvalApp {
+    /// Short name matching the paper's Table 1 ("bitonic", "farrow", "IIR",
+    /// "bilinear").
+    fn name(&self) -> &'static str;
+
+    /// Input block size in bytes, as reported in Table 1.
+    fn block_bytes(&self) -> u64;
+
+    /// Build the compute graph.
+    fn graph(&self) -> FlatGraph;
+
+    /// Kernel registry for runtime instantiation.
+    fn library(&self) -> KernelLibrary;
+
+    /// Measured cost profiles (instrumented intrinsic op counts).
+    fn profiles(&self) -> HashMap<String, KernelCostProfile>;
+
+    /// Workload spec for `blocks` input blocks (for the cycle simulator).
+    fn workload(&self, blocks: u64) -> WorkloadSpec;
+
+    /// Run `blocks` blocks on the given functional runtime and verify the
+    /// output against the scalar reference; returns run metrics.
+    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String>;
+}
+
+/// FNV-1a over a byte stream.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Checksum helper for `f32` outputs (bit-exact).
+pub fn checksum_f32(data: &[f32]) -> u64 {
+    fnv1a(data.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// Checksum helper for `i16` outputs.
+pub fn checksum_i16(data: &[i16]) -> u64 {
+    fnv1a(data.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// All four evaluation applications, in the paper's Table 1 order.
+pub fn all_apps() -> Vec<Box<dyn EvalApp>> {
+    vec![
+        Box::new(crate::bitonic::BitonicApp),
+        Box::new(crate::farrow::FarrowApp),
+        Box::new(crate::iir::IirApp),
+        Box::new(crate::bilinear::BilinearApp),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        // And it changes with content.
+        assert_ne!(fnv1a([1u8]), fnv1a([2u8]));
+    }
+
+    #[test]
+    fn checksums_are_order_sensitive() {
+        assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
+        assert_ne!(checksum_i16(&[1, 2]), checksum_i16(&[2, 1]));
+    }
+
+    #[test]
+    fn all_apps_listed_in_table1_order() {
+        let apps = all_apps();
+        let names: Vec<_> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["bitonic", "farrow", "IIR", "bilinear"]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Shared plumbing for the evaluation applications: generic run helpers
+//! over both functional runtimes, and profile bookkeeping.
+
+use crate::apps::{AppRun, Runtime};
+use aie_sim::KernelCostProfile;
+use cgsim_core::{FlatGraph, StreamData};
+use cgsim_runtime::{KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim_threads::{ThreadedConfig, ThreadedContext};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Profile bookkeeping helpers.
+pub mod measure {
+    use super::*;
+
+    /// Build a profile map from an iterator of profiles.
+    pub fn profile_map(
+        profiles: impl IntoIterator<Item = KernelCostProfile>,
+    ) -> HashMap<String, KernelCostProfile> {
+        profiles
+            .into_iter()
+            .map(|p| (p.kernel.clone(), p))
+            .collect()
+    }
+}
+
+/// Run a one-input/one-output graph on the chosen runtime; returns outputs
+/// and raw metrics (checksum/out_elems left for the caller to fill).
+pub fn run_simple<TIn: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    runtime: Runtime,
+    input: Vec<TIn>,
+) -> Result<(Vec<TOut>, AppRun), String> {
+    run_with_inputs::<TOut>(
+        graph,
+        lib,
+        runtime,
+        vec![Box::new(move |f| f.feed(0, input))],
+    )
+}
+
+/// Run a graph whose input 0 is a data stream and input 1 a runtime
+/// parameter.
+pub fn run_with_param<TIn: StreamData, P: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    runtime: Runtime,
+    input: Vec<TIn>,
+    param: P,
+) -> Result<(Vec<TOut>, AppRun), String> {
+    run_with_inputs::<TOut>(
+        graph,
+        lib,
+        runtime,
+        vec![
+            Box::new(move |f| f.feed(0, input)),
+            Box::new(move |f| f.feed_param(1, param)),
+        ],
+    )
+}
+
+/// A feed action applied to either runtime through the [`Feeder`] facade.
+type FeedFn = Box<dyn FnOnce(&mut dyn Feeder) -> Result<(), cgsim_core::GraphError>>;
+
+/// Facade over the two context types' feed methods.
+pub trait Feeder {
+    /// Feed a boxed, type-erased vector into positional input `index`.
+    fn feed_any(
+        &mut self,
+        index: usize,
+        data: Box<dyn std::any::Any>,
+    ) -> Result<(), cgsim_core::GraphError>;
+}
+
+trait FeederExt {
+    fn feed<T: StreamData>(
+        &mut self,
+        index: usize,
+        data: Vec<T>,
+    ) -> Result<(), cgsim_core::GraphError>;
+    fn feed_param<T: StreamData>(
+        &mut self,
+        index: usize,
+        value: T,
+    ) -> Result<(), cgsim_core::GraphError>;
+}
+
+impl FeederExt for dyn Feeder + '_ {
+    fn feed<T: StreamData>(
+        &mut self,
+        index: usize,
+        data: Vec<T>,
+    ) -> Result<(), cgsim_core::GraphError> {
+        self.feed_any(index, Box::new(data))
+    }
+    fn feed_param<T: StreamData>(
+        &mut self,
+        index: usize,
+        value: T,
+    ) -> Result<(), cgsim_core::GraphError> {
+        self.feed_any(index, Box::new(vec![value]))
+    }
+}
+
+struct CoopFeeder<'a, 'g>(&'a mut RuntimeContext<'g>);
+struct ThreadFeeder<'a, 'g>(&'a mut ThreadedContext<'g>);
+
+macro_rules! feed_typed {
+    ($ctx:expr, $index:expr, $data:expr, [$($t:ty),*]) => {{
+        let mut data = $data;
+        $(
+            data = match data.downcast::<Vec<$t>>() {
+                Ok(v) => return $ctx.feed($index, *v),
+                Err(d) => d,
+            };
+        )*
+        let _ = data;
+        Err(cgsim_core::GraphError::IoArityMismatch {
+            what: "inputs",
+            expected: 0,
+            actual: $index,
+        })
+    }};
+}
+
+/// Stream element types the generic feeder supports. Applications using a
+/// custom struct stream register it here.
+macro_rules! feeder_impl {
+    ($name:ident) => {
+        impl Feeder for $name<'_, '_> {
+            fn feed_any(
+                &mut self,
+                index: usize,
+                data: Box<dyn std::any::Any>,
+            ) -> Result<(), cgsim_core::GraphError> {
+                feed_typed!(
+                    self.0,
+                    index,
+                    data,
+                    [
+                        f32,
+                        f64,
+                        i16,
+                        i32,
+                        u32,
+                        i64,
+                        crate::bilinear::PixelQuad,
+                        crate::farrow::BranchSet
+                    ]
+                )
+            }
+        }
+    };
+}
+
+feeder_impl!(CoopFeeder);
+feeder_impl!(ThreadFeeder);
+
+fn run_with_inputs<TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    runtime: Runtime,
+    feeds: Vec<FeedFn>,
+) -> Result<(Vec<TOut>, AppRun), String> {
+    match runtime {
+        Runtime::Cooperative => {
+            let mut ctx = RuntimeContext::new(graph, lib, RuntimeConfig::default())
+                .map_err(|e| e.to_string())?;
+            for f in feeds {
+                f(&mut CoopFeeder(&mut ctx)).map_err(|e| e.to_string())?;
+            }
+            let out = ctx.collect::<TOut>(0).map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            let report = ctx.run().map_err(|e| e.to_string())?;
+            let wall_time = start.elapsed();
+            if !report.drained() {
+                return Err(format!("graph stalled: {:?}", report.stalled));
+            }
+            Ok((
+                out.take(),
+                AppRun {
+                    wall_time,
+                    out_elems: 0,
+                    checksum: 0,
+                    kernel_fraction: Some(report.exec.kernel_fraction()),
+                },
+            ))
+        }
+        Runtime::Threaded => {
+            let mut ctx = ThreadedContext::new(graph, lib, ThreadedConfig::default())
+                .map_err(|e| e.to_string())?;
+            for f in feeds {
+                f(&mut ThreadFeeder(&mut ctx)).map_err(|e| e.to_string())?;
+            }
+            let out = ctx.collect::<TOut>(0).map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            ctx.run().map_err(|e| e.to_string())?;
+            let wall_time = start.elapsed();
+            Ok((
+                out.take(),
+                AppRun {
+                    wall_time,
+                    out_elems: 0,
+                    checksum: 0,
+                    kernel_fraction: None,
+                },
+            ))
+        }
+    }
+}
+
+/// Convenience wrapper used by f32-stream apps.
+pub fn run_one_in_one_out_f32(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    runtime: Runtime,
+    input: Vec<f32>,
+) -> Result<(Vec<f32>, AppRun), String> {
+    run_simple::<f32, f32>(graph, lib, runtime, input)
+}

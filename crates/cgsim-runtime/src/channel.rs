@@ -1,0 +1,498 @@
+//! Fixed-capacity MPMC queues with broadcast semantics (§3.6).
+//!
+//! Kernels exchange data through these queues at runtime. Semantics follow
+//! the paper exactly:
+//!
+//! * **fixed capacity** — producers suspend when the buffer is full relative
+//!   to the *slowest* consumer,
+//! * **broadcast** — every consumer receives a complete copy of all data
+//!   written to the buffer,
+//! * **per-producer order** — data from one producer stays in order, but
+//!   data from multiple producers may interleave (MPMC merge),
+//! * **closure** — when every producer handle is dropped, consumers observe
+//!   end-of-stream (`None`) after draining.
+//!
+//! The implementation is a sequence-numbered ring: each consumer owns a
+//! cursor; an element is retired once every open consumer has passed it.
+//! The queue is `Sync` (a `std::sync::Mutex` guards the state) so the *same*
+//! channel type serves both the cooperative single-threaded executor and the
+//! thread-per-kernel functional simulator — only the waker behind the
+//! suspended operation differs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Counters describing channel activity, used for the paper's §5.2
+/// synchronisation-overhead analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Elements accepted from producers.
+    pub pushes: u64,
+    /// Elements delivered to consumers (counted per consumer).
+    pub pops: u64,
+    /// Producer polls that had to suspend on a full buffer.
+    pub blocked_writes: u64,
+    /// Consumer polls that had to suspend on an empty buffer.
+    pub blocked_reads: u64,
+}
+
+struct ConsumerState {
+    /// Absolute sequence number of the next element this consumer reads.
+    cursor: u64,
+    open: bool,
+    waker: Option<Waker>,
+}
+
+struct Inner<T> {
+    /// Retained elements; `buf[0]` has sequence number `base_seq`.
+    buf: VecDeque<T>,
+    base_seq: u64,
+    capacity: usize,
+    consumers: Vec<ConsumerState>,
+    producers: usize,
+    write_wakers: Vec<Waker>,
+    stats: ChannelStats,
+}
+
+impl<T> Inner<T> {
+    fn head_seq(&self) -> u64 {
+        self.base_seq + self.buf.len() as u64
+    }
+
+    fn min_open_cursor(&self) -> u64 {
+        self.consumers
+            .iter()
+            .filter(|c| c.open)
+            .map(|c| c.cursor)
+            .min()
+            .unwrap_or(self.head_seq())
+    }
+
+    /// Drop elements every open consumer has already read.
+    fn retire(&mut self) {
+        let min = self.min_open_cursor();
+        while self.base_seq < min && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base_seq += 1;
+        }
+    }
+
+    fn wake_readers(&mut self) {
+        for c in &mut self.consumers {
+            if let Some(w) = c.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    fn wake_writers(&mut self) {
+        for w in self.write_wakers.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// A broadcast MPMC channel carrying elements of type `T`.
+pub struct Channel<T> {
+    inner: Mutex<Inner<T>>,
+    /// Total elements ever pushed — readable without the lock for stats.
+    pushed: AtomicU64,
+}
+
+impl<T: Clone> Channel<T> {
+    /// Create a channel with the given element capacity (must be ≥ 1).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        Arc::new(Channel {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                base_seq: 0,
+                capacity,
+                consumers: Vec::new(),
+                producers: 0,
+                write_wakers: Vec::new(),
+                stats: ChannelStats::default(),
+            }),
+            pushed: AtomicU64::new(0),
+        })
+    }
+
+    /// Register a producer endpoint. The channel reports end-of-stream only
+    /// after *all* producers have been dropped.
+    pub fn add_producer(self: &Arc<Self>) -> Producer<T> {
+        self.inner.lock().unwrap().producers += 1;
+        Producer {
+            chan: Arc::clone(self),
+        }
+    }
+
+    /// Register a consumer endpoint. Each consumer independently receives
+    /// every element (broadcast). Consumers must be registered before data
+    /// flows; they start reading at the current head.
+    pub fn add_consumer(self: &Arc<Self>) -> Consumer<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let idx = inner.consumers.len();
+        let cursor = inner.head_seq();
+        inner.consumers.push(ConsumerState {
+            cursor,
+            open: true,
+            waker: None,
+        });
+        Consumer {
+            chan: Arc::clone(self),
+            idx,
+        }
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Elements currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether no elements are currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total elements ever pushed (cheap, lock-free).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    fn poll_send(&self, value: &mut Option<T>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.inner.lock().unwrap();
+        // Full relative to the slowest open consumer?
+        let occupied = (inner.head_seq() - inner.min_open_cursor()) as usize;
+        if occupied >= inner.capacity && inner.consumers.iter().any(|c| c.open) {
+            inner.stats.blocked_writes += 1;
+            inner.write_wakers.push(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let v = value.take().expect("SendFuture polled after completion");
+        inner.buf.push_back(v);
+        inner.stats.pushes += 1;
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        // With no open consumers the element is immediately retired —
+        // writing to a stream nobody reads succeeds and discards, which is
+        // what lets upstream kernels drain during shutdown.
+        inner.retire();
+        inner.wake_readers();
+        Poll::Ready(())
+    }
+
+    fn poll_recv(&self, idx: usize, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        let cursor = inner.consumers[idx].cursor;
+        if cursor < inner.head_seq() {
+            let offset = (cursor - inner.base_seq) as usize;
+            let value = inner.buf[offset].clone();
+            inner.consumers[idx].cursor += 1;
+            inner.stats.pops += 1;
+            inner.retire();
+            inner.wake_writers();
+            Poll::Ready(Some(value))
+        } else if inner.producers == 0 {
+            Poll::Ready(None)
+        } else {
+            inner.stats.blocked_reads += 1;
+            inner.consumers[idx].waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    fn close_producer(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.producers -= 1;
+        if inner.producers == 0 {
+            inner.wake_readers();
+        }
+    }
+
+    fn close_consumer(&self, idx: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consumers[idx].open = false;
+        inner.consumers[idx].waker = None;
+        inner.retire();
+        inner.wake_writers();
+    }
+}
+
+/// Producer endpoint; dropping it releases the channel (closing it once all
+/// producers are gone).
+pub struct Producer<T: Clone> {
+    chan: Arc<Channel<T>>,
+}
+
+impl<T: Clone> Producer<T> {
+    /// Send one element, suspending while the buffer is full.
+    pub fn send(&mut self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            chan: &self.chan,
+            value: Some(value),
+        }
+    }
+
+    /// The channel this endpoint writes to.
+    pub fn channel(&self) -> &Arc<Channel<T>> {
+        &self.chan
+    }
+}
+
+impl<T: Clone> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.chan.close_producer();
+    }
+}
+
+/// Consumer endpoint; dropping it releases its cursor so it no longer
+/// throttles producers.
+pub struct Consumer<T: Clone> {
+    chan: Arc<Channel<T>>,
+    idx: usize,
+}
+
+impl<T: Clone> Consumer<T> {
+    /// Receive the next element, suspending while the buffer is empty.
+    /// Resolves to `None` once all producers are dropped and the stream is
+    /// drained.
+    pub fn recv(&mut self) -> RecvFuture<'_, T> {
+        RecvFuture {
+            chan: &self.chan,
+            idx: self.idx,
+        }
+    }
+
+    /// The channel this endpoint reads from.
+    pub fn channel(&self) -> &Arc<Channel<T>> {
+        &self.chan
+    }
+}
+
+impl<T: Clone> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.chan.close_consumer(self.idx);
+    }
+}
+
+/// Future returned by [`Producer::send`].
+pub struct SendFuture<'a, T: Clone> {
+    chan: &'a Channel<T>,
+    value: Option<T>,
+}
+
+impl<T: Clone> std::future::Future for SendFuture<'_, T> {
+    type Output = ();
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        this.chan.poll_send(&mut this.value, cx)
+    }
+}
+
+impl<T: Clone> Unpin for SendFuture<'_, T> {}
+
+/// Future returned by [`Consumer::recv`].
+pub struct RecvFuture<'a, T: Clone> {
+    chan: &'a Channel<T>,
+    idx: usize,
+}
+
+impl<T: Clone> std::future::Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        self.chan.poll_recv(self.idx, cx)
+    }
+}
+
+impl<T: Clone> Unpin for RecvFuture<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::block_on;
+
+    #[test]
+    fn single_producer_single_consumer_fifo() {
+        let chan = Channel::new(4);
+        let mut tx = chan.add_producer();
+        let mut rx = chan.add_consumer();
+        block_on(async {
+            for i in 0..4 {
+                tx.send(i).await;
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn broadcast_delivers_full_copy_to_each_consumer() {
+        let chan = Channel::new(8);
+        let mut tx = chan.add_producer();
+        let mut rx1 = chan.add_consumer();
+        let mut rx2 = chan.add_consumer();
+        block_on(async {
+            for i in 0..5 {
+                tx.send(i * 10).await;
+            }
+            drop(tx);
+            let mut a = Vec::new();
+            while let Some(v) = rx1.recv().await {
+                a.push(v);
+            }
+            let mut b = Vec::new();
+            while let Some(v) = rx2.recv().await {
+                b.push(v);
+            }
+            assert_eq!(a, vec![0, 10, 20, 30, 40]);
+            assert_eq!(b, a);
+        });
+    }
+
+    #[test]
+    fn recv_none_after_all_producers_drop() {
+        let chan = Channel::<u32>::new(2);
+        let tx1 = chan.add_producer();
+        let tx2 = chan.add_producer();
+        let mut rx = chan.add_consumer();
+        drop(tx1);
+        // Still one producer open: a poll must stay pending, not None.
+        {
+            let waker = std::task::Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            assert!(matches!(chan.poll_recv(0, &mut cx), Poll::Pending));
+        }
+        drop(tx2);
+        assert_eq!(block_on(async { rx.recv().await }), None);
+    }
+
+    #[test]
+    fn capacity_throttles_on_slowest_consumer() {
+        let chan = Channel::new(2);
+        let _tx = chan.add_producer();
+        let mut fast = chan.add_consumer();
+        let _slow = chan.add_consumer();
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+
+        // Two sends fit; the third must block because `slow` has read nothing.
+        assert!(matches!(
+            chan.poll_send(&mut Some(1), &mut cx),
+            Poll::Ready(())
+        ));
+        assert!(matches!(
+            chan.poll_send(&mut Some(2), &mut cx),
+            Poll::Ready(())
+        ));
+        assert!(matches!(
+            chan.poll_send(&mut Some(3), &mut cx),
+            Poll::Pending
+        ));
+        // Fast consumer draining does not help: slow still pins the buffer.
+        block_on(async {
+            assert_eq!(fast.recv().await, Some(1));
+            assert_eq!(fast.recv().await, Some(2));
+        });
+        assert!(matches!(
+            chan.poll_send(&mut Some(3), &mut cx),
+            Poll::Pending
+        ));
+        assert_eq!(chan.stats().blocked_writes, 2);
+    }
+
+    #[test]
+    fn dropping_a_consumer_unpins_the_buffer() {
+        let chan = Channel::new(1);
+        let _tx = chan.add_producer();
+        let slow = chan.add_consumer();
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(matches!(
+            chan.poll_send(&mut Some(1), &mut cx),
+            Poll::Ready(())
+        ));
+        assert!(matches!(
+            chan.poll_send(&mut Some(2), &mut cx),
+            Poll::Pending
+        ));
+        drop(slow);
+        assert!(matches!(
+            chan.poll_send(&mut Some(2), &mut cx),
+            Poll::Ready(())
+        ));
+    }
+
+    #[test]
+    fn writes_without_consumers_are_discarded() {
+        let chan = Channel::new(1);
+        let mut tx = chan.add_producer();
+        block_on(async {
+            // Capacity is 1, yet all sends complete: nothing retains data.
+            for i in 0..10 {
+                tx.send(i).await;
+            }
+        });
+        assert_eq!(chan.len(), 0);
+        assert_eq!(chan.total_pushed(), 10);
+    }
+
+    #[test]
+    fn multi_producer_merge_preserves_per_producer_order() {
+        let chan = Channel::new(64);
+        let mut tx1 = chan.add_producer();
+        let mut tx2 = chan.add_producer();
+        let mut rx = chan.add_consumer();
+        block_on(async {
+            for i in 0..10 {
+                tx1.send(i).await; // producer 1: 0..10
+                tx2.send(100 + i).await; // producer 2: 100..110
+            }
+            drop(tx1);
+            drop(tx2);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            let p1: Vec<i32> = got.iter().copied().filter(|v| *v < 100).collect();
+            let p2: Vec<i32> = got.iter().copied().filter(|v| *v >= 100).collect();
+            assert_eq!(p1, (0..10).collect::<Vec<_>>());
+            assert_eq!(p2, (100..110).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn stats_count_pops_per_consumer() {
+        let chan = Channel::new(8);
+        let mut tx = chan.add_producer();
+        let mut rx1 = chan.add_consumer();
+        let mut rx2 = chan.add_consumer();
+        block_on(async {
+            tx.send(1).await;
+            tx.send(2).await;
+            drop(tx);
+            while rx1.recv().await.is_some() {}
+            while rx2.recv().await.is_some() {}
+        });
+        let stats = chan.stats();
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.pops, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Channel::<u8>::new(0);
+    }
+}

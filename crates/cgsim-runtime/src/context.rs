@@ -1,0 +1,583 @@
+//! Runtime graph instantiation and execution (§3.6–3.8).
+//!
+//! The [`RuntimeContext`] is the paper's runtime deserializer: it takes the
+//! flattened graph produced at construction time, recreates all I/O channels
+//! from the serialized descriptors, instantiates every kernel through the
+//! registry, and connects global inputs/outputs to user-supplied data
+//! sources and sinks (specialized coroutines, §3.7). [`RuntimeContext::run`]
+//! then drives the embedded cooperative scheduler to quiescence and returns
+//! a [`RunReport`].
+
+use crate::channel::Channel;
+use crate::executor::{ExecStats, Executor};
+use crate::library::{AnyChannel, KernelLibrary, PortBinder};
+use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
+use std::sync::{Arc, Mutex};
+
+/// Tunables for a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Channel capacity (elements) for connectors that do not specify an
+    /// explicit `depth` in their merged settings.
+    pub default_depth: usize,
+    /// Optional bound on total scheduler polls: a safety valve against
+    /// kernels that busy-yield forever. `None` = run to quiescence.
+    pub max_polls: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            default_depth: 64,
+            max_polls: None,
+        }
+    }
+}
+
+/// Handle to the data collected by a sink coroutine; resolves after
+/// [`RuntimeContext::run`] returns.
+pub struct SinkHandle<T> {
+    data: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> SinkHandle<T> {
+    /// An empty sink handle; used by alternative runtimes (e.g. the
+    /// thread-per-kernel simulator) that drive their own sink coroutines.
+    pub fn new() -> Self {
+        SinkHandle {
+            data: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The shared buffer a sink coroutine appends into.
+    pub fn shared(&self) -> Arc<Mutex<Vec<T>>> {
+        Arc::clone(&self.data)
+    }
+
+    /// Take the collected output (empties the handle).
+    pub fn take(&self) -> Vec<T> {
+        std::mem::take(&mut self.data.lock().unwrap())
+    }
+
+    /// Number of elements collected so far.
+    pub fn len(&self) -> usize {
+        self.data.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SinkHandle<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of one graph execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scheduler statistics (poll counts, kernel-time fraction …).
+    pub exec: ExecStats,
+    /// Kernel instances still suspended at quiescence. Empty for a graph
+    /// that drained cleanly; non-empty usually means a deadlock or an
+    /// unfed input.
+    pub stalled: Vec<String>,
+    /// Total elements moved through all connectors.
+    pub elements_moved: u64,
+    /// Per-coroutine profile (kernels, sources, sinks) — the fine-grained
+    /// version of the paper's §5.2 runtime breakdown.
+    pub tasks: Vec<crate::executor::TaskProfile>,
+}
+
+impl RunReport {
+    /// Whether every coroutine ran to completion.
+    pub fn drained(&self) -> bool {
+        self.stalled.is_empty()
+    }
+
+    /// Busy time of one task by label, if present.
+    pub fn busy_of(&self, label: &str) -> Option<std::time::Duration> {
+        self.tasks.iter().find(|t| t.label == label).map(|t| t.busy)
+    }
+}
+
+/// A single execution instance of a compute graph (§3.6).
+pub struct RuntimeContext<'g> {
+    graph: &'g FlatGraph,
+    library: &'g KernelLibrary,
+    channels: Vec<AnyChannel>,
+    executor: Executor,
+    fed_inputs: Vec<bool>,
+    bound_outputs: Vec<bool>,
+    channel_handles: Vec<Arc<dyn ChannelProbe>>,
+}
+
+/// Type-erased view over a channel for statistics collection.
+trait ChannelProbe: Send + Sync {
+    fn total_pushed(&self) -> u64;
+}
+
+impl<T: StreamData> ChannelProbe for Channel<T> {
+    fn total_pushed(&self) -> u64 {
+        Channel::total_pushed(self)
+    }
+}
+
+impl<'g> RuntimeContext<'g> {
+    /// Reconstruct a runnable copy of `graph` (§3.6): materialise one
+    /// channel per connector and one coroutine per kernel.
+    pub fn new(
+        graph: &'g FlatGraph,
+        library: &'g KernelLibrary,
+        config: RuntimeConfig,
+    ) -> Result<Self, GraphError> {
+        graph.validate()?;
+
+        // Recreate all graph I/O channels from the serialized descriptors.
+        // The element type is only known to the kernel implementations, so
+        // ask any kernel endpoint of each connector to construct it (the
+        // paper's "template functions reconstruct objects of the appropriate
+        // type when invoked").
+        let mut channels: Vec<Option<AnyChannel>> = vec![None; graph.connectors.len()];
+        for (ci, conn) in graph.connectors.iter().enumerate() {
+            let capacity = if conn.settings.depth != 0 {
+                conn.settings.depth as usize
+            } else {
+                config.default_depth
+            };
+            let endpoint = graph.kernels.iter().enumerate().find_map(|(ki, k)| {
+                k.ports
+                    .iter()
+                    .position(|p| p.connector.index() == ci)
+                    .map(|pi| (ki, pi))
+            });
+            if let Some((ki, pi)) = endpoint {
+                let entry = library.get(&graph.kernels[ki].kind)?;
+                channels[ci] = Some(entry.make_channel(pi, capacity)?);
+            }
+            // Connectors with no kernel endpoint (pure global passthrough)
+            // are created lazily by the typed feed/collect calls.
+        }
+
+        let executor = match config.max_polls {
+            Some(budget) => Executor::new().with_poll_budget(budget),
+            None => Executor::new(),
+        };
+        let mut ctx = RuntimeContext {
+            graph,
+            library,
+            channels: Vec::new(),
+            executor,
+            fed_inputs: vec![false; graph.inputs.len()],
+            bound_outputs: vec![false; graph.outputs.len()],
+            channel_handles: Vec::new(),
+        };
+
+        // Passthrough connectors get a placeholder that `feed`/`collect`
+        // replace with a typed channel; reject them here only when used by
+        // kernels (which cannot happen by construction).
+        for (ci, ch) in channels.into_iter().enumerate() {
+            match ch {
+                Some(ch) => ctx.channels.push(ch),
+                None => {
+                    // No kernel endpoint: validate() guarantees this
+                    // connector is both a global input and a global output.
+                    // Default to a byte channel placeholder; feed() replaces
+                    // it with the correctly typed channel.
+                    let _ = ci;
+                    ctx.channels.push(Arc::new(()));
+                }
+            }
+        }
+
+        // Instantiate all kernels and register their coroutines (suspended)
+        // with the scheduler (§3.8 step 1).
+        for k in &graph.kernels {
+            let entry = ctx.library.get(&k.kind)?;
+            let kernel_channels: Vec<AnyChannel> = k
+                .ports
+                .iter()
+                .map(|p| ctx.channels[p.connector.index()].clone())
+                .collect();
+            let mut binder = PortBinder::new(&k.instance, &kernel_channels);
+            let fut = entry.spawn(&mut binder)?;
+            ctx.executor.spawn(k.instance.clone(), fut);
+        }
+
+        Ok(ctx)
+    }
+
+    fn typed_channel<T: StreamData>(
+        &mut self,
+        connector: ConnectorId,
+    ) -> Result<Arc<Channel<T>>, GraphError> {
+        let slot = &mut self.channels[connector.index()];
+        if let Ok(chan) = slot.clone().downcast::<Channel<T>>() {
+            self.channel_handles.push(chan.clone());
+            return Ok(chan);
+        }
+        // Placeholder (global passthrough connector): create typed channel
+        // if the slot is still the unit placeholder.
+        if slot.clone().downcast::<()>().is_ok() {
+            let chan = Channel::<T>::new(64);
+            *slot = chan.clone();
+            self.channel_handles.push(chan.clone());
+            return Ok(chan);
+        }
+        Err(GraphError::IoTypeMismatch {
+            connector,
+            expected: Box::new(self.graph.connectors[connector.index()].dtype.clone()),
+        })
+    }
+
+    /// Attach a data-source coroutine feeding `data` into positional global
+    /// input `index` (§3.7).
+    pub fn feed<T: StreamData>(
+        &mut self,
+        index: usize,
+        data: impl IntoIterator<Item = T> + 'static,
+    ) -> Result<(), GraphError> {
+        let Some(&connector) = self.graph.inputs.get(index) else {
+            return Err(GraphError::IoArityMismatch {
+                what: "inputs",
+                expected: self.graph.inputs.len(),
+                actual: index + 1,
+            });
+        };
+        let chan = self.typed_channel::<T>(connector)?;
+        let mut tx = chan.add_producer();
+        self.fed_inputs[index] = true;
+        self.executor.spawn(
+            format!("source_{index}"),
+            Box::pin(async move {
+                for v in data {
+                    tx.send(v).await;
+                }
+            }),
+        );
+        Ok(())
+    }
+
+    /// Attach a single-value source — the paper's Runtime Parameter source.
+    pub fn feed_param<T: StreamData>(&mut self, index: usize, value: T) -> Result<(), GraphError> {
+        self.feed(index, std::iter::once(value))
+    }
+
+    /// Attach a Runtime Parameter *sink* (§3.7: "the framework also
+    /// supports passing scalar values and variables through Runtime
+    /// Parameter sources and sinks"): collects the scalar(s) a kernel
+    /// writes to an RTP output. The handle holds every update, the last
+    /// entry being the parameter's final value.
+    pub fn collect_param<T: StreamData>(
+        &mut self,
+        index: usize,
+    ) -> Result<SinkHandle<T>, GraphError> {
+        self.collect(index)
+    }
+
+    /// Attach a data-sink coroutine collecting positional global output
+    /// `index` (§3.7). Results become available after [`Self::run`].
+    pub fn collect<T: StreamData>(&mut self, index: usize) -> Result<SinkHandle<T>, GraphError> {
+        let Some(&connector) = self.graph.outputs.get(index) else {
+            return Err(GraphError::IoArityMismatch {
+                what: "outputs",
+                expected: self.graph.outputs.len(),
+                actual: index + 1,
+            });
+        };
+        let chan = self.typed_channel::<T>(connector)?;
+        let mut rx = chan.add_consumer();
+        self.bound_outputs[index] = true;
+        let data = Arc::new(Mutex::new(Vec::new()));
+        let sink_data = Arc::clone(&data);
+        self.executor.spawn(
+            format!("sink_{index}"),
+            Box::pin(async move {
+                while let Some(v) = rx.recv().await {
+                    sink_data.lock().unwrap().push(v);
+                }
+            }),
+        );
+        Ok(SinkHandle { data })
+    }
+
+    /// Start the embedded task scheduler and run the graph to quiescence
+    /// (§3.8). Every global input must have been fed and every global output
+    /// bound, mirroring the paper's positional source/sink arguments.
+    pub fn run(mut self) -> Result<RunReport, GraphError> {
+        if let Some(missing) = self.fed_inputs.iter().position(|f| !f) {
+            return Err(GraphError::IoArityMismatch {
+                what: "inputs",
+                expected: self.graph.inputs.len(),
+                actual: missing,
+            });
+        }
+        if let Some(missing) = self.bound_outputs.iter().position(|f| !f) {
+            return Err(GraphError::IoArityMismatch {
+                what: "outputs",
+                expected: self.graph.outputs.len(),
+                actual: missing,
+            });
+        }
+        let (exec, tasks) = self.executor.run_profiled();
+        let stalled = tasks
+            .iter()
+            .filter(|t| !t.completed)
+            .map(|t| t.label.clone())
+            .collect();
+        let elements_moved = self.channel_handles.iter().map(|c| c.total_pushed()).sum();
+        Ok(RunReport {
+            exec,
+            stalled,
+            elements_moved,
+            tasks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_kernel;
+    use cgsim_core::GraphBuilder;
+
+    compute_kernel! {
+        /// Adds pairs of values from two input streams (paper Figure 3).
+        #[realm(aie)]
+        pub fn adder_kernel(
+            in1: ReadPort<f32>,
+            in2: ReadPort<f32>,
+            out: WritePort<f32>,
+        ) {
+            loop {
+                let (Some(a), Some(b)) = (in1.get().await, in2.get().await) else {
+                    break;
+                };
+                out.put(a + b).await;
+            }
+        }
+    }
+
+    compute_kernel! {
+        /// Doubles every element.
+        #[realm(aie)]
+        pub fn doubler_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+            while let Some(v) = input.get().await {
+                out.put(v * 2.0).await;
+            }
+        }
+    }
+
+    fn library() -> KernelLibrary {
+        KernelLibrary::with(|l| {
+            l.register::<adder_kernel>();
+            l.register::<doubler_kernel>();
+        })
+    }
+
+    fn adder_graph() -> FlatGraph {
+        GraphBuilder::build("adder", |g| {
+            let a = g.input::<f32>("a");
+            let b = g.input::<f32>("b");
+            let sum = g.wire::<f32>();
+            adder_kernel::invoke(g, &a, &b, &sum)?;
+            g.output(&sum);
+            Ok(())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_adder_executes() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![1.0f32, 2.0, 3.0]).unwrap();
+        ctx.feed(1, vec![10.0f32, 20.0, 30.0]).unwrap();
+        let out = ctx.collect::<f32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained(), "stalled: {:?}", report.stalled);
+        assert_eq!(out.take(), vec![11.0, 22.0, 33.0]);
+        assert!(report.elements_moved >= 9);
+    }
+
+    #[test]
+    fn pipeline_of_two_kernels() {
+        let graph = GraphBuilder::build("pipe", |g| {
+            let a = g.input::<f32>("a");
+            let mid = g.wire::<f32>();
+            let out = g.wire::<f32>();
+            doubler_kernel::invoke(g, &a, &mid)?;
+            doubler_kernel::invoke(g, &mid, &out)?;
+            g.output(&out);
+            Ok(())
+        })
+        .unwrap();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![1.0f32, 1.5]).unwrap();
+        let out = ctx.collect::<f32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained());
+        assert_eq!(out.take(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_feeds_two_kernels() {
+        let graph = GraphBuilder::build("bcast", |g| {
+            let a = g.input::<f32>("a");
+            let x = g.wire::<f32>();
+            let y = g.wire::<f32>();
+            doubler_kernel::invoke(g, &a, &x)?;
+            doubler_kernel::invoke(g, &a, &y)?;
+            g.output(&x);
+            g.output(&y);
+            Ok(())
+        })
+        .unwrap();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![3.0f32]).unwrap();
+        let ox = ctx.collect::<f32>(0).unwrap();
+        let oy = ctx.collect::<f32>(1).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained());
+        assert_eq!(ox.take(), vec![6.0]);
+        assert_eq!(oy.take(), vec![6.0]);
+    }
+
+    #[test]
+    fn unknown_kernel_is_reported() {
+        let graph = adder_graph();
+        let lib = KernelLibrary::new();
+        assert!(matches!(
+            RuntimeContext::new(&graph, &lib, RuntimeConfig::default()),
+            Err(GraphError::UnknownKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_feed_is_an_error() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![1.0f32]).unwrap();
+        let _out = ctx.collect::<f32>(0).unwrap();
+        assert!(matches!(
+            ctx.run(),
+            Err(GraphError::IoArityMismatch { what: "inputs", .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_feed_type_is_an_error() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        assert!(matches!(
+            ctx.feed(0, vec![1u8]),
+            Err(GraphError::IoTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn feed_out_of_range_is_an_error() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        assert!(matches!(
+            ctx.feed(5, vec![1.0f32]),
+            Err(GraphError::IoArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unfed_kernel_input_stalls_and_is_reported() {
+        // Feed only one of the adder's inputs with data, the other with an
+        // empty stream: kernel exits cleanly (None). But if we *never* feed
+        // it at all, run() refuses. Here we check the stall diagnostic: feed
+        // input 1 with an endless-pending trick is not possible via the
+        // public API, so instead verify the clean-drain path with an empty
+        // second stream.
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![1.0f32, 2.0]).unwrap();
+        ctx.feed(1, Vec::<f32>::new()).unwrap();
+        let out = ctx.collect::<f32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained());
+        assert!(out.take().is_empty());
+    }
+
+    compute_kernel! {
+        /// Counts its input stream and reports the count through an RTP
+        /// output (a Runtime Parameter sink consumes it).
+        #[realm(aie)]
+        pub fn counter_kernel(
+            input: ReadPort<f32>,
+            count: WritePort<u32> @ cgsim_core::PortSettings::new().runtime_param(),
+        ) {
+            let mut n = 0u32;
+            while input.get().await.is_some() {
+                n += 1;
+            }
+            count.put(n).await;
+        }
+    }
+
+    #[test]
+    fn runtime_parameter_sink_receives_scalar() {
+        let graph = GraphBuilder::build("count", |g| {
+            let a = g.input::<f32>("a");
+            let n = g.wire::<u32>();
+            counter_kernel::invoke(g, &a, &n)?;
+            g.output(&n);
+            Ok(())
+        })
+        .unwrap();
+        // The RTP connector classification comes from the port settings.
+        assert_eq!(graph.connectors[1].kind, cgsim_core::PortKind::RuntimeParam);
+        let lib = KernelLibrary::with(|l| {
+            l.register::<counter_kernel>();
+        });
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![0.5f32; 37]).unwrap();
+        let param = ctx.collect_param::<u32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained());
+        assert_eq!(param.take(), vec![37]);
+    }
+
+    #[test]
+    fn depth_setting_controls_channel_capacity() {
+        // A depth-1 connector forces fine-grained producer/consumer
+        // interleaving; the result must still be correct.
+        let graph = GraphBuilder::build("tight", |g| {
+            let a = g.input::<f32>("a");
+            let mid = g.wire::<f32>();
+            let out = g.wire::<f32>();
+            g.connector_settings(&mid, cgsim_core::PortSettings::new().depth(1));
+            doubler_kernel::invoke(g, &a, &mid)?;
+            doubler_kernel::invoke(g, &mid, &out)?;
+            g.output(&out);
+            Ok(())
+        })
+        .unwrap();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, (0..100).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        let out = ctx.collect::<f32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained());
+        let got = out.take();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], 28.0);
+        // Depth-1 queue must have caused producer suspensions.
+        assert!(report.exec.suspensions > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Kernel-side streaming I/O ports (§3.3).
+//!
+//! These are the Rust equivalents of the paper's `KernelReadPort<T>` and
+//! `KernelWritePort<T>`: the only interface a kernel body uses to touch the
+//! outside world. `get`/`put` are `async` — the analogue of the paper's
+//! `co_await port.get()` — and suspend the kernel coroutine while the
+//! underlying queue is empty/full.
+//!
+//! Window helpers ([`KernelReadPort::get_window`],
+//! [`KernelWritePort::put_window`]) model AIE window/ping-pong buffer ports:
+//! a whole block is acquired or released per iteration.
+
+use crate::channel::{Consumer, Producer};
+use cgsim_core::StreamData;
+
+/// Kernel input port: reads a stream of `T`.
+pub struct KernelReadPort<T: StreamData> {
+    consumer: Consumer<T>,
+}
+
+impl<T: StreamData> KernelReadPort<T> {
+    pub(crate) fn new(consumer: Consumer<T>) -> Self {
+        KernelReadPort { consumer }
+    }
+
+    /// Receive the next element; `None` once the stream is closed and
+    /// drained. The paper's `co_await in.get()`.
+    pub async fn get(&mut self) -> Option<T> {
+        self.consumer.recv().await
+    }
+
+    /// Receive a full window of `n` elements (AIE window port acquire).
+    ///
+    /// Returns `None` if the stream ends before a *complete* window is
+    /// available; a trailing partial block is discarded, matching hardware
+    /// window semantics where a kernel only fires on full buffers.
+    pub async fn get_window(&mut self, n: usize) -> Option<Vec<T>> {
+        let mut window = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.consumer.recv().await {
+                Some(v) => window.push(v),
+                None => return None,
+            }
+        }
+        Some(window)
+    }
+}
+
+/// Kernel output port: writes a stream of `T`.
+pub struct KernelWritePort<T: StreamData> {
+    producer: Producer<T>,
+}
+
+impl<T: StreamData> KernelWritePort<T> {
+    pub(crate) fn new(producer: Producer<T>) -> Self {
+        KernelWritePort { producer }
+    }
+
+    /// Send one element, suspending while the queue is full. The paper's
+    /// `co_await out.put(v)`.
+    pub async fn put(&mut self, value: T) {
+        self.producer.send(value).await;
+    }
+
+    /// Send a full window of elements (AIE window port release).
+    pub async fn put_window(&mut self, window: impl IntoIterator<Item = T>) {
+        for v in window {
+            self.producer.send(v).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::executor::block_on;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let chan = Channel::new(4);
+        let mut out = KernelWritePort::new(chan.add_producer());
+        let mut inp = KernelReadPort::new(chan.add_consumer());
+        block_on(async {
+            out.put(7u32).await;
+            out.put(8u32).await;
+            drop(out);
+            assert_eq!(inp.get().await, Some(7));
+            assert_eq!(inp.get().await, Some(8));
+            assert_eq!(inp.get().await, None);
+        });
+    }
+
+    #[test]
+    fn window_acquire_full_blocks_only() {
+        let chan = Channel::new(16);
+        let mut out = KernelWritePort::new(chan.add_producer());
+        let mut inp = KernelReadPort::new(chan.add_consumer());
+        block_on(async {
+            out.put_window(0..10u32).await;
+            drop(out);
+            assert_eq!(inp.get_window(4).await, Some(vec![0, 1, 2, 3]));
+            assert_eq!(inp.get_window(4).await, Some(vec![4, 5, 6, 7]));
+            // Only 2 elements remain: partial window → None.
+            assert_eq!(inp.get_window(4).await, None);
+        });
+    }
+}

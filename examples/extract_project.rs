@@ -1,0 +1,127 @@
+//! Run the graph extractor (§4) on a cgsim prototype source file and write
+//! the generated AIE project to disk — the right-hand path of the paper's
+//! Figure 2 workflow. Afterwards, "deploy" the extracted graph onto the
+//! cycle-approximate simulator via its manifest.
+//!
+//! Run with: `cargo run --example extract_project`
+
+use cgsim::extract::Extractor;
+use cgsim::sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
+use std::collections::HashMap;
+
+/// The user's prototype file: kernels + graph + shared helper code, exactly
+/// as it would be written for simulation.
+const PROTOTYPE: &str = r#"
+use core::f32::consts::PI;
+
+/// Gain applied by the preprocessing stage.
+const PRE_GAIN: f32 = 0.5;
+
+fn windowed(v: f32) -> f32 {
+    v * PRE_GAIN
+}
+
+compute_kernel! {
+    /// Preprocessing: scales samples into the working range.
+    #[realm(aie)]
+    pub fn pre_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(v) = input.get().await {
+            out.put(windowed(v)).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Accumulating post-stage.
+    #[realm(aie)]
+    pub fn post_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        let mut acc = 0.0f32;
+        while let Some(v) = input.get().await {
+            acc += v;
+            out.put(acc).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Host-side logger; excluded from extraction.
+    #[realm(noextract)]
+    pub fn log_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(v) = input.get().await {
+            out.put(v).await;
+        }
+    }
+}
+
+#[extract_compute_graph]
+static PIPELINE: () = compute_graph! {
+    name: prefix_sum,
+    inputs: (samples: f32),
+    body: {
+        let scaled = wire::<f32>();
+        let summed = wire::<f32>();
+        let logged = wire::<f32>();
+        pre_kernel(samples, scaled);
+        post_kernel(scaled, summed);
+        log_kernel(summed, logged);
+        attr(samples, "plio_name", "samples_in");
+        attr(summed, "plio_name", "sums_out");
+    },
+    outputs: (logged),
+};
+"#;
+
+fn main() {
+    let extractor = Extractor::new();
+    let extractions = extractor.extract(PROTOTYPE).expect("extraction succeeds");
+    println!("extracted {} graph(s)\n", extractions.len());
+
+    let result = &extractions[0];
+    println!("project `{}` — generated files:", result.project.name);
+    for (path, contents) in &result.project.files {
+        println!("  {:<22} {:>6} bytes", path, contents.len());
+    }
+
+    println!("\n--- graph.hpp (ADF graph, UG1079 style) ---");
+    println!("{}", result.project.file("graph.hpp").unwrap());
+
+    println!("--- src/pre_kernel.rs (rewritten kernel: .await stripped) ---");
+    println!("{}", result.project.file("src/pre_kernel.rs").unwrap());
+
+    // Write the project to disk like the real tool would.
+    let out_dir = std::path::Path::new("target/extracted");
+    let root = result.project.write_to(out_dir).expect("write project");
+    println!("project written to {}\n", root.display());
+
+    // "Deploy": run the extracted graph on the cycle-approximate simulator.
+    // (Cost profiles are measured separately; here a nominal profile is
+    // used since the prototype kernels are scalar.)
+    let stream = |elems: u64| PortTraffic {
+        elems_per_iter: elems,
+        elem_bytes: 4,
+        kind: cgsim::core::PortKind::Stream,
+    };
+    let nominal = |name: &str| {
+        KernelCostProfile::measured(name, Default::default(), vec![stream(8)], vec![stream(8)])
+    };
+    let mut profiles = HashMap::new();
+    for k in ["pre_kernel", "post_kernel", "log_kernel"] {
+        profiles.insert(k.to_owned(), nominal(k));
+    }
+    let trace = simulate_graph(
+        &result.graph,
+        &profiles,
+        &SimConfig::extracted(),
+        &WorkloadSpec {
+            blocks: 64,
+            elems_per_block_in: vec![64],
+            elems_per_block_out: vec![64],
+        },
+    )
+    .expect("deploy onto cycle simulator");
+    println!(
+        "deployed to aie-sim: {:.1} ns per 64-element block (extracted variant)",
+        trace.ns_per_block().unwrap()
+    );
+    println!("\nOK");
+}

@@ -1,0 +1,25 @@
+//! # cgsim — umbrella crate
+//!
+//! Re-exports the whole framework. See the README for a tour; the individual
+//! crates carry the detailed documentation:
+//!
+//! * [`core`](cgsim_core) — graph IR, builder DSL, flattening, partitioning
+//! * [`runtime`](cgsim_runtime) — cooperative simulator (`compute_kernel!`)
+//! * [`threads`](cgsim_threads) — thread-per-kernel functional simulator
+//! * [`intrinsics`](aie_intrinsics) — AIE vector API emulation
+//! * [`sim`](aie_sim) — cycle-approximate AIE array simulator
+//! * [`extract`](cgsim_extract) — source-to-source graph extractor
+//! * [`graphs`](cgsim_graphs) — the four ported evaluation applications
+
+#![warn(missing_docs)]
+
+pub use aie_intrinsics as intrinsics;
+pub use aie_sim as sim;
+pub use cgsim_core as core;
+pub use cgsim_extract as extract;
+pub use cgsim_graphs as graphs;
+pub use cgsim_runtime as runtime;
+pub use cgsim_threads as threads;
+
+pub use cgsim_core::{Connector, FlatGraph, GraphBuilder, GraphError, PortSettings, Realm};
+pub use cgsim_runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext, SinkHandle};

@@ -1,0 +1,201 @@
+//! Extraction of the four evaluation applications (§5.1): the same kernels
+//! and graph definitions the simulator executes, fed through the extractor
+//! as source text. Verifies the full porting story of Figure 6 — each
+//! AMD example becomes a deployable AIE project whose topology matches the
+//! runtime graph exactly.
+
+use cgsim::extract::{Extractor, TypeTable};
+use cgsim::graphs::{bilinear, bitonic, farrow, iir};
+
+fn extractor() -> Extractor {
+    let mut types = TypeTable::new();
+    // User struct streams (§5.1's type-safety feature) need their layouts
+    // registered, standing in for Clang's full type information.
+    types.register("BranchSet", 8, 2);
+    types.register("PixelQuad", 24, 4);
+    Extractor {
+        types,
+        ..Extractor::new()
+    }
+}
+
+const BITONIC_SRC: &str = r#"
+compute_kernel! {
+    #[realm(aie)]
+    pub fn bitonic_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(chunk) = input.get_window(16).await {
+            out.put_window(sort16(&chunk)).await;
+        }
+    }
+}
+compute_graph! {
+    name: bitonic,
+    inputs: (samples: f32),
+    body: {
+        let sorted = wire::<f32>();
+        bitonic_kernel(samples, sorted);
+        attr(samples, "plio_name", "samples_in");
+        attr(sorted, "plio_name", "sorted_out");
+    },
+    outputs: (sorted),
+}
+"#;
+
+const FARROW_SRC: &str = r#"
+compute_kernel! {
+    #[realm(aie)]
+    pub fn farrow_fir_kernel(
+        samples: ReadPort<i16> @ PortSettings::new().window_bytes(4096).ping_pong(),
+        branches: WritePort<BranchSet> @ PortSettings::new().window_bytes(1024).ping_pong(),
+    ) {
+        while let Some(chunk) = samples.get_window(16).await {
+            branches.put_window(fir(&chunk)).await;
+        }
+    }
+}
+compute_kernel! {
+    #[realm(aie)]
+    pub fn farrow_comb_kernel(
+        branches: ReadPort<BranchSet> @ PortSettings::new().window_bytes(1024).ping_pong(),
+        mu: ReadPort<i16> @ PortSettings::new().runtime_param(),
+        out: WritePort<i16> @ PortSettings::new().window_bytes(4096).ping_pong(),
+    ) {
+        let mu_q15 = mu.get().await.unwrap_or(0);
+        while let Some(sets) = branches.get_window(16).await {
+            out.put_window(comb(&sets, mu_q15)).await;
+        }
+    }
+}
+compute_graph! {
+    name: farrow,
+    inputs: (samples: i16, mu: i16),
+    body: {
+        let branches = wire::<BranchSet>();
+        let delayed = wire::<i16>();
+        farrow_fir_kernel(samples, branches);
+        farrow_comb_kernel(branches, mu, delayed);
+        attr(samples, "plio_name", "samples_in");
+        attr(delayed, "plio_name", "delayed_out");
+    },
+    outputs: (delayed),
+}
+"#;
+
+const IIR_SRC: &str = r#"
+compute_kernel! {
+    #[realm(aie)]
+    pub fn iir_kernel(
+        samples: ReadPort<f32> @ PortSettings::new().window_bytes(8192).ping_pong(),
+        out: WritePort<f32> @ PortSettings::new().window_bytes(8192).ping_pong(),
+    ) {
+        while let Some(window) = samples.get_window(2048).await {
+            out.put_window(cascade(&window)).await;
+        }
+    }
+}
+compute_graph! {
+    name: iir,
+    inputs: (samples: f32),
+    body: {
+        let filtered = wire::<f32>();
+        iir_kernel(samples, filtered);
+        attr(samples, "plio_name", "iir_in");
+        attr(filtered, "plio_name", "iir_out");
+    },
+    outputs: (filtered),
+}
+"#;
+
+const BILINEAR_SRC: &str = r#"
+compute_kernel! {
+    #[realm(aie)]
+    pub fn bilinear_kernel(quads: ReadPort<PixelQuad>, out: WritePort<f32>) {
+        while let Some(batch) = quads.get_window(8).await {
+            out.put_window(interp(&batch)).await;
+        }
+    }
+}
+compute_graph! {
+    name: bilinear,
+    inputs: (quads: PixelQuad),
+    body: {
+        let pixels = wire::<f32>();
+        bilinear_kernel(quads, pixels);
+        attr(quads, "plio_name", "quads_in");
+        attr(pixels, "plio_name", "pixels_out");
+    },
+    outputs: (pixels),
+}
+"#;
+
+/// Compare extracted topology with the app's runtime graph through JSON
+/// (process-local type keys stripped).
+fn assert_topology_matches(src: &str, runtime_graph: &cgsim::core::FlatGraph) {
+    let extraction = extractor().extract(src).unwrap().remove(0);
+    assert_eq!(
+        serde_json::to_value(&extraction.graph).unwrap(),
+        serde_json::to_value(runtime_graph).unwrap(),
+        "extracted topology differs for {}",
+        runtime_graph.name
+    );
+}
+
+#[test]
+fn bitonic_extraction_matches_runtime_graph() {
+    assert_topology_matches(BITONIC_SRC, &bitonic::build_graph());
+}
+
+#[test]
+fn farrow_extraction_matches_runtime_graph() {
+    assert_topology_matches(FARROW_SRC, &farrow::build_graph());
+}
+
+#[test]
+fn iir_extraction_matches_runtime_graph() {
+    assert_topology_matches(IIR_SRC, &iir::build_graph());
+}
+
+#[test]
+fn bilinear_extraction_matches_runtime_graph() {
+    assert_topology_matches(BILINEAR_SRC, &bilinear::build_graph());
+}
+
+#[test]
+fn farrow_project_reflects_window_and_rtp_ports() {
+    let r = extractor().extract(FARROW_SRC).unwrap().remove(0);
+    let decls = r.project.file("kernel_decls.hpp").unwrap();
+    // Window ports become window parameters, the RTP becomes a scalar.
+    assert!(decls.contains("input_window<int16>* samples"));
+    assert!(decls.contains("output_window<BranchSet>* branches"));
+    assert!(decls.contains("int16 mu"));
+    let hpp = r.project.file("graph.hpp").unwrap();
+    assert!(hpp.contains("adf::connect<adf::window>"));
+    assert!(hpp.contains("adf::connect<adf::parameter>"));
+}
+
+#[test]
+fn iir_project_uses_window_connections_throughout() {
+    let r = extractor().extract(IIR_SRC).unwrap().remove(0);
+    let hpp = r.project.file("graph.hpp").unwrap();
+    assert!(hpp.contains("adf::connect<adf::window>"));
+    assert!(!hpp.contains("adf::connect<adf::stream>"));
+}
+
+#[test]
+fn bilinear_struct_stream_keeps_its_type_name() {
+    let r = extractor().extract(BILINEAR_SRC).unwrap().remove(0);
+    let decls = r.project.file("kernel_decls.hpp").unwrap();
+    // User struct streams keep their name in generated C++ (§5.1).
+    assert!(decls.contains("input_stream<PixelQuad>* quads"));
+}
+
+#[test]
+fn all_four_projects_carry_deployment_manifests() {
+    for src in [BITONIC_SRC, FARROW_SRC, IIR_SRC, BILINEAR_SRC] {
+        let r = extractor().extract(src).unwrap().remove(0);
+        let graph: cgsim::core::FlatGraph =
+            serde_json::from_str(r.project.file("graph.json").unwrap()).unwrap();
+        graph.validate().unwrap();
+        assert!(r.project.file("partition.json").is_some());
+    }
+}

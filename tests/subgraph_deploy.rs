@@ -1,0 +1,139 @@
+//! Realm-subgraph deployment: the partitioner's AIE subgraph, materialised
+//! as a standalone graph ([`RealmSubgraph::extract`]), must run by itself —
+//! functionally (with boundary connectors fed/collected directly) and on
+//! the cycle simulator. This is the execution-side counterpart of the
+//! extractor's per-realm project generation (§4.3/§4.7).
+
+use cgsim::core::{GraphBuilder, Realm, RealmPartition};
+use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
+use std::collections::HashMap;
+
+compute_kernel! {
+    #[realm(aie)]
+    pub fn aie_double(input: ReadPort<i32>, out: WritePort<i32>) {
+        while let Some(v) = input.get().await {
+            out.put(v * 2).await;
+        }
+    }
+}
+
+compute_kernel! {
+    #[realm(aie)]
+    pub fn aie_inc(input: ReadPort<i32>, out: WritePort<i32>) {
+        while let Some(v) = input.get().await {
+            out.put(v + 1).await;
+        }
+    }
+}
+
+compute_kernel! {
+    #[realm(noextract)]
+    pub fn host_neg(input: ReadPort<i32>, out: WritePort<i32>) {
+        while let Some(v) = input.get().await {
+            out.put(-v).await;
+        }
+    }
+}
+
+/// input → aie_double → aie_inc → host_neg → output.
+fn mixed_graph() -> cgsim::core::FlatGraph {
+    GraphBuilder::build("mixed", |g| {
+        let a = g.input::<i32>("a");
+        let b = g.wire::<i32>();
+        let c = g.wire::<i32>();
+        let d = g.wire::<i32>();
+        aie_double::invoke(g, &a, &b)?;
+        aie_inc::invoke(g, &b, &c)?;
+        host_neg::invoke(g, &c, &d)?;
+        g.output(&d);
+        Ok(())
+    })
+    .unwrap()
+}
+
+#[test]
+fn aie_subgraph_runs_functionally_in_isolation() {
+    let full = mixed_graph();
+    let partition = RealmPartition::of(&full);
+    let aie = partition.subgraph(Realm::Aie).unwrap().extract(&full);
+    aie.validate().unwrap();
+    assert_eq!(aie.name, "mixed_aie");
+    assert_eq!(aie.kernels.len(), 2);
+    assert_eq!(aie.inputs.len(), 1);
+    assert_eq!(aie.outputs.len(), 1);
+
+    // Run just the AIE portion: the inter-realm boundary is now a plain
+    // output we can collect (the host kernel is gone).
+    let lib = KernelLibrary::with(|l| {
+        l.register::<aie_double>();
+        l.register::<aie_inc>();
+    });
+    let mut ctx = RuntimeContext::new(&aie, &lib, RuntimeConfig::default()).unwrap();
+    ctx.feed(0, vec![1, 2, 3]).unwrap();
+    let out = ctx.collect::<i32>(0).unwrap();
+    let report = ctx.run().unwrap();
+    assert!(report.drained());
+    // (x*2)+1 without the host negation.
+    assert_eq!(out.take(), vec![3, 5, 7]);
+}
+
+#[test]
+fn subgraph_and_full_graph_agree_through_the_boundary() {
+    // Full graph output = -(subgraph output): composing the realms equals
+    // the monolithic simulation.
+    let full = mixed_graph();
+    let lib = KernelLibrary::with(|l| {
+        l.register::<aie_double>();
+        l.register::<aie_inc>();
+        l.register::<host_neg>();
+    });
+    let input = vec![5, -7, 100];
+
+    let mut ctx = RuntimeContext::new(&full, &lib, RuntimeConfig::default()).unwrap();
+    ctx.feed(0, input.clone()).unwrap();
+    let full_out = ctx.collect::<i32>(0).unwrap();
+    ctx.run().unwrap();
+
+    let partition = RealmPartition::of(&full);
+    let aie = partition.subgraph(Realm::Aie).unwrap().extract(&full);
+    let mut ctx = RuntimeContext::new(&aie, &lib, RuntimeConfig::default()).unwrap();
+    ctx.feed(0, input).unwrap();
+    let aie_out = ctx.collect::<i32>(0).unwrap();
+    ctx.run().unwrap();
+
+    let composed: Vec<i32> = aie_out.take().into_iter().map(|v| -v).collect();
+    assert_eq!(full_out.take(), composed);
+}
+
+#[test]
+fn aie_subgraph_simulates_on_cycle_model() {
+    let full = mixed_graph();
+    let partition = RealmPartition::of(&full);
+    let aie = partition.subgraph(Realm::Aie).unwrap().extract(&full);
+
+    let stream = |elems: u64| PortTraffic {
+        elems_per_iter: elems,
+        elem_bytes: 4,
+        kind: cgsim::core::PortKind::Stream,
+    };
+    let mut profiles = HashMap::new();
+    for k in ["aie_double", "aie_inc"] {
+        profiles.insert(
+            k.to_owned(),
+            KernelCostProfile::measured(k, Default::default(), vec![stream(8)], vec![stream(8)]),
+        );
+    }
+    let trace = simulate_graph(
+        &aie,
+        &profiles,
+        &SimConfig::extracted(),
+        &WorkloadSpec {
+            blocks: 16,
+            elems_per_block_in: vec![32],
+            elems_per_block_out: vec![32],
+        },
+    )
+    .unwrap();
+    assert_eq!(trace.trace.block_times.len(), 16);
+}
