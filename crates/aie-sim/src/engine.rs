@@ -11,6 +11,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use cgsim_trace::{BlockSide, ChannelRef, KernelRef, TraceEvent, Tracer};
+
 /// Index of a FIFO in the design.
 pub type FifoId = usize;
 /// Index of a node in the design.
@@ -197,6 +199,15 @@ pub struct Sim {
     /// simulators (aiesim) orders of magnitude slower than functional ones
     /// (Table 2). Timing results are identical either way.
     cycle_stepping: bool,
+    /// Shared trace collector; events are stamped on the simulated-time
+    /// axis (cycles scaled to ns), never wall clock.
+    tracer: Tracer,
+    /// ns per simulated cycle, for trace timestamps.
+    ns_per_cycle: f64,
+    /// Trace handle per node (named nodes only).
+    node_refs: Vec<Option<KernelRef>>,
+    /// Trace handle per FIFO.
+    fifo_refs: Vec<ChannelRef>,
 }
 
 impl Sim {
@@ -214,6 +225,10 @@ impl Sim {
             trace: SimTrace::default(),
             max_events: u64::MAX,
             cycle_stepping: false,
+            tracer: Tracer::default(),
+            ns_per_cycle: 1.0,
+            node_refs: Vec::new(),
+            fifo_refs: Vec::new(),
         }
     }
 
@@ -232,11 +247,39 @@ impl Sim {
         self
     }
 
+    /// Attach a trace collector. Events are stamped at simulated time
+    /// scaled by `ns_per_cycle`, so runtime and simulator traces share one
+    /// nanosecond axis. Call before adding FIFOs so they register.
+    pub fn with_tracer(mut self, tracer: Tracer, ns_per_cycle: f64) -> Self {
+        self.tracer = tracer;
+        self.ns_per_cycle = if ns_per_cycle > 0.0 {
+            ns_per_cycle
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Name a node for the trace; unnamed nodes emit no kernel events.
+    pub fn name_node(&mut self, node: NodeId, name: &str) {
+        if self.tracer.is_enabled() {
+            self.node_refs[node] = Some(self.tracer.register_kernel(name));
+        }
+    }
+
+    /// Simulated cycles → trace timestamp in ns.
+    fn ts(&self, cycles: u64) -> u64 {
+        (cycles as f64 * self.ns_per_cycle).round() as u64
+    }
+
     /// Add a FIFO of the given element capacity; returns its id.
     pub fn add_fifo(&mut self, capacity: u64) -> FifoId {
         assert!(capacity >= 1);
         self.fifos.push(Fifo::new(capacity));
-        self.fifos.len() - 1
+        let id = self.fifos.len() - 1;
+        self.fifo_refs
+            .push(self.tracer.register_channel(&format!("f{id}"), capacity));
+        id
     }
 
     /// Add a node; returns its id.
@@ -249,6 +292,7 @@ impl Sim {
         self.sink_counts.push(0);
         self.scoreboards.push([0; SCOREBOARD_SLOTS]);
         self.stall_counts.push(0);
+        self.node_refs.push(None);
         self.nodes.len() - 1
     }
 
@@ -297,6 +341,7 @@ impl Sim {
 
     /// Run until no events remain; returns the trace.
     pub fn run(mut self) -> SimTrace {
+        self.tracer.emit_at(0, TraceEvent::RunBegin);
         for id in 0..self.nodes.len() {
             self.schedule(0, id, Event::TryStart(id));
         }
@@ -335,6 +380,7 @@ impl Sim {
             }
         }
         self.time = last_real_time;
+        self.tracer.emit_at(self.ts(self.time), TraceEvent::RunEnd);
         self.trace.micro_fingerprint = self
             .scoreboards
             .iter()
@@ -343,6 +389,46 @@ impl Sim {
         self.trace.end_time = self.time;
         self.trace.stalls = self.stall_counts;
         self.trace
+    }
+
+    /// Record a blocked iteration attempt: a kernel stall marker plus the
+    /// channel-side block event, mirroring the runtime's vocabulary.
+    fn trace_stall(&self, id: NodeId, fifo: FifoId, side: BlockSide) {
+        if let Some(kernel) = self.node_refs[id] {
+            let ts = self.ts(self.time);
+            self.tracer.emit_at(ts, TraceEvent::Stall { kernel });
+            self.tracer.emit_at(
+                ts,
+                TraceEvent::ChannelBlock {
+                    channel: self.fifo_refs[fifo],
+                    side,
+                },
+            );
+        }
+    }
+
+    fn trace_pop(&self, fifo: FifoId) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit_at(
+                self.ts(self.time),
+                TraceEvent::ChannelPop {
+                    channel: self.fifo_refs[fifo],
+                    occupancy: self.fifos[fifo].occupancy,
+                },
+            );
+        }
+    }
+
+    fn trace_push(&self, fifo: FifoId) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit_at(
+                self.ts(self.time),
+                TraceEvent::ChannelPush {
+                    channel: self.fifo_refs[fifo],
+                    occupancy: self.fifos[fifo].occupancy,
+                },
+            );
+        }
     }
 
     fn handle_try_start(&mut self, id: NodeId) {
@@ -363,6 +449,7 @@ impl Sim {
                 if self.fifos[out].free_space() < batch {
                     self.fifos[out].waiting_producers.push(id);
                     self.stall_counts[id] += 1;
+                    self.trace_stall(id, out, BlockSide::Write);
                     return;
                 }
                 let delay = if self.nodes[id].iterations == 0 {
@@ -381,6 +468,7 @@ impl Sim {
                     if self.fifos[f].available() < n {
                         self.fifos[f].waiting_consumers.push(id);
                         self.stall_counts[id] += 1;
+                        self.trace_stall(id, f, BlockSide::Read);
                         return;
                     }
                 }
@@ -388,6 +476,7 @@ impl Sim {
                     if self.fifos[f].free_space() < n {
                         self.fifos[f].waiting_producers.push(id);
                         self.stall_counts[id] += 1;
+                        self.trace_stall(id, f, BlockSide::Write);
                         return;
                     }
                 }
@@ -395,6 +484,7 @@ impl Sim {
                 // output space for the duration of the iteration.
                 for &(f, n) in &inputs {
                     self.fifos[f].occupancy -= n;
+                    self.trace_pop(f);
                     self.wake_producers(f);
                 }
                 for &(f, n) in &outputs {
@@ -414,6 +504,16 @@ impl Sim {
                     return;
                 }
                 self.fifos[input].occupancy -= avail;
+                self.trace_pop(input);
+                if let Some(kernel) = self.node_refs[id] {
+                    self.tracer.emit_at(
+                        self.ts(self.time),
+                        TraceEvent::SinkIo {
+                            kernel,
+                            elements: avail,
+                        },
+                    );
+                }
                 self.wake_producers(input);
                 let before = self.sink_counts[id];
                 let after = before + avail;
@@ -448,17 +548,30 @@ impl Sim {
                 self.fifos[out].reserved -= batch;
                 self.fifos[out].occupancy += batch;
                 self.fifos[out].total_pushed += batch;
+                self.trace_push(out);
+                if let Some(kernel) = self.node_refs[id] {
+                    self.tracer.emit_at(
+                        self.ts(self.time),
+                        TraceEvent::SourceIo {
+                            kernel,
+                            elements: batch,
+                        },
+                    );
+                }
                 self.wake_consumers(out);
                 if more {
                     self.schedule(self.time, id, Event::TryStart(id));
                 }
             }
-            NodeKind::Tile { outputs, .. } => {
-                let outputs = outputs.clone();
+            NodeKind::Tile {
+                outputs, service, ..
+            } => {
+                let (outputs, service) = (outputs.clone(), *service);
                 for (f, n) in outputs {
                     self.fifos[f].reserved -= n;
                     self.fifos[f].occupancy += n;
                     self.fifos[f].total_pushed += n;
+                    self.trace_push(f);
                     self.wake_consumers(f);
                 }
                 self.trace.entries.push(TraceEntry {
@@ -466,6 +579,16 @@ impl Sim {
                     iteration,
                     time: self.time,
                 });
+                if let Some(kernel) = self.node_refs[id] {
+                    self.tracer.emit_at(
+                        self.ts(self.time),
+                        TraceEvent::IterationEnd {
+                            kernel,
+                            iteration,
+                            start_ns: self.ts(self.time.saturating_sub(service.max(1))),
+                        },
+                    );
+                }
                 self.schedule(self.time, id, Event::TryStart(id));
             }
             NodeKind::Sink { .. } => {}
@@ -474,6 +597,15 @@ impl Sim {
 
     fn wake_producers(&mut self, f: FifoId) {
         let waiters = std::mem::take(&mut self.fifos[f].waiting_producers);
+        if !waiters.is_empty() {
+            self.tracer.emit_at(
+                self.ts(self.time),
+                TraceEvent::ChannelUnblock {
+                    channel: self.fifo_refs[f],
+                    side: BlockSide::Write,
+                },
+            );
+        }
         for w in waiters {
             self.schedule(self.time, w, Event::TryStart(w));
         }
@@ -481,6 +613,15 @@ impl Sim {
 
     fn wake_consumers(&mut self, f: FifoId) {
         let waiters = std::mem::take(&mut self.fifos[f].waiting_consumers);
+        if !waiters.is_empty() {
+            self.tracer.emit_at(
+                self.ts(self.time),
+                TraceEvent::ChannelUnblock {
+                    channel: self.fifo_refs[f],
+                    side: BlockSide::Read,
+                },
+            );
+        }
         for w in waiters {
             self.schedule(self.time, w, Event::TryStart(w));
         }

@@ -10,6 +10,7 @@ use crate::config::SimConfig;
 use crate::cost::KernelCostProfile;
 use crate::engine::{FifoId, NodeId, NodeKind, Sim, SimTrace};
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, PortDir, PortKind};
+use cgsim_trace::{KernelRef, TraceEvent, TraceRecord, TraceSnapshot, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -52,33 +53,40 @@ impl GraphTrace {
         self.trace.cycles_per_block()
     }
 
+    /// Rebuild the iteration history as a [`TraceSnapshot`] in the unified
+    /// event vocabulary: one `IterationEnd` record per kernel iteration,
+    /// timestamps converted from cycles to ns. Works whether or not a live
+    /// [`Tracer`] was attached during the run.
+    pub fn iteration_snapshot(
+        &self,
+        service_cycles: &std::collections::HashMap<String, u64>,
+    ) -> TraceSnapshot {
+        let mut snapshot = TraceSnapshot::default();
+        for (instance, node) in &self.kernel_nodes {
+            let kernel = KernelRef(snapshot.kernels.len() as u32);
+            snapshot.kernels.push(instance.clone());
+            let service = service_cycles.get(instance).copied().unwrap_or(1);
+            for (iter, end) in self.trace.iterations_of(*node).into_iter().enumerate() {
+                let start = end.saturating_sub(service);
+                snapshot.records.push(TraceRecord {
+                    ts_ns: self.config.cycles_to_ns(end).round() as u64,
+                    event: TraceEvent::IterationEnd {
+                        kernel,
+                        iteration: iter as u64,
+                        start_ns: self.config.cycles_to_ns(start).round() as u64,
+                    },
+                });
+            }
+        }
+        snapshot
+    }
+
     /// Export the trace in Chrome-trace (Perfetto) JSON format: one
     /// duration event per kernel iteration, one track per kernel instance.
     /// Open the output in `ui.perfetto.dev` to browse the simulated
     /// execution the way `aiesim`'s trace viewer presents hardware runs.
     pub fn chrome_trace(&self, service_cycles: &std::collections::HashMap<String, u64>) -> String {
-        let mut events = Vec::new();
-        for (instance, node) in &self.kernel_nodes {
-            let service = service_cycles.get(instance).copied().unwrap_or(1);
-            for (iter, end) in self.trace.iterations_of(*node).into_iter().enumerate() {
-                let start = end.saturating_sub(service);
-                // Chrome trace timestamps are microseconds; keep cycle
-                // resolution by scaling ns → µs as f64.
-                let ts = self.config.cycles_to_ns(start) / 1000.0;
-                let dur = self.config.cycles_to_ns(service) / 1000.0;
-                events.push(serde_json::json!({
-                    "name": format!("iter {iter}"),
-                    "cat": "kernel",
-                    "ph": "X",
-                    "ts": ts,
-                    "dur": dur,
-                    "pid": 1,
-                    "tid": instance,
-                }));
-            }
-        }
-        serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
-            .expect("chrome trace serializes")
+        cgsim_trace::export::chrome::chrome_trace_json(&self.iteration_snapshot(service_cycles))
     }
 
     /// Mean interval between iterations of one kernel instance, in ns.
@@ -109,6 +117,20 @@ pub fn simulate_graph(
     config: &SimConfig,
     workload: &WorkloadSpec,
 ) -> Result<GraphTrace, GraphError> {
+    simulate_graph_traced(graph, profiles, config, workload, &Tracer::default())
+}
+
+/// [`simulate_graph`] with a live trace collector attached: the engine
+/// emits the unified [`TraceEvent`] vocabulary (iteration completions,
+/// channel push/pop/block, stalls, source/sink I/O) into `tracer` as it
+/// runs, timestamped in simulated nanoseconds.
+pub fn simulate_graph_traced(
+    graph: &FlatGraph,
+    profiles: &HashMap<String, KernelCostProfile>,
+    config: &SimConfig,
+    workload: &WorkloadSpec,
+    tracer: &Tracer,
+) -> Result<GraphTrace, GraphError> {
     graph.validate()?;
     if workload.elems_per_block_in.len() != graph.inputs.len() {
         return Err(GraphError::IoArityMismatch {
@@ -127,7 +149,8 @@ pub fn simulate_graph(
 
     let mut sim = Sim::new()
         .with_event_budget(2_000_000_000)
-        .with_cycle_stepping(config.cycle_stepping);
+        .with_cycle_stepping(config.cycle_stepping)
+        .with_tracer(tracer.clone(), config.ns_per_cycle());
 
     // One FIFO per (connector, consuming endpoint); global outputs get their
     // own sink FIFO per connector.
@@ -205,6 +228,7 @@ pub fn simulate_graph(
             outputs,
             service,
         });
+        sim.name_node(node, &k.instance);
         kernel_nodes.push((k.instance.clone(), node));
     }
 
@@ -235,23 +259,25 @@ pub fn simulate_graph(
             let batch_bytes = batch * conn.dtype.size as u64;
             let period = ((batch_bytes as f64 / bw).ceil() as u64).max(1);
             let batches = total_elems.div_ceil(batch);
-            sim.add_node(NodeKind::Source {
+            let node = sim.add_node(NodeKind::Source {
                 out: consumer_fifos[&(ci, e.kernel.index(), e.port)],
                 batch,
                 period,
                 batches,
                 initial_delay,
             });
+            sim.name_node(node, &format!("source_{ii}_{}", k.instance));
         }
     }
 
     // PLIO sinks.
     for (oi, &cid) in graph.outputs.iter().enumerate() {
         let ci = cid.index();
-        sim.add_node(NodeKind::Sink {
+        let node = sim.add_node(NodeKind::Sink {
             input: sink_fifos[&ci],
             block_elems: workload.elems_per_block_out[oi].max(1),
         });
+        sim.name_node(node, &format!("sink_{oi}"));
     }
 
     let trace = sim.run();
@@ -501,6 +527,40 @@ mod tests {
         assert_eq!(events.len(), 2 * 32);
         assert!(events.iter().all(|e| e["ph"] == "X"));
         assert!(events.iter().any(|e| e["tid"] == "mac_kernel_0"));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_simulation_matches_engine_trace() {
+        let graph = linear_graph();
+        let tracer = Tracer::enabled();
+        let t = simulate_graph_traced(
+            &graph,
+            &profiles(10),
+            &SimConfig::hand_optimized(),
+            &workload(4),
+            &tracer,
+        )
+        .unwrap();
+        let snap = tracer.snapshot();
+        assert!(snap.kernels.iter().any(|k| k == "mac_kernel_0"));
+        assert!(snap.kernels.iter().any(|k| k == "sink_0"));
+        // Live IterationEnd records agree with the engine's own trace.
+        let counts = snap.iteration_counts();
+        for (instance, node) in &t.kernel_nodes {
+            let i = snap.kernels.iter().position(|n| n == instance).unwrap();
+            assert_eq!(
+                counts[i],
+                t.trace.iterations_of(*node).len() as u64,
+                "{instance}"
+            );
+        }
+        // Channel traffic and block events made it through as well.
+        let kinds: std::collections::HashSet<&'static str> =
+            snap.records.iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains("channel_push"));
+        assert!(kinds.contains("channel_pop"));
+        assert!(kinds.contains("run_end"));
     }
 
     #[test]

@@ -34,10 +34,11 @@ pub mod report;
 pub mod vliw;
 
 pub use array::{ArrayGeometry, Placement, TileCoord};
+pub use cgsim_trace;
 pub use config::{IoInterface, SimConfig, Variant};
 pub use cost::{KernelCostProfile, PortTraffic};
 pub use deploy::{run_manifest, DeployManifest};
 pub use engine::{NodeKind, Sim, SimTrace, TraceEntry};
-pub use graphsim::{simulate_graph, GraphTrace, WorkloadSpec};
+pub use graphsim::{simulate_graph, simulate_graph_traced, GraphTrace, WorkloadSpec};
 pub use report::{KernelReport, SimReport};
 pub use vliw::SlotModel;

@@ -8,8 +8,8 @@
 use crate::config::SimConfig;
 use crate::cost::KernelCostProfile;
 use crate::graphsim::GraphTrace;
+use cgsim_trace::export::summary::{KernelRow, SummaryTable};
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
 /// Per-kernel summary extracted from a trace.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,38 +82,31 @@ impl SimReport {
         }
     }
 
+    /// View the report as the shared summary table used by both engines.
+    pub fn to_table(&self) -> SummaryTable {
+        SummaryTable {
+            rows: self
+                .kernels
+                .iter()
+                .map(|k| KernelRow {
+                    name: k.instance.clone(),
+                    iterations: k.iterations,
+                    busy: k.busy_cycles,
+                    utilization: k.utilization,
+                    interval_ns: k.interval_ns,
+                    stalls: k.stalls,
+                })
+                .collect(),
+            busy_label: "busy cycles",
+            total_ns: self.total_ns,
+            blocks: self.blocks,
+            ns_per_block: self.ns_per_block,
+        }
+    }
+
     /// Render the report as a fixed-width text table.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<24} {:>10} {:>12} {:>8} {:>12} {:>8}",
-            "kernel", "iters", "busy cycles", "util", "interval ns", "stalls"
-        );
-        for k in &self.kernels {
-            let _ = writeln!(
-                out,
-                "{:<24} {:>10} {:>12} {:>7.1}% {:>12} {:>8}",
-                k.instance,
-                k.iterations,
-                k.busy_cycles,
-                k.utilization * 100.0,
-                k.interval_ns
-                    .map(|v| format!("{v:.1}"))
-                    .unwrap_or_else(|| "-".into()),
-                k.stalls,
-            );
-        }
-        let _ = writeln!(
-            out,
-            "total: {:.1} ns, {} blocks{}",
-            self.total_ns,
-            self.blocks,
-            self.ns_per_block
-                .map(|v| format!(", {v:.1} ns/block"))
-                .unwrap_or_default(),
-        );
-        out
+        self.to_table().render()
     }
 }
 

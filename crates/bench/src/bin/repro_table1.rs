@@ -3,6 +3,10 @@
 //! hardware, printed side by side with the paper's published values.
 //!
 //! Usage: `cargo run --release -p bench --bin repro-table1 [-- --blocks N]`
+//!
+//! Pass `--trace out.json` to additionally re-run each graph's
+//! hand-optimized simulation with the trace collector attached and dump
+//! one machine-readable metrics snapshot per graph.
 
 use bench::{table1, PAPER_TABLE1};
 
@@ -12,6 +16,10 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(256u64);
+    let trace_out: Option<std::path::PathBuf> = std::env::args()
+        .skip_while(|a| a != "--trace")
+        .nth(1)
+        .map(Into::into);
 
     println!("Table 1 — processing time per input block (simulated AIE @ 1250 MHz)");
     println!("    {blocks} blocks per run; see EXPERIMENTS.md for calibration notes\n");
@@ -44,4 +52,30 @@ fn main() {
     }
     println!();
     println!("Shape checks: every row ≥ 85 % relative throughput; IIR at parity.");
+
+    if let Some(path) = trace_out {
+        use aie_sim::{simulate_graph_traced, SimConfig};
+        use cgsim_graphs::all_apps;
+        use cgsim_trace::{export::json::snapshot_value, Tracer};
+        let mut per_graph = Vec::new();
+        for app in all_apps() {
+            let tracer = Tracer::enabled();
+            simulate_graph_traced(
+                &app.graph(),
+                &app.profiles(),
+                &SimConfig::hand_optimized(),
+                &app.workload(blocks),
+                &tracer,
+            )
+            .expect("traced simulation");
+            per_graph.push((app.name().to_owned(), snapshot_value(&tracer.snapshot())));
+        }
+        let doc = serde_json::Value::Object(per_graph);
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serialize"),
+        )
+        .expect("write trace snapshot");
+        println!("trace snapshots written to {}", path.display());
+    }
 }

@@ -19,6 +19,7 @@
 //! thread-per-kernel functional simulator — only the waker behind the
 //! suspended operation differs.
 
+use cgsim_trace::{BlockSide, ChannelRef, Counter, Gauge, TraceEvent, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -45,6 +46,33 @@ struct ConsumerState {
     waker: Option<Waker>,
 }
 
+/// Instrumentation state shared by all endpoints of one channel. Lives
+/// inside `Inner`, so no extra locking is needed; the default value (from
+/// `Tracer::default()`) records nothing.
+struct ChannelTrace {
+    tracer: Tracer,
+    chan: ChannelRef,
+    pushes: Counter,
+    pops: Counter,
+    blocked_writes: Counter,
+    blocked_reads: Counter,
+    occupancy: Gauge,
+}
+
+impl Default for ChannelTrace {
+    fn default() -> Self {
+        ChannelTrace {
+            tracer: Tracer::default(),
+            chan: ChannelRef(0),
+            pushes: Counter::default(),
+            pops: Counter::default(),
+            blocked_writes: Counter::default(),
+            blocked_reads: Counter::default(),
+            occupancy: Gauge::default(),
+        }
+    }
+}
+
 struct Inner<T> {
     /// Retained elements; `buf[0]` has sequence number `base_seq`.
     buf: VecDeque<T>,
@@ -54,6 +82,7 @@ struct Inner<T> {
     producers: usize,
     write_wakers: Vec<Waker>,
     stats: ChannelStats,
+    trace: ChannelTrace,
 }
 
 impl<T> Inner<T> {
@@ -80,14 +109,28 @@ impl<T> Inner<T> {
     }
 
     fn wake_readers(&mut self) {
+        let mut woke = false;
         for c in &mut self.consumers {
             if let Some(w) = c.waker.take() {
                 w.wake();
+                woke = true;
             }
+        }
+        if woke {
+            self.trace.tracer.emit(TraceEvent::ChannelUnblock {
+                channel: self.trace.chan,
+                side: BlockSide::Read,
+            });
         }
     }
 
     fn wake_writers(&mut self) {
+        if !self.write_wakers.is_empty() {
+            self.trace.tracer.emit(TraceEvent::ChannelUnblock {
+                channel: self.trace.chan,
+                side: BlockSide::Write,
+            });
+        }
         for w in self.write_wakers.drain(..) {
             w.wake();
         }
@@ -114,6 +157,7 @@ impl<T: Clone> Channel<T> {
                 producers: 0,
                 write_wakers: Vec::new(),
                 stats: ChannelStats::default(),
+                trace: ChannelTrace::default(),
             }),
             pushed: AtomicU64::new(0),
         })
@@ -146,6 +190,25 @@ impl<T: Clone> Channel<T> {
         }
     }
 
+    /// Attach this channel to a tracer under `name`: registers the channel
+    /// id, exposes push/pop/block counters and an occupancy gauge in the
+    /// metrics registry, and turns on event emission for the blocking
+    /// paths. Harmless (and free) when `tracer` is disabled.
+    pub fn instrument(&self, tracer: &Tracer, name: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        let chan = tracer.register_channel(name, inner.capacity as u64);
+        let labels = [("channel", name)];
+        inner.trace = ChannelTrace {
+            tracer: tracer.clone(),
+            chan,
+            pushes: tracer.counter("channel_pushes", &labels),
+            pops: tracer.counter("channel_pops", &labels),
+            blocked_writes: tracer.counter("channel_blocked_writes", &labels),
+            blocked_reads: tracer.counter("channel_blocked_reads", &labels),
+            occupancy: tracer.gauge("channel_occupancy", &labels),
+        };
+    }
+
     /// Snapshot of the activity counters.
     pub fn stats(&self) -> ChannelStats {
         self.inner.lock().unwrap().stats
@@ -172,17 +235,31 @@ impl<T: Clone> Channel<T> {
         let occupied = (inner.head_seq() - inner.min_open_cursor()) as usize;
         if occupied >= inner.capacity && inner.consumers.iter().any(|c| c.open) {
             inner.stats.blocked_writes += 1;
+            inner.trace.blocked_writes.inc();
+            inner.trace.tracer.emit(TraceEvent::ChannelBlock {
+                channel: inner.trace.chan,
+                side: BlockSide::Write,
+            });
             inner.write_wakers.push(cx.waker().clone());
             return Poll::Pending;
         }
         let v = value.take().expect("SendFuture polled after completion");
         inner.buf.push_back(v);
         inner.stats.pushes += 1;
+        inner.trace.pushes.inc();
         self.pushed.fetch_add(1, Ordering::Relaxed);
         // With no open consumers the element is immediately retired —
         // writing to a stream nobody reads succeeds and discards, which is
         // what lets upstream kernels drain during shutdown.
         inner.retire();
+        if inner.trace.tracer.is_enabled() {
+            let occupancy = inner.buf.len() as u64;
+            inner.trace.occupancy.set(occupancy as i64);
+            inner.trace.tracer.emit(TraceEvent::ChannelPush {
+                channel: inner.trace.chan,
+                occupancy,
+            });
+        }
         inner.wake_readers();
         Poll::Ready(())
     }
@@ -195,13 +272,27 @@ impl<T: Clone> Channel<T> {
             let value = inner.buf[offset].clone();
             inner.consumers[idx].cursor += 1;
             inner.stats.pops += 1;
+            inner.trace.pops.inc();
             inner.retire();
+            if inner.trace.tracer.is_enabled() {
+                let occupancy = inner.buf.len() as u64;
+                inner.trace.occupancy.set(occupancy as i64);
+                inner.trace.tracer.emit(TraceEvent::ChannelPop {
+                    channel: inner.trace.chan,
+                    occupancy,
+                });
+            }
             inner.wake_writers();
             Poll::Ready(Some(value))
         } else if inner.producers == 0 {
             Poll::Ready(None)
         } else {
             inner.stats.blocked_reads += 1;
+            inner.trace.blocked_reads.inc();
+            inner.trace.tracer.emit(TraceEvent::ChannelBlock {
+                channel: inner.trace.chan,
+                side: BlockSide::Read,
+            });
             inner.consumers[idx].waker = Some(cx.waker().clone());
             Poll::Pending
         }
@@ -221,6 +312,37 @@ impl<T: Clone> Channel<T> {
         inner.consumers[idx].waker = None;
         inner.retire();
         inner.wake_writers();
+    }
+}
+
+/// Type-erased administrative view over a channel: post-creation
+/// instrumentation and statistics, independent of the element type. The
+/// runtime context holds one per connector (inside
+/// [`crate::AnyChannel`]) so it can wire tracing and aggregate stats
+/// without knowing `T`.
+pub trait ChannelAdmin: Send + Sync {
+    /// See [`Channel::instrument`].
+    fn instrument(&self, tracer: &Tracer, name: &str);
+    /// See [`Channel::stats`].
+    fn stats(&self) -> ChannelStats;
+    /// See [`Channel::total_pushed`].
+    fn total_pushed(&self) -> u64;
+    /// See [`Channel::len`].
+    fn occupancy(&self) -> usize;
+}
+
+impl<T: cgsim_core::StreamData> ChannelAdmin for Channel<T> {
+    fn instrument(&self, tracer: &Tracer, name: &str) {
+        Channel::instrument(self, tracer, name)
+    }
+    fn stats(&self) -> ChannelStats {
+        Channel::stats(self)
+    }
+    fn total_pushed(&self) -> u64 {
+        Channel::total_pushed(self)
+    }
+    fn occupancy(&self) -> usize {
+        Channel::len(self)
     }
 }
 
@@ -494,5 +616,53 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = Channel::<u8>::new(0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn instrumented_channel_emits_events_and_counters() {
+        let tracer = Tracer::ring(1024);
+        let chan = Channel::new(1);
+        chan.instrument(&tracer, "c0");
+        let mut tx = chan.add_producer();
+        let mut rx = chan.add_consumer();
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        // Fill the depth-1 buffer, then block once on the second send.
+        assert!(matches!(
+            chan.poll_send(&mut Some(1u32), &mut cx),
+            Poll::Ready(())
+        ));
+        assert!(matches!(
+            chan.poll_send(&mut Some(2), &mut cx),
+            Poll::Pending
+        ));
+        block_on(async {
+            assert_eq!(rx.recv().await, Some(1));
+            tx.send(2).await;
+            assert_eq!(rx.recv().await, Some(2));
+        });
+        let snap = tracer.snapshot();
+        assert_eq!(
+            snap.metrics.counter_value("channel_pushes{channel=c0}"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.metrics.counter_value("channel_pops{channel=c0}"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.metrics
+                .counter_value("channel_blocked_writes{channel=c0}"),
+            Some(1)
+        );
+        assert_eq!(snap.channels.len(), 1);
+        assert_eq!(snap.channels[0].name, "c0");
+        assert_eq!(snap.channels[0].capacity, 1);
+        let kinds: Vec<&str> = snap.records.iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"channel_push"));
+        assert!(kinds.contains(&"channel_pop"));
+        assert!(kinds.contains(&"channel_block"));
+        assert!(kinds.contains(&"channel_unblock"));
     }
 }

@@ -12,6 +12,7 @@ use crate::channel::Channel;
 use crate::executor::{ExecStats, Executor};
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
+use cgsim_trace::{TraceSnapshot, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Tunables for a simulation run.
@@ -90,6 +91,8 @@ pub struct RunReport {
     /// Per-coroutine profile (kernels, sources, sinks) — the fine-grained
     /// version of the paper's §5.2 runtime breakdown.
     pub tasks: Vec<crate::executor::TaskProfile>,
+    /// Everything the attached tracer captured (empty for untraced runs).
+    pub trace: TraceSnapshot,
 }
 
 impl RunReport {
@@ -102,6 +105,23 @@ impl RunReport {
     pub fn busy_of(&self, label: &str) -> Option<std::time::Duration> {
         self.tasks.iter().find(|t| t.label == label).map(|t| t.busy)
     }
+
+    /// Per-kernel summary table derived from the trace — the runtime twin
+    /// of `aie-sim`'s `SimReport::render`. Empty-ish for untraced runs.
+    pub fn summary(&self) -> String {
+        cgsim_trace::export::summary::summarize(&self.trace).render()
+    }
+
+    /// The captured trace as a Chrome-trace JSON document (load in
+    /// `chrome://tracing` or `ui.perfetto.dev`).
+    pub fn chrome_trace(&self) -> String {
+        cgsim_trace::export::chrome::chrome_trace_json(&self.trace)
+    }
+
+    /// The captured trace and metrics as a machine-readable JSON snapshot.
+    pub fn trace_json(&self) -> String {
+        cgsim_trace::export::json::snapshot_json(&self.trace)
+    }
 }
 
 /// A single execution instance of a compute graph (§3.6).
@@ -112,18 +132,17 @@ pub struct RuntimeContext<'g> {
     executor: Executor,
     fed_inputs: Vec<bool>,
     bound_outputs: Vec<bool>,
-    channel_handles: Vec<Arc<dyn ChannelProbe>>,
+    tracer: Tracer,
 }
 
-/// Type-erased view over a channel for statistics collection.
-trait ChannelProbe: Send + Sync {
-    fn total_pushed(&self) -> u64;
-}
-
-impl<T: StreamData> ChannelProbe for Channel<T> {
-    fn total_pushed(&self) -> u64 {
-        Channel::total_pushed(self)
-    }
+/// Display name for connector `ci`: the graph-builder name when one was
+/// given (`g.input::<T>("a")`), else a positional `c{index}` id.
+fn connector_name(graph: &FlatGraph, ci: usize) -> String {
+    graph.connectors[ci]
+        .attrs
+        .get_str("name")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("c{ci}"))
 }
 
 impl<'g> RuntimeContext<'g> {
@@ -133,6 +152,19 @@ impl<'g> RuntimeContext<'g> {
         graph: &'g FlatGraph,
         library: &'g KernelLibrary,
         config: RuntimeConfig,
+    ) -> Result<Self, GraphError> {
+        Self::with_tracer(graph, library, config, Tracer::default())
+    }
+
+    /// Like [`RuntimeContext::new`], but wires every channel and the
+    /// scheduler to `tracer`, so the run produces a [`TraceSnapshot`]
+    /// (events, per-channel metrics, per-kernel poll profile) in the
+    /// returned [`RunReport`].
+    pub fn with_tracer(
+        graph: &'g FlatGraph,
+        library: &'g KernelLibrary,
+        config: RuntimeConfig,
+        tracer: Tracer,
     ) -> Result<Self, GraphError> {
         graph.validate()?;
 
@@ -165,7 +197,8 @@ impl<'g> RuntimeContext<'g> {
         let executor = match config.max_polls {
             Some(budget) => Executor::new().with_poll_budget(budget),
             None => Executor::new(),
-        };
+        }
+        .with_tracer(tracer.clone());
         let mut ctx = RuntimeContext {
             graph,
             library,
@@ -173,7 +206,7 @@ impl<'g> RuntimeContext<'g> {
             executor,
             fed_inputs: vec![false; graph.inputs.len()],
             bound_outputs: vec![false; graph.outputs.len()],
-            channel_handles: Vec::new(),
+            tracer,
         };
 
         // Passthrough connectors get a placeholder that `feed`/`collect`
@@ -181,14 +214,20 @@ impl<'g> RuntimeContext<'g> {
         // kernels (which cannot happen by construction).
         for (ci, ch) in channels.into_iter().enumerate() {
             match ch {
-                Some(ch) => ctx.channels.push(ch),
+                Some(ch) => {
+                    // Wire this connector's counters and events into the
+                    // tracer under its graph name (free when untraced).
+                    if let Some(admin) = ch.admin() {
+                        admin.instrument(&ctx.tracer, &connector_name(graph, ci));
+                    }
+                    ctx.channels.push(ch);
+                }
                 None => {
                     // No kernel endpoint: validate() guarantees this
                     // connector is both a global input and a global output.
-                    // Default to a byte channel placeholder; feed() replaces
-                    // it with the correctly typed channel.
-                    let _ = ci;
-                    ctx.channels.push(Arc::new(()));
+                    // Default to a placeholder; feed() replaces it with the
+                    // correctly typed channel.
+                    ctx.channels.push(AnyChannel::placeholder());
                 }
             }
         }
@@ -214,22 +253,22 @@ impl<'g> RuntimeContext<'g> {
         &mut self,
         connector: ConnectorId,
     ) -> Result<Arc<Channel<T>>, GraphError> {
-        let slot = &mut self.channels[connector.index()];
+        let ci = connector.index();
+        let slot = &mut self.channels[ci];
         if let Ok(chan) = slot.clone().downcast::<Channel<T>>() {
-            self.channel_handles.push(chan.clone());
             return Ok(chan);
         }
         // Placeholder (global passthrough connector): create typed channel
         // if the slot is still the unit placeholder.
         if slot.clone().downcast::<()>().is_ok() {
             let chan = Channel::<T>::new(64);
-            *slot = chan.clone();
-            self.channel_handles.push(chan.clone());
+            chan.instrument(&self.tracer, &connector_name(self.graph, ci));
+            *slot = AnyChannel::typed(chan.clone());
             return Ok(chan);
         }
         Err(GraphError::IoTypeMismatch {
             connector,
-            expected: Box::new(self.graph.connectors[connector.index()].dtype.clone()),
+            expected: Box::new(self.graph.connectors[ci].dtype.clone()),
         })
     }
 
@@ -328,12 +367,18 @@ impl<'g> RuntimeContext<'g> {
             .filter(|t| !t.completed)
             .map(|t| t.label.clone())
             .collect();
-        let elements_moved = self.channel_handles.iter().map(|c| c.total_pushed()).sum();
+        let elements_moved = self
+            .channels
+            .iter()
+            .filter_map(|c| c.admin())
+            .map(|a| a.total_pushed())
+            .sum();
         Ok(RunReport {
             exec,
             stalled,
             elements_moved,
             tasks,
+            trace: self.tracer.snapshot(),
         })
     }
 }

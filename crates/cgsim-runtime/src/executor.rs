@@ -15,6 +15,7 @@
 //! FIFO order, which makes simulation deterministic for a fixed graph and
 //! input.
 
+use cgsim_trace::{KernelRef, TraceEvent, Tracer};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,10 +49,12 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    /// Fraction of run-loop time spent inside kernels (0..=1).
+    /// Fraction of run-loop time spent inside kernels (0..=1). A run that
+    /// never entered the loop has done no kernel work, so an empty
+    /// `total_time` reports 0.0.
     pub fn kernel_fraction(&self) -> f64 {
         if self.total_time.is_zero() {
-            return 1.0;
+            return 0.0;
         }
         self.kernel_time.as_secs_f64() / self.total_time.as_secs_f64()
     }
@@ -89,6 +92,8 @@ struct TaskWaker {
     id: usize,
     ready: Arc<ReadyQueue>,
     scheduled: Arc<AtomicBool>,
+    tracer: Tracer,
+    kernel: KernelRef,
 }
 
 impl std::task::Wake for TaskWaker {
@@ -98,6 +103,9 @@ impl std::task::Wake for TaskWaker {
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.scheduled.swap(true, Ordering::AcqRel) {
+            self.tracer.emit(TraceEvent::SchedulerWake {
+                kernel: self.kernel,
+            });
             self.ready.push(self.id);
         }
     }
@@ -109,6 +117,8 @@ struct Task {
     scheduled: Arc<AtomicBool>,
     /// Human-readable label for diagnostics (kernel instance name).
     label: String,
+    /// Stable trace handle registered under `label`.
+    kernel: KernelRef,
     polls: u64,
     busy: Duration,
 }
@@ -120,6 +130,7 @@ pub struct Executor {
     tasks: Vec<Option<Task>>,
     ready: Option<Arc<ReadyQueue>>,
     poll_budget: Option<u64>,
+    tracer: Tracer,
 }
 
 impl Executor {
@@ -131,7 +142,16 @@ impl Executor {
                 queue: Mutex::new(std::collections::VecDeque::new()),
             })),
             poll_budget: None,
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Attach a tracer: subsequent [`Executor::spawn`] calls register their
+    /// label as a kernel, and the run loop emits poll begin/end and
+    /// scheduler-wake events. Set this before spawning.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Bound the total number of polls. A kernel that busy-yields forever
@@ -152,17 +172,22 @@ impl Executor {
     /// receive its first poll when the run loop starts.
     pub fn spawn(&mut self, label: impl Into<String>, future: LocalBoxFuture) -> usize {
         let id = self.tasks.len();
+        let label = label.into();
+        let kernel = self.tracer.register_kernel(&label);
         let scheduled = Arc::new(AtomicBool::new(true)); // pre-queued below
         let waker = Waker::from(Arc::new(TaskWaker {
             id,
             ready: Arc::clone(self.ready()),
             scheduled: Arc::clone(&scheduled),
+            tracer: self.tracer.clone(),
+            kernel,
         }));
         self.tasks.push(Some(Task {
             future,
             waker,
             scheduled,
-            label: label.into(),
+            label,
+            kernel,
             polls: 0,
             busy: Duration::ZERO,
         }));
@@ -189,12 +214,14 @@ impl Executor {
     /// the paper's §5.2 profiling analysis.
     pub fn run_profiled(&mut self) -> (ExecStats, Vec<TaskProfile>) {
         let started = Instant::now();
+        self.tracer.emit(TraceEvent::RunBegin);
         let mut stats = ExecStats {
             tasks: self.tasks.len(),
             ..ExecStats::default()
         };
         let mut profiles: Vec<Option<TaskProfile>> = (0..self.tasks.len()).map(|_| None).collect();
         let ready = Arc::clone(self.ready());
+        let poll_hist = self.tracer.histogram("poll_ns", &[]);
         while let Some(id) = ready.pop() {
             if self.poll_budget.is_some_and(|b| stats.polls >= b) {
                 break; // budget exhausted: remaining tasks report as stalled
@@ -207,9 +234,16 @@ impl Executor {
             let mut cx = Context::from_waker(&waker);
             stats.polls += 1;
             task.polls += 1;
+            let kernel = task.kernel;
+            self.tracer.emit(TraceEvent::PollBegin { kernel });
             let poll_start = Instant::now();
             let result = task.future.as_mut().poll(&mut cx);
             let elapsed = poll_start.elapsed();
+            self.tracer.emit(TraceEvent::PollEnd {
+                kernel,
+                pending: result.is_pending(),
+            });
+            poll_hist.observe(elapsed.as_nanos() as u64);
             stats.kernel_time += elapsed;
             task.busy += elapsed;
             match result {
@@ -243,6 +277,7 @@ impl Executor {
             }
         }
         stats.total_time = started.elapsed();
+        self.tracer.emit(TraceEvent::RunEnd);
         (stats, profiles.into_iter().flatten().collect())
     }
 }
@@ -405,6 +440,14 @@ mod tests {
     }
 
     #[test]
+    fn kernel_fraction_of_empty_run_is_zero() {
+        // A run that did no work must not claim 100% kernel occupancy.
+        let stats = ExecStats::default();
+        assert!(stats.total_time.is_zero());
+        assert_eq!(stats.kernel_fraction(), 0.0);
+    }
+
+    #[test]
     fn poll_budget_stops_spinning_kernels() {
         /// Busy-yields forever — the pathological kernel a cooperative
         /// scheduler cannot preempt.
@@ -424,6 +467,41 @@ mod tests {
         assert!(stalled.contains(&"spinner".to_string()));
         // The well-behaved task may or may not have completed depending on
         // interleaving, but the run terminated — that is the guarantee.
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_emits_poll_and_wake_events() {
+        let tracer = Tracer::ring(1024);
+        let mut ex = Executor::new().with_tracer(tracer.clone());
+        ex.spawn(
+            "yielder",
+            Box::pin(async {
+                YieldN { remaining: 2 }.await;
+            }),
+        );
+        let (stats, _) = ex.run();
+        assert_eq!(stats.polls, 3);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.kernels, vec!["yielder"]);
+        let kinds: Vec<&str> = snap.records.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "poll_begin").count(), 3);
+        assert_eq!(kinds.iter().filter(|k| **k == "poll_end").count(), 3);
+        // Self-wakes from YieldN surface as scheduler wakes.
+        assert_eq!(kinds.iter().filter(|k| **k == "scheduler_wake").count(), 2);
+        assert_eq!(kinds.first(), Some(&"run_begin"));
+        assert_eq!(kinds.last(), Some(&"run_end"));
+        // The final poll completes: its PollEnd must say not-pending.
+        let last_poll = snap
+            .records
+            .iter()
+            .rev()
+            .find_map(|r| match r.event {
+                TraceEvent::PollEnd { pending, .. } => Some(pending),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!last_poll);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod port;
 // `$crate`.
 pub use cgsim_core;
 
-pub use channel::{Channel, ChannelStats, Consumer, Producer};
+pub use cgsim_trace;
+pub use channel::{Channel, ChannelAdmin, ChannelStats, Consumer, Producer};
 pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle};
 pub use executor::{block_on, ExecStats, Executor, LocalBoxFuture, TaskProfile};
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};

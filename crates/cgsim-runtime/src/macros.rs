@@ -131,7 +131,7 @@ macro_rules! compute_kernel {
             ) -> ::std::result::Result<$crate::AnyChannel, $crate::cgsim_core::GraphError> {
                 let constructors: &[fn(usize) -> $crate::AnyChannel] = &[
                     $( |cap: usize| -> $crate::AnyChannel {
-                        $crate::Channel::<$pty>::new(cap)
+                        $crate::AnyChannel::typed($crate::Channel::<$pty>::new(cap))
                     } ),*
                 ];
                 match constructors.get(port_idx) {

@@ -124,7 +124,7 @@ impl<'g> ThreadedContext<'g> {
                     let entry = library.get(&graph.kernels[ki].kind)?;
                     channels.push(entry.make_channel(pi, capacity)?);
                 }
-                None => channels.push(Arc::new(())),
+                None => channels.push(AnyChannel::placeholder()),
             }
         }
 
@@ -180,7 +180,7 @@ impl<'g> ThreadedContext<'g> {
         }
         if slot.clone().downcast::<()>().is_ok() {
             let chan = Channel::<T>::new(64);
-            *slot = chan.clone();
+            *slot = AnyChannel::typed(chan.clone());
             return Ok(chan);
         }
         Err(GraphError::IoTypeMismatch {

@@ -1,0 +1,119 @@
+//! The event vocabulary shared by the cooperative runtime and the
+//! discrete-event simulator.
+//!
+//! Both execution engines report progress through the same set of typed
+//! events, so one set of exporters (Chrome trace, summary table, JSON
+//! snapshot) serves both. Events carry stable integer handles
+//! ([`KernelRef`], [`ChannelRef`]) assigned at registration time; the
+//! [`crate::TraceSnapshot`] maps them back to names.
+
+/// Stable handle for a registered kernel (or source/sink coroutine, or
+/// simulator node). Index into [`crate::TraceSnapshot::kernels`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KernelRef(pub u32);
+
+/// Stable handle for a registered channel/FIFO. Index into
+/// [`crate::TraceSnapshot::channels`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ChannelRef(pub u32);
+
+/// Which side of a channel an event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockSide {
+    /// A producer (full buffer).
+    Write,
+    /// A consumer (empty buffer).
+    Read,
+}
+
+/// One simulation/runtime occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The scheduler started polling a kernel coroutine.
+    PollBegin { kernel: KernelRef },
+    /// The poll returned; `pending` is true if the kernel suspended.
+    PollEnd { kernel: KernelRef, pending: bool },
+    /// A suspended kernel was made runnable again (waker fired).
+    SchedulerWake { kernel: KernelRef },
+    /// An element was accepted by a channel; `occupancy` is the buffer
+    /// fill after the push.
+    ChannelPush { channel: ChannelRef, occupancy: u64 },
+    /// An element was delivered to a consumer; `occupancy` is the buffer
+    /// fill after the pop.
+    ChannelPop { channel: ChannelRef, occupancy: u64 },
+    /// A kernel suspended on a channel (full for writers, empty for
+    /// readers).
+    ChannelBlock {
+        channel: ChannelRef,
+        side: BlockSide,
+    },
+    /// Blocked kernels on one side of a channel were released.
+    ChannelUnblock {
+        channel: ChannelRef,
+        side: BlockSide,
+    },
+    /// A source coroutine finished injecting its stream (`elements` total).
+    SourceIo { kernel: KernelRef, elements: u64 },
+    /// A sink coroutine observed end-of-stream (`elements` collected).
+    SinkIo { kernel: KernelRef, elements: u64 },
+    /// A simulated kernel iteration completed. The record timestamp is the
+    /// completion time; `start_ns` is when the iteration began.
+    IterationEnd {
+        kernel: KernelRef,
+        iteration: u64,
+        start_ns: u64,
+    },
+    /// A simulator node failed to start an iteration (empty input or full
+    /// output FIFO).
+    Stall { kernel: KernelRef },
+    /// A run/simulation began.
+    RunBegin,
+    /// A run/simulation ended.
+    RunEnd,
+}
+
+impl TraceEvent {
+    /// The kernel this event is attributed to, if any.
+    pub fn kernel(&self) -> Option<KernelRef> {
+        match *self {
+            TraceEvent::PollBegin { kernel }
+            | TraceEvent::PollEnd { kernel, .. }
+            | TraceEvent::SchedulerWake { kernel }
+            | TraceEvent::SourceIo { kernel, .. }
+            | TraceEvent::SinkIo { kernel, .. }
+            | TraceEvent::IterationEnd { kernel, .. }
+            | TraceEvent::Stall { kernel } => Some(kernel),
+            _ => None,
+        }
+    }
+
+    /// Short machine-readable name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PollBegin { .. } => "poll_begin",
+            TraceEvent::PollEnd { .. } => "poll_end",
+            TraceEvent::SchedulerWake { .. } => "scheduler_wake",
+            TraceEvent::ChannelPush { .. } => "channel_push",
+            TraceEvent::ChannelPop { .. } => "channel_pop",
+            TraceEvent::ChannelBlock { .. } => "channel_block",
+            TraceEvent::ChannelUnblock { .. } => "channel_unblock",
+            TraceEvent::SourceIo { .. } => "source_io",
+            TraceEvent::SinkIo { .. } => "sink_io",
+            TraceEvent::IterationEnd { .. } => "iteration_end",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::RunBegin => "run_begin",
+            TraceEvent::RunEnd => "run_end",
+        }
+    }
+}
+
+/// A timestamped event. Timestamps are nanoseconds on a monotonic axis —
+/// wall-clock since tracer creation for the runtime, simulated time for the
+/// DES engine; the two are never mixed within one tracer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}

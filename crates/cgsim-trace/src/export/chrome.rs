@@ -1,0 +1,233 @@
+//! Chrome-trace (Trace Event Format) export.
+//!
+//! Produces JSON loadable by `chrome://tracing` and `ui.perfetto.dev`:
+//! one track (`tid`) per kernel instance carrying duration slices for
+//! iterations and polls, counter tracks for channel occupancy, async
+//! slices for blocked intervals, and instant markers for stalls and
+//! scheduler wakes. Timestamps are microseconds (f64, so nanosecond
+//! resolution survives).
+
+use std::collections::HashMap;
+
+use crate::event::{BlockSide, TraceEvent};
+use crate::snapshot::TraceSnapshot;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn side_name(side: BlockSide) -> &'static str {
+    match side {
+        BlockSide::Write => "write blocked",
+        BlockSide::Read => "read blocked",
+    }
+}
+
+/// Build the `traceEvents` array for a snapshot.
+pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
+    let mut events = Vec::new();
+    // Open polls, keyed by kernel: PollBegin timestamp awaiting its PollEnd.
+    let mut open_polls: HashMap<u32, u64> = HashMap::new();
+    for record in &snapshot.records {
+        let ts = record.ts_ns;
+        match record.event {
+            TraceEvent::IterationEnd {
+                kernel,
+                iteration,
+                start_ns,
+            } => {
+                events.push(serde_json::json!({
+                    "name": format!("iter {iteration}"),
+                    "cat": "kernel",
+                    "ph": "X",
+                    "ts": us(start_ns),
+                    "dur": us(ts.saturating_sub(start_ns)),
+                    "pid": 1,
+                    "tid": snapshot.kernel_name(kernel),
+                }));
+            }
+            TraceEvent::PollBegin { kernel } => {
+                open_polls.insert(kernel.0, ts);
+            }
+            TraceEvent::PollEnd { kernel, pending } => {
+                // An unmatched PollEnd (begin evicted from the ring) is
+                // rendered as a zero-length slice at its own timestamp.
+                let begin = open_polls.remove(&kernel.0).unwrap_or(ts);
+                events.push(serde_json::json!({
+                    "name": "poll",
+                    "cat": "runtime",
+                    "ph": "X",
+                    "ts": us(begin),
+                    "dur": us(ts.saturating_sub(begin)),
+                    "pid": 1,
+                    "tid": snapshot.kernel_name(kernel),
+                    "args": serde_json::json!({ "pending": pending }),
+                }));
+            }
+            TraceEvent::SchedulerWake { kernel } => {
+                events.push(serde_json::json!({
+                    "name": "wake",
+                    "cat": "sched",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(ts),
+                    "pid": 1,
+                    "tid": snapshot.kernel_name(kernel),
+                }));
+            }
+            TraceEvent::ChannelPush { channel, occupancy }
+            | TraceEvent::ChannelPop { channel, occupancy } => {
+                events.push(serde_json::json!({
+                    "name": format!("occupancy {}", snapshot.channel_name(channel)),
+                    "cat": "channel",
+                    "ph": "C",
+                    "ts": us(ts),
+                    "pid": 1,
+                    "args": serde_json::json!({ "elements": occupancy }),
+                }));
+            }
+            TraceEvent::ChannelBlock { channel, side } => {
+                events.push(serde_json::json!({
+                    "name": side_name(side),
+                    "cat": "channel",
+                    "ph": "b",
+                    "id": channel.0 as u64 * 2 + matches!(side, BlockSide::Read) as u64,
+                    "ts": us(ts),
+                    "pid": 1,
+                    "tid": snapshot.channel_name(channel),
+                }));
+            }
+            TraceEvent::ChannelUnblock { channel, side } => {
+                events.push(serde_json::json!({
+                    "name": side_name(side),
+                    "cat": "channel",
+                    "ph": "e",
+                    "id": channel.0 as u64 * 2 + matches!(side, BlockSide::Read) as u64,
+                    "ts": us(ts),
+                    "pid": 1,
+                    "tid": snapshot.channel_name(channel),
+                }));
+            }
+            TraceEvent::Stall { kernel } => {
+                events.push(serde_json::json!({
+                    "name": "stall",
+                    "cat": "stall",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(ts),
+                    "pid": 1,
+                    "tid": snapshot.kernel_name(kernel),
+                }));
+            }
+            TraceEvent::SourceIo { kernel, elements } | TraceEvent::SinkIo { kernel, elements } => {
+                events.push(serde_json::json!({
+                    "name": record.event.kind(),
+                    "cat": "io",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(ts),
+                    "pid": 1,
+                    "tid": snapshot.kernel_name(kernel),
+                    "args": serde_json::json!({ "elements": elements }),
+                }));
+            }
+            // Run markers delimit the span; they carry no track of their
+            // own and are deliberately not exported.
+            TraceEvent::RunBegin | TraceEvent::RunEnd => {}
+        }
+    }
+    events
+}
+
+/// Render a snapshot as a complete Chrome-trace JSON document.
+pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
+    let events = chrome_trace_events(snapshot);
+    serde_json::to_string_pretty(&serde_json::json!({
+        "traceEvents": serde_json::Value::Array(events),
+        "displayTimeUnit": "ns",
+    }))
+    .expect("chrome trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ChannelRef, KernelRef, TraceRecord};
+    use crate::snapshot::ChannelInfo;
+
+    fn snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            kernels: vec!["mac_0".into(), "mac_1".into()],
+            channels: vec![ChannelInfo {
+                name: "c0".into(),
+                capacity: 16,
+            }],
+            records: vec![
+                TraceRecord {
+                    ts_ns: 0,
+                    event: TraceEvent::RunBegin,
+                },
+                TraceRecord {
+                    ts_ns: 100,
+                    event: TraceEvent::PollBegin {
+                        kernel: KernelRef(0),
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 400,
+                    event: TraceEvent::PollEnd {
+                        kernel: KernelRef(0),
+                        pending: true,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 500,
+                    event: TraceEvent::ChannelPush {
+                        channel: ChannelRef(0),
+                        occupancy: 3,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 900,
+                    event: TraceEvent::IterationEnd {
+                        kernel: KernelRef(1),
+                        iteration: 0,
+                        start_ns: 600,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 1000,
+                    event: TraceEvent::RunEnd,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn iteration_and_poll_become_duration_slices() {
+        let events = chrome_trace_events(&snapshot());
+        // RunBegin/RunEnd are skipped: poll X, push C, iteration X.
+        assert_eq!(events.len(), 3);
+        let poll = &events[0];
+        assert_eq!(poll["ph"], "X");
+        assert_eq!(poll["tid"], "mac_0");
+        assert_eq!(poll["ts"], 0.1);
+        assert_eq!(poll["dur"], 0.3);
+        let push = &events[1];
+        assert_eq!(push["ph"], "C");
+        let iter = &events[2];
+        assert_eq!(iter["ph"], "X");
+        assert_eq!(iter["name"], "iter 0");
+        assert_eq!(iter["tid"], "mac_1");
+        assert_eq!(iter["dur"], 0.3);
+    }
+
+    #[test]
+    fn document_parses_back() {
+        let doc = chrome_trace_json(&snapshot());
+        let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 3);
+        assert_eq!(parsed["displayTimeUnit"], "ns");
+    }
+}

@@ -1,0 +1,7 @@
+//! Exporters over a [`crate::TraceSnapshot`]: Chrome-trace JSON for
+//! `chrome://tracing` / Perfetto, a plain-text summary table, and a
+//! machine-readable JSON snapshot.
+
+pub mod chrome;
+pub mod json;
+pub mod summary;

@@ -1,0 +1,251 @@
+//! Plain-text summary table: the single renderer behind both the
+//! simulator's `SimReport` and the runtime's `RunReport` summaries, so the
+//! two engines print per-kernel statistics in one format.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::snapshot::TraceSnapshot;
+
+/// One kernel row of the summary table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelRow {
+    /// Kernel instance name.
+    pub name: String,
+    /// Completed iterations.
+    pub iterations: u64,
+    /// Busy time attributed to the kernel — simulator cycles or runtime
+    /// nanoseconds, depending on the producing engine.
+    pub busy: u64,
+    /// Busy fraction of the run span (0..=1).
+    pub utilization: f64,
+    /// Mean interval between iteration completions, in ns.
+    pub interval_ns: Option<f64>,
+    /// Blocked iteration attempts / channel blocks.
+    pub stalls: u64,
+}
+
+/// The whole table plus run-level footer facts.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryTable {
+    pub rows: Vec<KernelRow>,
+    /// Label for the `busy` column (`"busy cycles"` or `"busy ns"`).
+    pub busy_label: &'static str,
+    /// Total run span in ns.
+    pub total_ns: f64,
+    /// Blocks delivered at the sink (0 when not block-structured).
+    pub blocks: usize,
+    /// Steady-state ns per output block, when measurable.
+    pub ns_per_block: Option<f64>,
+}
+
+impl SummaryTable {
+    /// Render as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let busy_label = if self.busy_label.is_empty() {
+            "busy"
+        } else {
+            self.busy_label
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>8} {:>12} {:>8}",
+            "kernel", "iters", busy_label, "util", "interval ns", "stalls"
+        );
+        for k in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10} {:>12} {:>7.1}% {:>12} {:>8}",
+                k.name,
+                k.iterations,
+                k.busy,
+                k.utilization * 100.0,
+                k.interval_ns
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                k.stalls,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {:.1} ns, {} blocks{}",
+            self.total_ns,
+            self.blocks,
+            self.ns_per_block
+                .map(|v| format!(", {v:.1} ns/block"))
+                .unwrap_or_default(),
+        );
+        out
+    }
+}
+
+/// Derive per-kernel rows from raw trace records: iterations and busy time
+/// from `IterationEnd` / poll slices, stalls from `Stall` events plus the
+/// per-kernel `stalls` counter in the metrics registry.
+pub fn summarize(snapshot: &TraceSnapshot) -> SummaryTable {
+    let (begin, end) = snapshot.span_ns();
+    let span = (end - begin).max(1) as f64;
+    let n = snapshot.kernels.len();
+    let mut iterations = vec![0u64; n];
+    let mut busy = vec![0u64; n];
+    let mut stalls = vec![0u64; n];
+    let mut first_end = vec![None::<u64>; n];
+    let mut last_end = vec![0u64; n];
+    let mut open_polls = vec![None::<u64>; n];
+    for r in &snapshot.records {
+        match r.event {
+            TraceEvent::IterationEnd {
+                kernel, start_ns, ..
+            } => {
+                let i = kernel.0 as usize;
+                if i >= n {
+                    continue;
+                }
+                iterations[i] += 1;
+                busy[i] += r.ts_ns.saturating_sub(start_ns);
+                if first_end[i].is_none() {
+                    first_end[i] = Some(r.ts_ns);
+                }
+                last_end[i] = r.ts_ns;
+            }
+            TraceEvent::PollBegin { kernel } => {
+                if let Some(slot) = open_polls.get_mut(kernel.0 as usize) {
+                    *slot = Some(r.ts_ns);
+                }
+            }
+            TraceEvent::PollEnd { kernel, .. } => {
+                let i = kernel.0 as usize;
+                if i >= n {
+                    continue;
+                }
+                if let Some(b) = open_polls[i].take() {
+                    busy[i] += r.ts_ns.saturating_sub(b);
+                }
+            }
+            TraceEvent::Stall { kernel } => {
+                if let Some(slot) = stalls.get_mut(kernel.0 as usize) {
+                    *slot += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Stall counters registered out-of-band (e.g. channel block counts
+    // attributed to a kernel) supplement in-band Stall events.
+    for (key, value) in &snapshot.metrics.counters {
+        if key.name != "stalls" {
+            continue;
+        }
+        if let Some((_, kernel)) = key.labels.iter().find(|(k, _)| k == "kernel") {
+            if let Some(i) = snapshot.kernels.iter().position(|k| k == kernel) {
+                stalls[i] += value;
+            }
+        }
+    }
+    let rows = snapshot
+        .kernels
+        .iter()
+        .enumerate()
+        .map(|(i, name)| KernelRow {
+            name: name.clone(),
+            iterations: iterations[i],
+            busy: busy[i],
+            utilization: busy[i] as f64 / span,
+            interval_ns: match (first_end[i], iterations[i]) {
+                (Some(first), iters) if iters >= 2 => {
+                    Some((last_end[i] - first) as f64 / (iters - 1) as f64)
+                }
+                _ => None,
+            },
+            stalls: stalls[i],
+        })
+        .collect();
+    SummaryTable {
+        rows,
+        busy_label: "busy ns",
+        total_ns: (end - begin) as f64,
+        blocks: 0,
+        ns_per_block: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{KernelRef, TraceRecord};
+
+    fn iter_end(kernel: u32, iteration: u64, start: u64, end: u64) -> TraceRecord {
+        TraceRecord {
+            ts_ns: end,
+            event: TraceEvent::IterationEnd {
+                kernel: KernelRef(kernel),
+                iteration,
+                start_ns: start,
+            },
+        }
+    }
+
+    #[test]
+    fn summarize_counts_iterations_busy_and_intervals() {
+        let snapshot = TraceSnapshot {
+            kernels: vec!["a".into(), "b".into()],
+            records: vec![
+                TraceRecord {
+                    ts_ns: 0,
+                    event: TraceEvent::RunBegin,
+                },
+                iter_end(0, 0, 10, 20),
+                iter_end(0, 1, 30, 40),
+                iter_end(1, 0, 15, 35),
+                TraceRecord {
+                    ts_ns: 100,
+                    event: TraceEvent::Stall {
+                        kernel: KernelRef(1),
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 200,
+                    event: TraceEvent::RunEnd,
+                },
+            ],
+            ..Default::default()
+        };
+        let table = summarize(&snapshot);
+        assert_eq!(table.rows.len(), 2);
+        let a = &table.rows[0];
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.busy, 20);
+        assert_eq!(a.interval_ns, Some(20.0));
+        assert_eq!(a.stalls, 0);
+        let b = &table.rows[1];
+        assert_eq!(b.iterations, 1);
+        assert_eq!(b.interval_ns, None);
+        assert_eq!(b.stalls, 1);
+        assert_eq!(table.total_ns, 200.0);
+    }
+
+    #[test]
+    fn render_includes_rows_and_footer() {
+        let table = SummaryTable {
+            rows: vec![KernelRow {
+                name: "mac_0".into(),
+                iterations: 64,
+                busy: 640,
+                utilization: 0.5,
+                interval_ns: Some(12.5),
+                stalls: 3,
+            }],
+            busy_label: "busy cycles",
+            total_ns: 1280.0,
+            blocks: 16,
+            ns_per_block: Some(80.0),
+        };
+        let text = table.render();
+        assert!(text.contains("mac_0"));
+        assert!(text.contains("busy cycles"));
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("ns/block"));
+        assert!(text.contains("16 blocks"));
+    }
+}

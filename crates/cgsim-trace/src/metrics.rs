@@ -1,0 +1,332 @@
+//! A small metrics registry: named counters, gauges and histograms with
+//! optional per-kernel/per-channel labels.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! shared atomics. A default-constructed handle is a no-op, which lets
+//! instrumented code hold handles unconditionally and skip branching on
+//! whether tracing is active.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one metric instrument: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k=v,...}` rendering used by the summary/JSON exporters.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Monotonically increasing count. Default handle is a no-op.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time signed value. Default handle is a no-op.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+const HISTOGRAM_BUCKETS: usize = 64;
+
+struct HistogramCore {
+    /// Power-of-two buckets: bucket i counts values v with
+    /// `v.ilog2() == i` (bucket 0 also takes v == 0).
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Log2-bucketed histogram of u64 observations. Default handle is a no-op.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub fn observe(&self, value: u64) {
+        let Some(core) = &self.0 else { return };
+        let bucket = if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        };
+        core.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.max.load(Ordering::Relaxed))
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.0.as_ref().map_or_else(Vec::new, |core| {
+            core.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        });
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// Frozen view of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Log2 bucket counts; trailing zero buckets may be truncated.
+    pub buckets: Vec<u64>,
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Registry of instruments, deduplicated by `(name, labels)`: asking twice
+/// for the same key returns handles to the same underlying cell.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<BTreeMap<MetricKey, Instrument>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter(Some(Arc::new(AtomicU64::new(0))))))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge(Some(Arc::new(AtomicI64::new(0))))))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(key).or_insert_with(|| {
+            Instrument::Histogram(Histogram(Some(Arc::new(HistogramCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }))))
+        }) {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    }
+
+    /// Freeze every registered instrument into a sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, instrument) in map.iter() {
+            match instrument {
+                Instrument::Counter(c) => counters.push((key.clone(), c.get())),
+                Instrument::Gauge(g) => gauges.push((key.clone(), g.get())),
+                Instrument::Histogram(h) => {
+                    let mut snap = h.snapshot();
+                    while snap.buckets.last() == Some(&0) {
+                        snap.buckets.pop();
+                    }
+                    histograms.push((key.clone(), snap));
+                }
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Frozen, sorted view of the registry. `(name, labels)` keys are unique.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(MetricKey, u64)>,
+    pub gauges: Vec<(MetricKey, i64)>,
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by rendered key (e.g. `pushes{channel=c0}`),
+    /// mostly for tests.
+    pub fn counter_value(&self, rendered: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.render() == rendered)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_dedup_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("pushes", &[("channel", "c0")]);
+        let b = reg.counter("pushes", &[("channel", "c0")]);
+        let c = reg.counter("pushes", &[("channel", "c1")]);
+        a.add(3);
+        b.add(4);
+        c.inc();
+        assert_eq!(a.get(), 7);
+        assert_eq!(c.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("pushes{channel=c0}"), Some(7));
+        assert_eq!(snap.counter_value("pushes{channel=c1}"), Some(1));
+    }
+
+    #[test]
+    fn default_handles_are_noops() {
+        let counter = Counter::default();
+        counter.inc();
+        assert_eq!(counter.get(), 0);
+        let gauge = Gauge::default();
+        gauge.set(42);
+        assert_eq!(gauge.get(), 0);
+        let hist = Histogram::default();
+        hist.observe(9);
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max_and_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("poll_ns", &[]);
+        for v in [0, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 206.0).abs() < 1e-9);
+        let snap = reg.snapshot();
+        let (_, hist) = &snap.histograms[0];
+        // 0 and 1 land in bucket 0; 2,3 in bucket 1; 1024 in bucket 10.
+        assert_eq!(hist.buckets[0], 2);
+        assert_eq!(hist.buckets[1], 2);
+        assert_eq!(hist.buckets[10], 1);
+        assert_eq!(hist.buckets.len(), 11);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Frozen view of one traced run: name tables, buffered records and the
+//! metrics snapshot, ready for export.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricsSnapshot;
+
+/// Registration-time facts about one channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelInfo {
+    /// Display name (graph connector name or `c{index}`).
+    pub name: String,
+    /// Buffer capacity in elements (0 when unknown).
+    pub capacity: u64,
+}
+
+/// Everything a tracer captured, decoupled from the live run.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Kernel names; index == [`crate::KernelRef`] value.
+    pub kernels: Vec<String>,
+    /// Channel info; index == [`crate::ChannelRef`] value.
+    pub channels: Vec<ChannelInfo>,
+    /// Buffered records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records the sink had to discard (ring buffer overflow).
+    pub dropped: u64,
+    /// All registered metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+impl TraceSnapshot {
+    /// Display name for a kernel handle (`k{n}` fallback for handles that
+    /// were never registered).
+    pub fn kernel_name(&self, kernel: crate::KernelRef) -> String {
+        self.kernels
+            .get(kernel.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("k{}", kernel.0))
+    }
+
+    /// Display name for a channel handle.
+    pub fn channel_name(&self, channel: crate::ChannelRef) -> String {
+        self.channels
+            .get(channel.0 as usize)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| format!("c{}", channel.0))
+    }
+
+    /// Timestamp span covered by the buffered records: prefers explicit
+    /// RunBegin/RunEnd markers, falls back to first/last record.
+    pub fn span_ns(&self) -> (u64, u64) {
+        let mut begin = None;
+        let mut end = None;
+        for r in &self.records {
+            match r.event {
+                TraceEvent::RunBegin => begin = Some(r.ts_ns),
+                TraceEvent::RunEnd => end = Some(r.ts_ns),
+                _ => {}
+            }
+        }
+        let first = begin
+            .or_else(|| self.records.first().map(|r| r.ts_ns))
+            .unwrap_or(0);
+        let last = end
+            .or_else(|| self.records.last().map(|r| r.ts_ns))
+            .unwrap_or(first);
+        (first, last.max(first))
+    }
+
+    /// Completed-iteration count per registered kernel (indexed like
+    /// `kernels`). Kernels that never emitted `IterationEnd` report 0.
+    pub fn iteration_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.kernels.len()];
+        for r in &self.records {
+            if let TraceEvent::IterationEnd { kernel, .. } = r.event {
+                if let Some(slot) = counts.get_mut(kernel.0 as usize) {
+                    *slot += 1;
+                }
+            }
+        }
+        counts
+    }
+}

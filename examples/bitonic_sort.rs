@@ -3,10 +3,25 @@
 //! and extracted variants (one row of the paper's Table 1).
 //!
 //! Run with: `cargo run --release --example bitonic_sort`
+//!
+//! Pass `--trace out.json` to export the hand-optimized simulation as a
+//! Chrome trace (open in `chrome://tracing` or `ui.perfetto.dev`).
 
 use cgsim::graphs::bitonic::{build_graph, make_input, reference, BitonicApp, SORT_WIDTH};
 use cgsim::graphs::{EvalApp, Runtime};
-use cgsim::sim::{simulate_graph, SimConfig};
+use cgsim::sim::{simulate_graph, simulate_graph_traced, SimConfig};
+use cgsim::trace::Tracer;
+
+/// Parse `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() {
     let blocks = 64u64;
@@ -45,10 +60,21 @@ fn main() {
     let graph = build_graph();
     let profiles = BitonicApp.profiles();
     let workload = BitonicApp.workload(256);
-    let hand = simulate_graph(&graph, &profiles, &SimConfig::hand_optimized(), &workload)
-        .unwrap()
-        .ns_per_block()
-        .unwrap();
+    let trace_out = trace_path();
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let hand_trace = simulate_graph_traced(
+        &graph,
+        &profiles,
+        &SimConfig::hand_optimized(),
+        &workload,
+        &tracer,
+    )
+    .unwrap();
+    let hand = hand_trace.ns_per_block().unwrap();
     let extracted = simulate_graph(&graph, &profiles, &SimConfig::extracted(), &workload)
         .unwrap()
         .ns_per_block()
@@ -60,5 +86,19 @@ fn main() {
         "  relative throughput: {:.2}%  (paper Table 1: 85.32%)",
         hand / extracted * 100.0
     );
+
+    if let Some(path) = trace_out {
+        let snapshot = tracer.snapshot();
+        std::fs::write(
+            &path,
+            cgsim::trace::export::chrome::chrome_trace_json(&snapshot),
+        )
+        .expect("write trace");
+        println!(
+            "\nper-kernel summary (hand-optimized):\n{}",
+            cgsim::trace::export::summary::summarize(&snapshot).render()
+        );
+        println!("chrome trace written to {}", path.display());
+    }
     println!("\nOK");
 }

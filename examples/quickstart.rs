@@ -4,8 +4,13 @@
 //! application.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--trace out.json` to record a Chrome-trace of the run (open in
+//! `chrome://tracing` or `ui.perfetto.dev`): one track per kernel, channel
+//! occupancy counters, blocked intervals.
 
 use cgsim::runtime::{compute_graph, compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::trace::Tracer;
 
 compute_kernel! {
     /// The paper's Figure 3 kernel: reads pairs of values from two input
@@ -31,6 +36,17 @@ compute_kernel! {
             out.put(v * 2.0).await;
         }
     }
+}
+
+/// Parse `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
 }
 
 fn main() {
@@ -74,8 +90,14 @@ fn main() {
         l.register::<adder_kernel>();
         l.register::<doubler_kernel>();
     });
-    let mut ctx =
-        RuntimeContext::new(&graph, &library, RuntimeConfig::default()).expect("instantiate graph");
+    let trace_out = trace_path();
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let mut ctx = RuntimeContext::with_tracer(&graph, &library, RuntimeConfig::default(), tracer)
+        .expect("instantiate graph");
     ctx.feed(0, vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
     ctx.feed(1, vec![10.0f32, 20.0, 30.0, 40.0]).unwrap();
     let out = ctx.collect::<f32>(0).unwrap();
@@ -91,5 +113,11 @@ fn main() {
     let results = out.take();
     println!("  (a+b)*2 = {results:?}");
     assert_eq!(results, vec![22.0, 44.0, 66.0, 88.0]);
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, report.chrome_trace()).expect("write trace");
+        println!("\nper-kernel summary:\n{}", report.summary());
+        println!("chrome trace written to {}", path.display());
+    }
     println!("\nOK");
 }

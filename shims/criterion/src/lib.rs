@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`. Keeps the macro/API surface the bench
+//! crate uses (`criterion_group!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`) and measures honestly with
+//! `std::time::Instant`: per benchmark it calibrates an iteration count to a
+//! fixed sampling window, takes `sample_size` samples, and reports the median
+//! ns/iteration (plus throughput when configured). No plots, no statistics
+//! beyond the median — stable enough for regression comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent per sample during measurement.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+/// Per-benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants the same (one setup per measured call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    result_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn measure<F: FnMut() -> Duration>(&mut self, mut timed_batch: F, batch_iters: u64) {
+        let mut samples: Vec<f64> = (0..self.sample_size.max(1))
+            .map(|_| timed_batch().as_nanos() as f64 / batch_iters as f64)
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+
+    /// Benchmark `routine`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it fills the sampling window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                16
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = (iters * scale.clamp(2, 16)).min(1 << 24);
+        }
+        self.measure(
+            || {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed()
+            },
+            iters,
+        );
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let sample_size = self.sample_size;
+        self.measure(
+            || {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                start.elapsed()
+            },
+            1,
+        );
+        let _ = sample_size;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            result_ns: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut line = format!(
+            "{}/{:<40} {:>12.1} ns/iter",
+            self.name, id.0, bencher.result_ns
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if bencher.result_ns.is_finite() && bencher.result_ns > 0.0 {
+                let per_sec = count as f64 * 1e9 / bencher.result_ns;
+                line.push_str(&format!("  {per_sec:>14.0} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.run(id.into(), f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_finite_result() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

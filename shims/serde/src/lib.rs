@@ -1,0 +1,549 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, API-compatible subset of serde sufficient for the framework:
+//! `Serialize`/`Deserialize` traits (value-tree based rather than
+//! visitor-based), the derive macros (re-exported from the sibling
+//! `serde_derive` shim), and the [`Value`] model that `serde_json` exposes.
+//!
+//! The data model is a JSON value tree: serialization produces a [`Value`],
+//! deserialization consumes one. This trades the streaming performance of
+//! real serde for a tiny implementation with identical observable JSON.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: integer (i64/u64) or floating point.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Negative or positive integer within `i64`.
+    Int(i64),
+    /// Integer beyond `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// Value as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 {
+                    Some(v as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// A JSON value tree — the common currency of this serde shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved for stable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if numeric and representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned payload, if numeric and representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty => $conv:ident),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => Number::from(*other) == *n,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+value_eq_num!(i32 => int, i64 => int, u32 => int, u64 => int, f64 => float, usize => int);
+
+macro_rules! number_from {
+    (int: $($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number { Number::Int(v as i64) }
+        }
+    )*};
+}
+number_from!(int: i8, i16, i32, i64, isize, u8, u16, u32);
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        match i64::try_from(v) {
+            Ok(i) => Number::Int(i),
+            Err(_) => Number::UInt(v),
+        }
+    }
+}
+impl From<usize> for Number {
+    fn from(v: usize) -> Number {
+        Number::from(v as u64)
+    }
+}
+impl From<f32> for Number {
+    fn from(v: f32) -> Number {
+        Number::Float(v as f64)
+    }
+}
+impl From<f64> for Number {
+    fn from(v: f64) -> Number {
+        Number::Float(v)
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v)) }
+        }
+    )*};
+}
+value_from!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+
+    /// A "missing field" error.
+    pub fn missing(field: &str, context: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize a value into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Produce the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Field lookup helper used by derive-generated code.
+pub fn get_field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---- Serialize / Deserialize impls for primitives and std types ----
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    _ => return Err(DeError::expected("number", stringify!($t))),
+                };
+                if <$t>::MIN == 0 {
+                    n.as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))
+                } else {
+                    n.as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError::expected("integer", stringify!($t)))
+                }
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("char", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output (HashMap iteration order is
+        // unstable; stable JSON matters for golden tests and diffs).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                Ok(($($t::from_value(
+                    a.get($n).ok_or_else(|| DeError::expected("tuple element", "tuple"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

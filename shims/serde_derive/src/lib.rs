@@ -1,0 +1,632 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build cannot pull `syn`/`quote`, so this crate parses the
+//! derive input token stream directly and emits impls of the value-tree
+//! `serde` shim traits. Supported container attributes: `transparent`,
+//! `untagged`, `rename_all = "snake_case"`, `tag = "..."`; variant
+//! attributes: `rename = "..."`; field attributes: `skip`, `default`,
+//! `default = "path"`, `rename = "..."`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed `#[serde(...)]` attribute list (possibly merged from several).
+#[derive(Default, Clone)]
+struct Attrs {
+    entries: Vec<(String, Option<String>)>,
+}
+
+impl Attrs {
+    fn has(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    attrs: Attrs,
+    payload: Payload,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: Attrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn strip_quotes(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parse the inside of a `#[serde(...)]` group into key/value entries.
+fn parse_serde_attr_body(group: TokenStream, out: &mut Attrs) {
+    let mut iter = group.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(_) => continue,
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '=' {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Literal(lit)) => value = Some(strip_quotes(&lit.to_string())),
+                    Some(other) => panic!("expected literal after `=` in #[serde]: {other}"),
+                    None => panic!("dangling `=` in #[serde]"),
+                }
+            }
+        }
+        out.entries.push((key, value));
+    }
+}
+
+/// Consume leading `#[...]` attributes; collect `serde` ones into `Attrs`.
+fn parse_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(id)) = inner.next() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(body)) = inner.next() {
+                                    parse_serde_attr_body(body.stream(), &mut attrs);
+                                }
+                            }
+                        }
+                    }
+                    other => panic!("expected [...] after #: {other:?}"),
+                }
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Split a field-list token stream at top-level commas.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one named field: `#[attrs] vis name: Type`.
+fn parse_named_field(tokens: Vec<TokenTree>) -> Field {
+    let mut iter = tokens.into_iter().peekable();
+    let attrs = parse_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected field name, got {other:?}"),
+    };
+    Field { name, attrs }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(parse_named_field)
+        .collect()
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<Variant> {
+    // Variants may carry payload groups with commas inside, but those are
+    // bracketed so top-level splitting is safe.
+    let mut variants = Vec::new();
+    for tokens in split_top_level(stream) {
+        let mut iter = tokens.into_iter().peekable();
+        let attrs = parse_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let payload = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Payload::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Payload::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: consume the rest.
+                for _ in iter.by_ref() {}
+                Payload::Unit
+            }
+            None => Payload::Unit,
+            other => panic!("unexpected token after variant {name}: {other:?}"),
+        };
+        variants.push(Variant {
+            name,
+            attrs,
+            payload,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let attrs = parse_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    let data = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_enum_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    Input { name, attrs, data }
+}
+
+// ------------------------------------------------------------- generation
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i != 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// External name of a variant after `rename` / `rename_all`.
+fn variant_name(v: &Variant, container: &Attrs) -> String {
+    if let Some(r) = v.attrs.get("rename") {
+        return r.to_owned();
+    }
+    match container.get("rename_all") {
+        Some("snake_case") => snake_case(&v.name),
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+        None => v.name.clone(),
+    }
+}
+
+/// External name of a field after `rename`.
+fn field_name(f: &Field) -> String {
+    f.attrs.get("rename").unwrap_or(&f.name).to_owned()
+}
+
+/// `obj.push(...)` statements serializing `fields` of a struct or struct
+/// variant; `access` prefixes the field (e.g. `self.` or ``).
+fn push_fields(fields: &[Field], access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.has("skip") {
+            continue;
+        }
+        out.push_str(&format!(
+            "__obj.push((\"{ext}\".to_string(), ::serde::Serialize::to_value(&{access}{name})));\n",
+            ext = field_name(f),
+            name = f.name,
+        ));
+    }
+    out
+}
+
+/// Deserialization expression for the named fields of `context`, reading
+/// from the object binding `__obj`. Produces `field: expr, ...`.
+fn read_fields(fields: &[Field], context: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.attrs.has("skip")
+            || (f.attrs.has("default") && f.attrs.get("default").is_none())
+        {
+            "::std::default::Default::default()".to_owned()
+        } else if let Some(path) = f.attrs.get("default") {
+            format!("{path}()")
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing(\"{ext}\", \"{context}\"))",
+                ext = field_name(f),
+            )
+        };
+        if f.attrs.has("skip") {
+            out.push_str(&format!("{name}: {missing},\n", name = f.name));
+            continue;
+        }
+        out.push_str(&format!(
+            "{name}: match ::serde::get_field(__obj, \"{ext}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            ext = field_name(f),
+        ));
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            if input.attrs.has("transparent") {
+                let f = fields.first().expect("transparent struct has a field");
+                format!("::serde::Serialize::to_value(&self.{})", f.name)
+            } else {
+                format!(
+                    "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n{}::serde::Value::Object(__obj)",
+                    push_fields(fields, "self."),
+                )
+            }
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_owned(),
+        Data::Enum(variants) => {
+            let untagged = input.attrs.has("untagged");
+            let tag = input.attrs.get("tag");
+            let mut arms = String::new();
+            for v in variants {
+                let ext = variant_name(v, &input.attrs);
+                let arm = match (&v.payload, untagged, tag) {
+                    (Payload::Unit, true, _) => {
+                        format!("{name}::{v} => ::serde::Value::Null,\n", v = v.name)
+                    }
+                    (Payload::Unit, false, None) => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{ext}\".to_string()),\n",
+                        v = v.name
+                    ),
+                    (Payload::Unit, false, Some(tag)) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::String(\"{ext}\".to_string()))]),\n",
+                        v = v.name
+                    ),
+                    (Payload::Tuple(1), true, _) => format!(
+                        "{name}::{v}(__x) => ::serde::Serialize::to_value(__x),\n",
+                        v = v.name
+                    ),
+                    (Payload::Tuple(1), false, None) => format!(
+                        "{name}::{v}(__x) => ::serde::Value::Object(vec![(\"{ext}\".to_string(), \
+                         ::serde::Serialize::to_value(__x))]),\n",
+                        v = v.name
+                    ),
+                    (Payload::Named(fields), unt, tag) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let tag_push = match (unt, tag) {
+                            (false, Some(t)) => format!(
+                                "__obj.push((\"{t}\".to_string(), \
+                                 ::serde::Value::String(\"{ext}\".to_string())));\n"
+                            ),
+                            (true, _) => String::new(),
+                            (false, None) => String::new(),
+                        };
+                        let inner = format!(
+                            "{{ let mut __obj: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n{tag_push}{pushes}\
+                             ::serde::Value::Object(__obj) }}",
+                            pushes = push_fields(fields, ""),
+                        );
+                        let rhs = if unt || tag.is_some() {
+                            inner
+                        } else {
+                            // Externally tagged struct variant.
+                            format!(
+                                "::serde::Value::Object(vec![(\"{ext}\".to_string(), {inner})])"
+                            )
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {rhs},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        )
+                    }
+                    (Payload::Tuple(n), _, _) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let arr = format!("::serde::Value::Array(vec![{}])", items.join(", "));
+                        let rhs = if untagged {
+                            arr
+                        } else {
+                            format!("::serde::Value::Object(vec![(\"{ext}\".to_string(), {arr})])")
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => {rhs},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            if input.attrs.has("transparent") {
+                let f = fields.first().expect("transparent struct has a field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = f.name
+                )
+            } else {
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                    fields = read_fields(fields, name),
+                )
+            }
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__a.get({i}).ok_or_else(|| \
+                         ::serde::DeError::expected(\"array element\", \"{name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => gen_deserialize_enum(input, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    if input.attrs.has("untagged") {
+        // Try variants in declaration order; first success wins.
+        let mut body = String::new();
+        for v in variants {
+            match &v.payload {
+                Payload::Unit => body.push_str(&format!(
+                    "if matches!(__v, ::serde::Value::Null) {{ \
+                     return ::std::result::Result::Ok({name}::{v}); }}\n",
+                    v = v.name
+                )),
+                Payload::Tuple(1) => body.push_str(&format!(
+                    "if let ::std::result::Result::Ok(__x) = \
+                     ::serde::Deserialize::from_value(__v) {{ \
+                     return ::std::result::Result::Ok({name}::{v}(__x)); }}\n",
+                    v = v.name
+                )),
+                Payload::Named(fields) => body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__obj) = __v.as_object() {{ \
+                     let __try = (|| -> ::std::result::Result<{name}, ::serde::DeError> {{ \
+                     ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}}) }})(); \
+                     if let ::std::result::Result::Ok(__x) = __try {{ \
+                     return ::std::result::Result::Ok(__x); }} }}\n",
+                    v = v.name,
+                    fields = read_fields(fields, name),
+                )),
+                Payload::Tuple(_) => panic!("untagged multi-element tuple variants unsupported"),
+            }
+        }
+        body.push_str(&format!(
+            "::std::result::Result::Err(::serde::DeError::expected(\"any variant\", \"{name}\"))"
+        ));
+        return body;
+    }
+    if let Some(tag) = input.attrs.get("tag") {
+        let mut arms = String::new();
+        for v in variants {
+            let ext = variant_name(v, &input.attrs);
+            match &v.payload {
+                Payload::Unit => arms.push_str(&format!(
+                    "\"{ext}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    v = v.name
+                )),
+                Payload::Named(fields) => arms.push_str(&format!(
+                    "\"{ext}\" => ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}}),\n",
+                    v = v.name,
+                    fields = read_fields(fields, name),
+                )),
+                _ => panic!("internally tagged tuple variants unsupported"),
+            }
+        }
+        return format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+             let __tag = ::serde::get_field(__obj, \"{tag}\").and_then(|t| t.as_str())\
+             .ok_or_else(|| ::serde::DeError::missing(\"{tag}\", \"{name}\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::DeError(format!(\
+             \"unknown variant `{{__other}}` of {name}\"))),\n}}"
+        );
+    }
+    // Externally tagged (default): unit variants are strings, payload
+    // variants are single-key objects.
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let ext = variant_name(v, &input.attrs);
+        match &v.payload {
+            Payload::Unit => str_arms.push_str(&format!(
+                "\"{ext}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            Payload::Tuple(1) => obj_arms.push_str(&format!(
+                "\"{ext}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n",
+                v = v.name
+            )),
+            Payload::Named(fields) => obj_arms.push_str(&format!(
+                "\"{ext}\" => {{ let __obj = __inner.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}}) }},\n",
+                v = v.name,
+                fields = read_fields(fields, name),
+            )),
+            Payload::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(__a.get({i}).ok_or_else(|| \
+                             ::serde::DeError::expected(\"array element\", \"{name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                obj_arms.push_str(&format!(
+                    "\"{ext}\" => {{ let __a = __inner.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", \"{name}\"))?; \
+                     ::std::result::Result::Ok({name}::{v}({items})) }},\n",
+                    v = v.name,
+                    items = items.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n{str_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError(format!(\
+         \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+         ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+         let (__k, __inner) = &__o[0];\n\
+         match __k.as_str() {{\n{obj_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError(format!(\
+         \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+         _ => ::std::result::Result::Err(::serde::DeError::expected(\
+         \"string or single-key object\", \"{name}\")),\n}}"
+    )
+}
+
+/// Derive `Serialize` (value-tree shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `Deserialize` (value-tree shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

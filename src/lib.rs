@@ -20,6 +20,7 @@ pub use cgsim_extract as extract;
 pub use cgsim_graphs as graphs;
 pub use cgsim_runtime as runtime;
 pub use cgsim_threads as threads;
+pub use cgsim_trace as trace;
 
 pub use cgsim_core::{Connector, FlatGraph, GraphBuilder, GraphError, PortSettings, Realm};
 pub use cgsim_runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext, SinkHandle};
