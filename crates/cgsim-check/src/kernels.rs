@@ -1,0 +1,135 @@
+//! The generator's kernel palette.
+//!
+//! A small set of deterministic `i64` kernels chosen so that every generated
+//! graph has schedule-independent sink *contents*:
+//!
+//! * all arithmetic is wrapping (no overflow panics on fuzzed data);
+//! * every kernel **fully drains** each input stream before finishing, so
+//!   for a drained run every element pushed into a channel is popped by
+//!   every consumer — the push/pop conservation law the oracle asserts;
+//! * kernels span the attribute space: elementwise (1→1), zip fan-in (2→1),
+//!   fork fan-out (1→2), and mixed execution realms (`aie`, `noextract`,
+//!   `hls`) so generated graphs exercise multi-realm partitions.
+
+use cgsim_runtime::{compute_kernel, KernelLibrary};
+
+compute_kernel! {
+    /// Elementwise: adds 7.
+    #[realm(aie)]
+    pub fn ck_add7(input: ReadPort<i64>, out: WritePort<i64>) {
+        while let Some(v) = input.get().await {
+            out.put(v.wrapping_add(7)).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Elementwise: multiplies by 3.
+    #[realm(aie)]
+    pub fn ck_mul3(input: ReadPort<i64>, out: WritePort<i64>) {
+        while let Some(v) = input.get().await {
+            out.put(v.wrapping_mul(3)).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Elementwise xorshift-style mix; lives outside the AIE array so
+    /// generated graphs get genuine multi-realm partitions.
+    #[realm(noextract)]
+    pub fn ck_mix(input: ReadPort<i64>, out: WritePort<i64>) {
+        while let Some(v) = input.get().await {
+            out.put(v ^ (v.wrapping_shl(13)).wrapping_add(0x5bd1e995)).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Elementwise negation on the HLS realm.
+    #[realm(hls)]
+    pub fn ck_neg(input: ReadPort<i64>, out: WritePort<i64>) {
+        while let Some(v) = input.get().await {
+            out.put(v.wrapping_neg()).await;
+        }
+    }
+}
+
+compute_kernel! {
+    /// Zip fan-in: pairwise sum; the shorter stream bounds the output and
+    /// the longer one is drained to exhaustion afterwards.
+    #[realm(aie)]
+    pub fn ck_zip_add(a: ReadPort<i64>, b: ReadPort<i64>, out: WritePort<i64>) {
+        loop {
+            match (a.get().await, b.get().await) {
+                (Some(x), Some(y)) => out.put(x.wrapping_add(y)).await,
+                (None, None) => break,
+                (Some(_), None) => {
+                    while a.get().await.is_some() {}
+                    break;
+                }
+                (None, Some(_)) => {
+                    while b.get().await.is_some() {}
+                    break;
+                }
+            }
+        }
+    }
+}
+
+compute_kernel! {
+    /// Zip fan-in: pairwise max, same drain discipline as [`ck_zip_add`].
+    #[realm(aie)]
+    pub fn ck_zip_max(a: ReadPort<i64>, b: ReadPort<i64>, out: WritePort<i64>) {
+        loop {
+            match (a.get().await, b.get().await) {
+                (Some(x), Some(y)) => out.put(x.max(y)).await,
+                (None, None) => break,
+                (Some(_), None) => {
+                    while a.get().await.is_some() {}
+                    break;
+                }
+                (None, Some(_)) => {
+                    while b.get().await.is_some() {}
+                    break;
+                }
+            }
+        }
+    }
+}
+
+compute_kernel! {
+    /// Fork fan-out: one input element produces one element on each of two
+    /// distinct output streams.
+    #[realm(aie)]
+    pub fn ck_fork(input: ReadPort<i64>, lo: WritePort<i64>, hi: WritePort<i64>) {
+        while let Some(v) = input.get().await {
+            lo.put(v.wrapping_add(1)).await;
+            hi.put(v.wrapping_mul(2)).await;
+        }
+    }
+}
+
+/// The library registering every palette kernel.
+pub fn library() -> KernelLibrary {
+    KernelLibrary::with(|l| {
+        l.register::<ck_add7>();
+        l.register::<ck_mul3>();
+        l.register::<ck_mix>();
+        l.register::<ck_neg>();
+        l.register::<ck_zip_add>();
+        l.register::<ck_zip_max>();
+        l.register::<ck_fork>();
+    })
+}
+
+/// `(kind name, input ports, output ports)` for every palette kernel — the
+/// shape table the aie-sim leg uses to synthesise cost profiles.
+pub const PALETTE_SHAPES: [(&str, usize, usize); 7] = [
+    ("ck_add7", 1, 1),
+    ("ck_mul3", 1, 1),
+    ("ck_mix", 1, 1),
+    ("ck_neg", 1, 1),
+    ("ck_zip_add", 2, 1),
+    ("ck_zip_max", 2, 1),
+    ("ck_fork", 1, 2),
+];

@@ -1,0 +1,539 @@
+//! The differential oracle.
+//!
+//! Runs one generated case through every available backend and asserts that
+//! they agree — the library form of the paper's cross-validation between
+//! the functional x86 simulation and `aiesim`:
+//!
+//! 1. **Reference leg**: the cooperative executor under its default FIFO
+//!    schedule.
+//! 2. **Permutation legs**: the same executor under LIFO and N seeded
+//!    ready-list permutations, plus seeded fault-injection rounds (forced
+//!    stalls / wake reordering) and one early-sink-closure round.
+//! 3. **Threaded leg**: the thread-per-kernel runtime (`cgsim-threads`).
+//! 4. **DES leg**: the cycle-approximate AIE simulation (`aie-sim`), checked
+//!    structurally — per-kernel iteration counts and per-sink block
+//!    completion against the generator's predictions.
+//!
+//! Every functional leg must produce bit-identical sink outputs (exact for
+//! order-deterministic outputs, as multisets for merge-fed ones), satisfy
+//! the channel conservation law (`pops == pushes × readers` once drained),
+//! and — when tracing is compiled in — pass the graph-agnostic trace
+//! invariants of [`cgsim_trace::invariants`].
+
+use crate::gen::GeneratedCase;
+use crate::kernels::{self, PALETTE_SHAPES};
+use aie_intrinsics::OpCounts;
+use aie_sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
+use cgsim_core::{ConnectorId, PortKind};
+use cgsim_runtime::{
+    ChannelStats, FaultPlan, KernelLibrary, RuntimeConfig, RuntimeContext, Schedule,
+};
+use cgsim_threads::{ThreadedConfig, ThreadedContext};
+use cgsim_trace::{invariants, Tracer};
+use std::collections::HashMap;
+
+/// Which legs the oracle runs and how hard it shakes the schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Seeded ready-list permutations per case (on top of FIFO + LIFO).
+    pub schedules: u32,
+    /// Additional rounds with fault injection (forced stalls) enabled.
+    pub fault_rounds: u32,
+    /// Run the LIFO (depth-first) permutation leg.
+    pub lifo: bool,
+    /// Run one round with an early-closing sink on output 0.
+    pub early_close: bool,
+    /// Cross-check against the thread-per-kernel runtime.
+    pub check_threaded: bool,
+    /// Cross-check structure against the cycle-approximate DES.
+    pub check_aiesim: bool,
+    /// Poll budget per cooperative run — turns a livelock into a reported
+    /// failure instead of a hang.
+    pub max_polls: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            schedules: 4,
+            fault_rounds: 2,
+            lifo: true,
+            early_close: true,
+            check_threaded: true,
+            check_aiesim: true,
+            max_polls: 2_000_000,
+        }
+    }
+}
+
+/// The oracle's verdict on one case.
+#[derive(Clone, Debug)]
+pub struct CaseVerdict {
+    /// Seed of the case this verdict describes.
+    pub seed: u64,
+    /// Structural fingerprint of the case.
+    pub signature: String,
+    /// Backend/permutation legs that ran to completion.
+    pub legs: usize,
+    /// Human-readable disagreement descriptions; empty means conforming.
+    pub failures: Vec<String>,
+}
+
+impl CaseVerdict {
+    /// Whether every leg agreed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Derive the i-th schedule-permutation seed for a case (splitmix-style, so
+/// neighbouring case seeds do not share permutation streams).
+fn perm_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Run the full differential check on one generated case.
+pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
+    let lib = kernels::library();
+    let mut failures = Vec::new();
+    let mut legs = 0usize;
+
+    // Reference leg: cooperative executor, default FIFO schedule.
+    let Some(reference) = run_cooperative(
+        case,
+        &lib,
+        "coop-fifo",
+        Schedule::Fifo,
+        None,
+        None,
+        cfg,
+        &mut failures,
+    ) else {
+        return CaseVerdict {
+            seed: case.seed,
+            signature: case.signature.clone(),
+            legs,
+            failures,
+        };
+    };
+    legs += 1;
+    for (oi, spec) in case.outputs.iter().enumerate() {
+        if reference[oi].len() as u64 != spec.len {
+            failures.push(format!(
+                "coop-fifo: output {oi} delivered {} elements, generator predicted {}",
+                reference[oi].len(),
+                spec.len
+            ));
+        }
+    }
+
+    if cfg.lifo {
+        if let Some(got) = run_cooperative(
+            case,
+            &lib,
+            "coop-lifo",
+            Schedule::Lifo,
+            None,
+            None,
+            cfg,
+            &mut failures,
+        ) {
+            legs += 1;
+            compare_outputs("coop-lifo", &got, &reference, case, &mut failures);
+        }
+    }
+
+    for i in 0..cfg.schedules {
+        let s = perm_seed(case.seed, i as u64);
+        let label = format!("coop-seeded({s:#018x})");
+        if let Some(got) = run_cooperative(
+            case,
+            &lib,
+            &label,
+            Schedule::Seeded(s),
+            None,
+            None,
+            cfg,
+            &mut failures,
+        ) {
+            legs += 1;
+            compare_outputs(&label, &got, &reference, case, &mut failures);
+        }
+    }
+
+    for i in 0..cfg.fault_rounds {
+        let s = perm_seed(case.seed, 1_000 + i as u64);
+        let label = format!("coop-faulty({s:#018x})");
+        if let Some(got) = run_cooperative(
+            case,
+            &lib,
+            &label,
+            Schedule::Seeded(s),
+            Some(FaultPlan::new(s, 35)),
+            None,
+            cfg,
+            &mut failures,
+        ) {
+            legs += 1;
+            compare_outputs(&label, &got, &reference, case, &mut failures);
+        }
+    }
+
+    if cfg.early_close {
+        // Close sink 0 after half its stream; the graph must still drain and
+        // every other output must be unaffected.
+        let limit = (case.outputs[0].len / 2).max(1) as usize;
+        let label = "coop-early-close";
+        if let Some(got) = run_cooperative(
+            case,
+            &lib,
+            label,
+            Schedule::Fifo,
+            None,
+            Some(limit),
+            cfg,
+            &mut failures,
+        ) {
+            legs += 1;
+            if got[0].len() != limit {
+                failures.push(format!(
+                    "{label}: bounded sink collected {} elements, limit was {limit}",
+                    got[0].len()
+                ));
+            } else if case.outputs[0].det && got[0] != reference[0][..limit] {
+                failures.push(format!(
+                    "{label}: bounded sink prefix diverged from reference"
+                ));
+            }
+            for oi in 1..case.outputs.len() {
+                compare_one(label, oi, &got[oi], &reference[oi], case, &mut failures);
+            }
+        }
+    }
+
+    if cfg.check_threaded {
+        if let Some(got) = run_threaded(case, &lib, "threaded", &mut failures) {
+            legs += 1;
+            compare_outputs("threaded", &got, &reference, case, &mut failures);
+        }
+    }
+
+    if cfg.check_aiesim {
+        legs += 1;
+        run_aiesim(case, "aie-sim", &mut failures);
+    }
+
+    CaseVerdict {
+        seed: case.seed,
+        signature: case.signature.clone(),
+        legs,
+        failures,
+    }
+}
+
+/// Compare every output of one leg against the reference leg.
+fn compare_outputs(
+    label: &str,
+    got: &[Vec<i64>],
+    reference: &[Vec<i64>],
+    case: &GeneratedCase,
+    failures: &mut Vec<String>,
+) {
+    for oi in 0..case.outputs.len() {
+        compare_one(label, oi, &got[oi], &reference[oi], case, failures);
+    }
+}
+
+/// Compare one output stream: exact for deterministic wires, as a multiset
+/// for merge-fed (interleaving-dependent) ones.
+fn compare_one(
+    label: &str,
+    oi: usize,
+    got: &[i64],
+    reference: &[i64],
+    case: &GeneratedCase,
+    failures: &mut Vec<String>,
+) {
+    if case.outputs[oi].det {
+        if got != reference {
+            failures.push(format!(
+                "{label}: output {oi} diverged from reference ({} vs {} elements)",
+                got.len(),
+                reference.len()
+            ));
+        }
+    } else {
+        let mut g = got.to_vec();
+        let mut r = reference.to_vec();
+        g.sort_unstable();
+        r.sort_unstable();
+        if g != r {
+            failures.push(format!(
+                "{label}: output {oi} multiset diverged from reference ({} vs {} elements)",
+                got.len(),
+                reference.len()
+            ));
+        }
+    }
+}
+
+/// The conservation law: once a graph drains, every element pushed into a
+/// channel has been popped by every reader (kernel consumers plus the bound
+/// sink). With an early-closing sink only the inequality direction holds.
+fn check_conservation(
+    case: &GeneratedCase,
+    channels: &[(String, ChannelStats)],
+    strict: bool,
+    label: &str,
+    failures: &mut Vec<String>,
+) {
+    let graph = &case.graph;
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+    for ci in 0..graph.connectors.len() {
+        let name = graph.connectors[ci]
+            .attrs
+            .get_str("name")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("c{ci}"));
+        by_name.insert(name, ci);
+    }
+    for (name, stats) in channels {
+        let Some(&ci) = by_name.get(name) else {
+            failures.push(format!("{label}: report names unknown channel {name}"));
+            continue;
+        };
+        let cid = ConnectorId::new(ci);
+        let readers = graph.consumers_of(cid).len() as u64 + u64::from(graph.is_global_output(cid));
+        let expected = stats.pushes * readers;
+        if strict && stats.pops != expected {
+            failures.push(format!(
+                "{label}: channel {name}: {} pops for {} pushes x {readers} readers",
+                stats.pops, stats.pushes
+            ));
+        } else if !strict && stats.pops > expected {
+            failures.push(format!(
+                "{label}: channel {name}: {} pops exceed {} pushes x {readers} readers",
+                stats.pops, stats.pushes
+            ));
+        }
+    }
+}
+
+/// One cooperative-executor leg. Returns the collected sink outputs, or
+/// `None` when the run could not even be set up (already reported).
+#[allow(clippy::too_many_arguments)]
+fn run_cooperative(
+    case: &GeneratedCase,
+    lib: &KernelLibrary,
+    label: &str,
+    schedule: Schedule,
+    faults: Option<FaultPlan>,
+    bound_limit: Option<usize>,
+    cfg: &OracleConfig,
+    failures: &mut Vec<String>,
+) -> Option<Vec<Vec<i64>>> {
+    let rt_cfg = RuntimeConfig {
+        max_polls: Some(cfg.max_polls),
+        schedule,
+        faults,
+        ..RuntimeConfig::default()
+    };
+    // Tracer::enabled() degrades to a no-op in untraced builds; the
+    // invariant pass below then sees an empty snapshot and checks nothing,
+    // while the channel-counter conservation law still applies.
+    let tracer = Tracer::enabled();
+    let mut ctx = match RuntimeContext::with_tracer(&case.graph, lib, rt_cfg, tracer) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            failures.push(format!("{label}: context construction failed: {e}"));
+            return None;
+        }
+    };
+    for (i, feed) in case.feeds.iter().enumerate() {
+        if let Err(e) = ctx.feed(i, feed.clone()) {
+            failures.push(format!("{label}: feed {i} failed: {e}"));
+            return None;
+        }
+    }
+    let mut sinks = Vec::with_capacity(case.graph.outputs.len());
+    for oi in 0..case.graph.outputs.len() {
+        let handle = match bound_limit {
+            Some(limit) if oi == 0 => ctx.collect_bounded::<i64>(oi, limit),
+            _ => ctx.collect::<i64>(oi),
+        };
+        match handle {
+            Ok(h) => sinks.push(h),
+            Err(e) => {
+                failures.push(format!("{label}: collect {oi} failed: {e}"));
+                return None;
+            }
+        }
+    }
+    let report = match ctx.run() {
+        Ok(r) => r,
+        Err(e) => {
+            failures.push(format!("{label}: run failed: {e}"));
+            return None;
+        }
+    };
+    if !report.drained() {
+        failures.push(format!(
+            "{label}: not drained after {} polls; stalled: {:?}",
+            report.exec.polls, report.stalled
+        ));
+    }
+    check_conservation(
+        case,
+        &report.channels,
+        bound_limit.is_none(),
+        label,
+        failures,
+    );
+    for msg in invariants::check(&report.trace) {
+        failures.push(format!("{label}: trace invariant violated: {msg}"));
+    }
+    Some(sinks.iter().map(|h| h.take()).collect())
+}
+
+/// The thread-per-kernel leg (the paper's x86sim counterpart).
+fn run_threaded(
+    case: &GeneratedCase,
+    lib: &KernelLibrary,
+    label: &str,
+    failures: &mut Vec<String>,
+) -> Option<Vec<Vec<i64>>> {
+    let mut ctx = match ThreadedContext::new(&case.graph, lib, ThreadedConfig::default()) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            failures.push(format!("{label}: context construction failed: {e}"));
+            return None;
+        }
+    };
+    for (i, feed) in case.feeds.iter().enumerate() {
+        if let Err(e) = ctx.feed(i, feed.clone()) {
+            failures.push(format!("{label}: feed {i} failed: {e}"));
+            return None;
+        }
+    }
+    let mut sinks = Vec::with_capacity(case.graph.outputs.len());
+    for oi in 0..case.graph.outputs.len() {
+        match ctx.collect::<i64>(oi) {
+            Ok(h) => sinks.push(h),
+            Err(e) => {
+                failures.push(format!("{label}: collect {oi} failed: {e}"));
+                return None;
+            }
+        }
+    }
+    let report = match ctx.run() {
+        Ok(r) => r,
+        Err(e) => {
+            failures.push(format!("{label}: run failed: {e}"));
+            return None;
+        }
+    };
+    check_conservation(case, &report.channels, true, label, failures);
+    Some(sinks.iter().map(|h| h.take()).collect())
+}
+
+/// The DES leg: the cycle-approximate simulation has no data values, so the
+/// cross-check is structural — every kernel fires exactly the predicted
+/// number of iterations and every sink completes its single block.
+fn run_aiesim(case: &GeneratedCase, label: &str, failures: &mut Vec<String>) {
+    let stream = PortTraffic {
+        elems_per_iter: 1,
+        elem_bytes: 8,
+        kind: PortKind::Stream,
+    };
+    let profiles: HashMap<String, KernelCostProfile> = PALETTE_SHAPES
+        .iter()
+        .map(|&(kind, n_in, n_out)| {
+            (
+                kind.to_owned(),
+                KernelCostProfile::measured(
+                    kind,
+                    OpCounts::default(),
+                    vec![stream; n_in],
+                    vec![stream; n_out],
+                ),
+            )
+        })
+        .collect();
+    let feed_len = case.feeds[0].len() as u64;
+    let workload = WorkloadSpec {
+        blocks: 1,
+        elems_per_block_in: vec![feed_len; case.graph.inputs.len()],
+        elems_per_block_out: case.outputs.iter().map(|o| o.len).collect(),
+    };
+    match simulate_graph(
+        &case.graph,
+        &profiles,
+        &SimConfig::hand_optimized(),
+        &workload,
+    ) {
+        Ok(t) => {
+            if t.trace.block_times.len() != case.graph.outputs.len() {
+                failures.push(format!(
+                    "{label}: {} sink blocks completed, expected {}",
+                    t.trace.block_times.len(),
+                    case.graph.outputs.len()
+                ));
+            }
+            for (ki, (instance, node)) in t.kernel_nodes.iter().enumerate() {
+                let iters = t.trace.iterations_of(*node).len() as u64;
+                if iters != case.kernel_iters[ki] {
+                    failures.push(format!(
+                        "{label}: kernel {instance} ran {iters} DES iterations, expected {}",
+                        case.kernel_iters[ki]
+                    ));
+                }
+            }
+        }
+        Err(e) => failures.push(format!("{label}: simulation failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn default_oracle_passes_on_generated_cases() {
+        for seed in 0..12 {
+            let case = generate(seed, &GenConfig::default());
+            let verdict = check_case(&case, &OracleConfig::default());
+            assert!(
+                verdict.ok(),
+                "seed {seed} ({}): {:#?}",
+                verdict.signature,
+                verdict.failures
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_counts_every_leg() {
+        let cfg = OracleConfig::default();
+        let case = generate(3, &GenConfig::default());
+        let verdict = check_case(&case, &cfg);
+        assert!(verdict.ok(), "{:#?}", verdict.failures);
+        let expected = 1 // fifo
+            + 1 // lifo
+            + cfg.schedules as usize
+            + cfg.fault_rounds as usize
+            + 1 // early close
+            + 1 // threaded
+            + 1; // aie-sim
+        assert_eq!(verdict.legs, expected);
+    }
+
+    #[test]
+    fn permutation_seeds_are_stable_and_distinct() {
+        assert_eq!(perm_seed(42, 0), perm_seed(42, 0));
+        let seeds: std::collections::BTreeSet<u64> = (0..16).map(|i| perm_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 16);
+    }
+}

@@ -1,0 +1,48 @@
+//! One-line reproduction commands.
+//!
+//! Every failure the harness reports carries the exact command that replays
+//! just that case. The format is parsed back by [`parse_repro`], and a unit
+//! test pins the round-trip so the string in panic messages can never drift
+//! away from what the `conform` binary accepts.
+
+/// The command reproducing exactly one case: the per-case seed with a
+/// single-case count.
+pub fn repro_command(seed: u64) -> String {
+    format!("cargo run -p cgsim-check --bin conform -- --seed {seed} --cases 1")
+}
+
+/// Parse `--seed S --cases N` back out of a reproduction command line (or
+/// any argument list using the same flags). Returns `(seed, cases)`.
+pub fn parse_repro(cmd: &str) -> Option<(u64, u64)> {
+    let mut seed = None;
+    let mut cases = None;
+    let mut words = cmd.split_whitespace();
+    while let Some(w) = words.next() {
+        match w {
+            "--seed" => seed = words.next()?.parse().ok(),
+            "--cases" => cases = words.next()?.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((seed?, cases?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_string_round_trips() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let cmd = repro_command(seed);
+            assert_eq!(parse_repro(&cmd), Some((seed, 1)), "command: {cmd}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_incomplete_commands() {
+        assert_eq!(parse_repro("cargo run -p cgsim-check"), None);
+        assert_eq!(parse_repro("--seed 7"), None);
+        assert_eq!(parse_repro("--seed x --cases 1"), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Property-test entry point: random seeds must conform across backends.
+//!
+//! Each sampled seed generates a full graph case and runs every oracle leg
+//! (cooperative FIFO/LIFO/seeded permutations, fault injection, early sink
+//! closure, threaded runtime, aie-sim). A failure panics with the one-line
+//! `conform` command that replays exactly that case.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_seeds_conform_across_backends(seed in 0u64..1_000_000_000) {
+        cgsim_check::assert_seed_conforms(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn suites_are_seed_reproducible(seed in 0u64..1_000_000_000) {
+        let cfg = cgsim_check::SuiteConfig::new(seed, 2);
+        let a = cgsim_check::run_suite(&cfg);
+        let b = cgsim_check::run_suite(&cfg);
+        prop_assert!(a.ok(), "failures: {:?}", a.failures);
+        prop_assert_eq!(a.signatures, b.signatures);
+        prop_assert_eq!(a.case_list_digest(), b.case_list_digest());
+    }
+}

@@ -17,6 +17,10 @@ use std::time::Duration;
 pub enum Runtime {
     /// Cooperative single-threaded simulator (`cgsim`).
     Cooperative,
+    /// Cooperative simulator with a seeded ready-list permutation — same
+    /// semantics, different (but replayable) task interleaving. Used by the
+    /// conformance tests to show results are schedule-independent.
+    CooperativeSeeded(u64),
     /// Thread-per-kernel simulator (`x86sim` substitute).
     Threaded,
 }

@@ -164,9 +164,14 @@ fn run_with_inputs<TOut: StreamData>(
     feeds: Vec<FeedFn>,
 ) -> Result<(Vec<TOut>, AppRun), String> {
     match runtime {
-        Runtime::Cooperative => {
-            let mut ctx = RuntimeContext::new(graph, lib, RuntimeConfig::default())
-                .map_err(|e| e.to_string())?;
+        Runtime::Cooperative | Runtime::CooperativeSeeded(_) => {
+            let config = match runtime {
+                Runtime::CooperativeSeeded(seed) => {
+                    RuntimeConfig::scheduled(cgsim_runtime::Schedule::Seeded(seed))
+                }
+                _ => RuntimeConfig::default(),
+            };
+            let mut ctx = RuntimeContext::new(graph, lib, config).map_err(|e| e.to_string())?;
             for f in feeds {
                 f(&mut CoopFeeder(&mut ctx)).map_err(|e| e.to_string())?;
             }

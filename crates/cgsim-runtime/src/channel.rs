@@ -666,3 +666,140 @@ mod tests {
         assert!(kinds.contains(&"channel_unblock"));
     }
 }
+
+/// Property tests: the broadcast/backpressure/conservation contract must
+/// hold under *arbitrary* poll interleavings, not just the handful of
+/// orderings the unit tests pin down. A seeded scheduler polls endpoints in
+/// random order until the channel drains.
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use proptest::TestCaseError;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::task::{Context, Poll};
+
+    /// Push `streams[p]` through one channel (one producer per stream, all
+    /// consumers registered up front) polling endpoints in the random order
+    /// chosen by `order_seed`. Asserts every stats counter is monotone
+    /// non-decreasing across each operation; returns what each consumer saw.
+    fn run_interleaved(
+        streams: &[Vec<i64>],
+        capacity: usize,
+        n_consumers: usize,
+        order_seed: u64,
+    ) -> Result<Vec<Vec<i64>>, TestCaseError> {
+        let chan = Channel::new(capacity);
+        // (producer handle, next index into its stream); slot goes None once
+        // the stream is exhausted, dropping the handle to close the channel.
+        let mut txs: Vec<Option<(Producer<i64>, usize)>> = streams
+            .iter()
+            .map(|_| Some((chan.add_producer(), 0)))
+            .collect();
+        let _rxs: Vec<Consumer<i64>> = (0..n_consumers).map(|_| chan.add_consumer()).collect();
+
+        let waker = std::task::Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let mut rng = StdRng::seed_from_u64(order_seed);
+        let mut outs = vec![Vec::new(); n_consumers];
+        let mut done = vec![false; n_consumers];
+        let mut prev = chan.stats();
+        let mut spins = 0u32;
+        while !done.iter().all(|&d| d) {
+            spins += 1;
+            prop_assert!(spins < 1_000_000, "random interleaving did not drain");
+            let pick = rng.random_range(0usize..txs.len() + n_consumers);
+            if pick < txs.len() {
+                if let Some((_tx, pos)) = &mut txs[pick] {
+                    if *pos >= streams[pick].len() {
+                        txs[pick] = None;
+                    } else {
+                        let mut v = Some(streams[pick][*pos]);
+                        if let Poll::Ready(()) = chan.poll_send(&mut v, &mut cx) {
+                            *pos += 1;
+                        }
+                    }
+                }
+            } else {
+                let ci = pick - txs.len();
+                if !done[ci] {
+                    match chan.poll_recv(ci, &mut cx) {
+                        Poll::Ready(Some(v)) => outs[ci].push(v),
+                        Poll::Ready(None) => done[ci] = true,
+                        Poll::Pending => {}
+                    }
+                }
+            }
+            let now = chan.stats();
+            prop_assert!(
+                now.pushes >= prev.pushes
+                    && now.pops >= prev.pops
+                    && now.blocked_writes >= prev.blocked_writes
+                    && now.blocked_reads >= prev.blocked_reads,
+                "stats counter went backwards: {prev:?} -> {now:?}"
+            );
+            prev = now;
+        }
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(prev.pushes, total);
+        prop_assert_eq!(prev.pops, total * n_consumers as u64);
+        Ok(outs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn capacity_one_always_backpressures(data in vec(any::<i64>(), 1..24)) {
+            // With depth 1 and an open consumer, every element must round-trip
+            // through exactly one blocked write before the next send fits.
+            let chan = Channel::new(1);
+            let _tx = chan.add_producer();
+            let _rx = chan.add_consumer();
+            let waker = std::task::Waker::noop();
+            let mut cx = Context::from_waker(waker);
+            for (i, &v) in data.iter().enumerate() {
+                prop_assert!(matches!(chan.poll_send(&mut Some(v), &mut cx), Poll::Ready(())));
+                prop_assert!(matches!(chan.poll_send(&mut Some(v), &mut cx), Poll::Pending));
+                prop_assert_eq!(chan.stats().blocked_writes, i as u64 + 1);
+                match chan.poll_recv(0, &mut cx) {
+                    Poll::Ready(Some(got)) => prop_assert_eq!(got, v),
+                    other => prop_assert!(false, "expected an element, got {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn broadcast_delivers_stream_exactly_once_per_consumer(
+            data in vec(any::<i64>(), 0..32),
+            capacity in 1usize..5,
+            consumers in 1usize..4,
+            order_seed in any::<u64>(),
+        ) {
+            let outs =
+                run_interleaved(std::slice::from_ref(&data), capacity, consumers, order_seed)?;
+            for got in &outs {
+                // Single producer: order is preserved, nothing dropped or duplicated.
+                prop_assert_eq!(got, &data);
+            }
+        }
+
+        #[test]
+        fn merge_keeps_per_producer_order(
+            a in vec(0i64..1_000_000, 0..20),
+            b in vec(0i64..1_000_000, 0..20),
+            capacity in 1usize..4,
+            order_seed in any::<u64>(),
+        ) {
+            // Tag streams by parity so the merged output can be de-interleaved.
+            let sa: Vec<i64> = a.iter().map(|&v| v * 2).collect();
+            let sb: Vec<i64> = b.iter().map(|&v| v * 2 + 1).collect();
+            let outs = run_interleaved(&[sa.clone(), sb.clone()], capacity, 1, order_seed)?;
+            let ga: Vec<i64> = outs[0].iter().copied().filter(|v| v % 2 == 0).collect();
+            let gb: Vec<i64> = outs[0].iter().copied().filter(|v| v % 2 == 1).collect();
+            prop_assert_eq!(ga, sa);
+            prop_assert_eq!(gb, sb);
+        }
+    }
+}

@@ -8,8 +8,8 @@
 //! then drives the embedded cooperative scheduler to quiescence and returns
 //! a [`RunReport`].
 
-use crate::channel::Channel;
-use crate::executor::{ExecStats, Executor};
+use crate::channel::{Channel, ChannelStats};
+use crate::executor::{ExecStats, Executor, FaultPlan, Schedule};
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
 use cgsim_trace::{TraceSnapshot, Tracer};
@@ -24,6 +24,12 @@ pub struct RuntimeConfig {
     /// Optional bound on total scheduler polls: a safety valve against
     /// kernels that busy-yield forever. `None` = run to quiescence.
     pub max_polls: Option<u64>,
+    /// Ready-list policy for the embedded scheduler. The default FIFO is
+    /// the paper's deterministic baseline; [`Schedule::Seeded`] replays an
+    /// alternative interleaving identified by its seed.
+    pub schedule: Schedule,
+    /// Optional seeded fault injection (forced stalls / wake reordering).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -31,6 +37,18 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             default_depth: 64,
             max_polls: None,
+            schedule: Schedule::Fifo,
+            faults: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration running under `schedule`.
+    pub fn scheduled(schedule: Schedule) -> Self {
+        RuntimeConfig {
+            schedule,
+            ..RuntimeConfig::default()
         }
     }
 }
@@ -91,6 +109,10 @@ pub struct RunReport {
     /// Per-coroutine profile (kernels, sources, sinks) — the fine-grained
     /// version of the paper's §5.2 runtime breakdown.
     pub tasks: Vec<crate::executor::TaskProfile>,
+    /// Per-connector channel counters `(name, stats)`, in connector order.
+    /// Always populated (the counters are not trace-gated), so conformance
+    /// checks like push/pop conservation work in untraced builds too.
+    pub channels: Vec<(String, ChannelStats)>,
     /// Everything the attached tracer captured (empty for untraced runs).
     pub trace: TraceSnapshot,
 }
@@ -194,11 +216,15 @@ impl<'g> RuntimeContext<'g> {
             // are created lazily by the typed feed/collect calls.
         }
 
-        let executor = match config.max_polls {
-            Some(budget) => Executor::new().with_poll_budget(budget),
-            None => Executor::new(),
+        let mut executor = Executor::new()
+            .with_schedule(config.schedule)
+            .with_tracer(tracer.clone());
+        if let Some(budget) = config.max_polls {
+            executor = executor.with_poll_budget(budget);
         }
-        .with_tracer(tracer.clone());
+        if let Some(plan) = config.faults {
+            executor = executor.with_faults(plan);
+        }
         let mut ctx = RuntimeContext {
             graph,
             library,
@@ -343,6 +369,42 @@ impl<'g> RuntimeContext<'g> {
         Ok(SinkHandle { data })
     }
 
+    /// Like [`RuntimeContext::collect`], but the sink closes its consumer
+    /// end after `limit` elements instead of waiting for end-of-stream —
+    /// the "early sink closure" fault mode. Upstream producers observe the
+    /// closure (writes to a channel with no remaining open consumers are
+    /// discarded), so the graph must still drain cleanly.
+    pub fn collect_bounded<T: StreamData>(
+        &mut self,
+        index: usize,
+        limit: usize,
+    ) -> Result<SinkHandle<T>, GraphError> {
+        let Some(&connector) = self.graph.outputs.get(index) else {
+            return Err(GraphError::IoArityMismatch {
+                what: "outputs",
+                expected: self.graph.outputs.len(),
+                actual: index + 1,
+            });
+        };
+        let chan = self.typed_channel::<T>(connector)?;
+        let mut rx = chan.add_consumer();
+        self.bound_outputs[index] = true;
+        let data = Arc::new(Mutex::new(Vec::new()));
+        let sink_data = Arc::clone(&data);
+        self.executor.spawn(
+            format!("sink_{index}"),
+            Box::pin(async move {
+                while sink_data.lock().unwrap().len() < limit {
+                    let Some(v) = rx.recv().await else { return };
+                    sink_data.lock().unwrap().push(v);
+                }
+                // Dropping `rx` here closes the consumer before the stream
+                // ends.
+            }),
+        );
+        Ok(SinkHandle { data })
+    }
+
     /// Start the embedded task scheduler and run the graph to quiescence
     /// (§3.8). Every global input must have been fed and every global output
     /// bound, mirroring the paper's positional source/sink arguments.
@@ -373,11 +435,21 @@ impl<'g> RuntimeContext<'g> {
             .filter_map(|c| c.admin())
             .map(|a| a.total_pushed())
             .sum();
+        let channels = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, c)| {
+                c.admin()
+                    .map(|a| (connector_name(self.graph, ci), a.stats()))
+            })
+            .collect();
         Ok(RunReport {
             exec,
             stalled,
             elements_moved,
             tasks,
+            channels,
             trace: self.tracer.snapshot(),
         })
     }
@@ -595,6 +667,70 @@ mod tests {
         let report = ctx.run().unwrap();
         assert!(report.drained());
         assert_eq!(param.take(), vec![37]);
+    }
+
+    #[test]
+    fn seeded_schedules_agree_with_fifo() {
+        // The same graph+input must produce identical outputs under every
+        // schedule permutation — the conformance harness's core property.
+        let run = |config: RuntimeConfig| {
+            let graph = adder_graph();
+            let lib = library();
+            let mut ctx = RuntimeContext::new(&graph, &lib, config).unwrap();
+            ctx.feed(0, (0..50).map(|i| i as f32).collect::<Vec<_>>())
+                .unwrap();
+            ctx.feed(1, (0..50).map(|i| (i * 10) as f32).collect::<Vec<_>>())
+                .unwrap();
+            let out = ctx.collect::<f32>(0).unwrap();
+            let report = ctx.run().unwrap();
+            assert!(report.drained());
+            out.take()
+        };
+        let reference = run(RuntimeConfig::default());
+        for seed in 0..4 {
+            assert_eq!(
+                run(RuntimeConfig::scheduled(crate::executor::Schedule::Seeded(
+                    seed
+                ))),
+                reference,
+                "seed {seed} diverged"
+            );
+        }
+        let mut faulty = RuntimeConfig::scheduled(crate::executor::Schedule::Seeded(1));
+        faulty.faults = Some(crate::executor::FaultPlan::new(9, 40));
+        assert_eq!(run(faulty), reference, "fault injection changed outputs");
+    }
+
+    #[test]
+    fn bounded_sink_closes_early_and_graph_drains() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, (0..100).map(|i| i as f32).collect::<Vec<_>>())
+            .unwrap();
+        ctx.feed(1, vec![1.0f32; 100]).unwrap();
+        let out = ctx.collect_bounded::<f32>(0, 5).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained(), "stalled: {:?}", report.stalled);
+        assert_eq!(out.take(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn run_report_exposes_channel_stats() {
+        let graph = adder_graph();
+        let lib = library();
+        let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, vec![1.0f32, 2.0]).unwrap();
+        ctx.feed(1, vec![3.0f32, 4.0]).unwrap();
+        let _out = ctx.collect::<f32>(0).unwrap();
+        let report = ctx.run().unwrap();
+        // a, b, sum — all instrumented, each with 2 pushes and 2 pops.
+        assert_eq!(report.channels.len(), 3);
+        for (name, stats) in &report.channels {
+            assert_eq!(stats.pushes, 2, "channel {name}");
+            assert_eq!(stats.pops, 2, "channel {name}");
+        }
+        assert_eq!(report.channels[0].0, "a");
     }
 
     #[test]

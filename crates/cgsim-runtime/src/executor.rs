@@ -27,6 +27,133 @@ use std::time::{Duration, Instant};
 /// cooperative model, matching the paper's single-thread design.
 pub type LocalBoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
+/// Strategy choosing which ready task the scheduler polls next.
+///
+/// The default FIFO order makes a run deterministic for a fixed graph and
+/// input; alternative policies permute the ready list to explore other —
+/// equally legal — cooperative interleavings. A correct graph must produce
+/// the same sink outputs under every policy, which is what the conformance
+/// harness (`cgsim-check`) exploits: the seeded policy turns one graph into
+/// a family of replayable schedules, one per seed.
+pub trait SchedulePolicy {
+    /// Index into `ready` (never empty) of the task to poll next.
+    fn pick(&mut self, ready: &[usize]) -> usize;
+}
+
+/// Strict FIFO — the paper's deterministic baseline schedule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoPolicy;
+
+impl SchedulePolicy for FifoPolicy {
+    fn pick(&mut self, _ready: &[usize]) -> usize {
+        0
+    }
+}
+
+/// Strict LIFO — depth-first progress; the adversarial mirror of FIFO.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LifoPolicy;
+
+impl SchedulePolicy for LifoPolicy {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        ready.len() - 1
+    }
+}
+
+/// splitmix64 — tiny, deterministic, and good enough for schedule
+/// permutation. Kept local so the runtime crate stays dependency-free.
+#[derive(Clone, Copy, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Seeded uniform-random ready-list permutation. The same seed always
+/// replays the same schedule, so a failing interleaving found by fuzzing is
+/// reproducible from the printed seed alone.
+#[derive(Clone, Copy, Debug)]
+pub struct SeededPolicy {
+    rng: SplitMix64,
+}
+
+impl SeededPolicy {
+    /// A policy replaying the schedule identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededPolicy {
+            rng: SplitMix64(seed),
+        }
+    }
+}
+
+impl SchedulePolicy for SeededPolicy {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        self.rng.next_below(ready.len())
+    }
+}
+
+/// Serializable description of a schedule policy — the plumbing-friendly
+/// (`Copy`) form carried by `RuntimeConfig` and printed in repro commands.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Poll the longest-waiting ready task first (deterministic baseline).
+    #[default]
+    Fifo,
+    /// Poll the most recently woken task first.
+    Lifo,
+    /// Seeded uniform-random permutation of the ready list.
+    Seeded(u64),
+}
+
+impl Schedule {
+    /// Materialise the policy object this description names.
+    pub fn into_policy(self) -> Box<dyn SchedulePolicy> {
+        match self {
+            Schedule::Fifo => Box::new(FifoPolicy),
+            Schedule::Lifo => Box::new(LifoPolicy),
+            Schedule::Seeded(seed) => Box::new(SeededPolicy::new(seed)),
+        }
+    }
+}
+
+/// Seeded fault-injection plan: before polling the task the policy picked,
+/// the executor rolls a PRNG and, with probability `stall_pct`/100, defers
+/// the task to the back of the ready list instead. A deferred producer
+/// leaves its channels empty longer (forced-empty stall downstream); a
+/// deferred consumer leaves them full longer (forced-full stall upstream);
+/// either way the wake order is perturbed. Data flow must be unaffected —
+/// the conformance harness asserts outputs are bit-identical under any
+/// plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed; the same plan replays the same deferral sequence.
+    pub seed: u64,
+    /// Deferral probability in percent, clamped to `0..=90` so the loop
+    /// always makes progress.
+    pub stall_pct: u8,
+}
+
+impl FaultPlan {
+    /// A plan deferring roughly `stall_pct`% of polls, driven by `seed`.
+    pub fn new(seed: u64, stall_pct: u8) -> Self {
+        FaultPlan {
+            seed,
+            stall_pct: stall_pct.min(90),
+        }
+    }
+}
+
 /// Aggregated scheduling statistics for one run.
 ///
 /// The split between `kernel_time` and everything else is what supports the
@@ -42,6 +169,8 @@ pub struct ExecStats {
     pub polls: u64,
     /// Polls that returned `Pending` (i.e. suspensions).
     pub suspensions: u64,
+    /// Ready tasks deferred (not polled) by the fault-injection layer.
+    pub injected_stalls: u64,
     /// Wall-clock time spent inside task polls (kernel work).
     pub kernel_time: Duration,
     /// Total wall-clock time of the run loop.
@@ -83,8 +212,20 @@ impl ReadyQueue {
         self.queue.lock().unwrap().push_back(id);
     }
 
-    fn pop(&self) -> Option<usize> {
-        self.queue.lock().unwrap().pop_front()
+    /// Remove and return the entry the policy picks. Only the run loop pops
+    /// (wakers only push), so removing at an arbitrary index is safe.
+    fn pop_with(&self, policy: &mut dyn SchedulePolicy) -> Option<usize> {
+        let mut queue = self.queue.lock().unwrap();
+        if queue.is_empty() {
+            return None;
+        }
+        let idx = policy.pick(queue.make_contiguous()).min(queue.len() - 1);
+        queue.remove(idx)
+    }
+
+    /// Move a popped entry to the back of the queue (fault deferral).
+    fn defer(&self, id: usize) {
+        self.queue.lock().unwrap().push_back(id);
     }
 }
 
@@ -125,12 +266,19 @@ struct Task {
 
 /// The cooperative executor. Create, [`spawn`](Executor::spawn) all graph
 /// coroutines, then [`run`](Executor::run) to quiescence.
-#[derive(Default)]
 pub struct Executor {
     tasks: Vec<Option<Task>>,
     ready: Option<Arc<ReadyQueue>>,
     poll_budget: Option<u64>,
+    policy: Box<dyn SchedulePolicy>,
+    faults: Option<(SplitMix64, u8)>,
     tracer: Tracer,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
 }
 
 impl Executor {
@@ -142,6 +290,8 @@ impl Executor {
                 queue: Mutex::new(std::collections::VecDeque::new()),
             })),
             poll_budget: None,
+            policy: Box::new(FifoPolicy),
+            faults: None,
             tracer: Tracer::default(),
         }
     }
@@ -161,6 +311,25 @@ impl Executor {
     /// shows up in the stalled list.
     pub fn with_poll_budget(mut self, budget: u64) -> Self {
         self.poll_budget = Some(budget);
+        self
+    }
+
+    /// Replace the ready-list policy with the one `schedule` names.
+    pub fn with_schedule(self, schedule: Schedule) -> Self {
+        self.with_policy(schedule.into_policy())
+    }
+
+    /// Install a custom [`SchedulePolicy`]. The policy only reorders *which*
+    /// ready task runs next; it cannot make an unready task run, so every
+    /// schedule it produces is a legal cooperative interleaving.
+    pub fn with_policy(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable seeded fault injection (forced stalls / wake reordering).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some((SplitMix64(plan.seed), plan.stall_pct.min(90)));
         self
     }
 
@@ -222,9 +391,19 @@ impl Executor {
         let mut profiles: Vec<Option<TaskProfile>> = (0..self.tasks.len()).map(|_| None).collect();
         let ready = Arc::clone(self.ready());
         let poll_hist = self.tracer.histogram("poll_ns", &[]);
-        while let Some(id) = ready.pop() {
+        while let Some(id) = ready.pop_with(self.policy.as_mut()) {
             if self.poll_budget.is_some_and(|b| stats.polls >= b) {
                 break; // budget exhausted: remaining tasks report as stalled
+            }
+            if let Some((rng, pct)) = self.faults.as_mut() {
+                // Forced stall: skip this task's turn and send it to the
+                // back of the line. Its `scheduled` flag stays set, so it
+                // cannot be double-queued by a concurrent wake.
+                if *pct > 0 && rng.next_below(100) < *pct as usize {
+                    stats.injected_stalls += 1;
+                    ready.defer(id);
+                    continue;
+                }
             }
             let Some(task) = self.tasks[id].as_mut() else {
                 continue; // completed task woken late
@@ -428,6 +607,91 @@ mod tests {
                 .map(String::from)
                 .collect::<Vec<_>>()
         );
+    }
+
+    /// Run two 3-iteration yielders under `schedule` and return the
+    /// interleaving log.
+    fn interleaving_of(schedule: Schedule) -> Vec<String> {
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex = Executor::new().with_schedule(schedule);
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            ex.spawn(
+                name,
+                Box::pin(async move {
+                    for i in 0..3 {
+                        log.borrow_mut().push(format!("{name}{i}"));
+                        YieldN { remaining: 1 }.await;
+                    }
+                }),
+            );
+        }
+        ex.run();
+        let log = log.borrow();
+        log.clone()
+    }
+
+    #[test]
+    fn lifo_policy_runs_depth_first() {
+        // Each yield re-queues the task at the back, but LIFO picks the
+        // back: the first task runs to completion before the second starts.
+        assert_eq!(
+            interleaving_of(Schedule::Lifo),
+            vec!["b0", "b1", "b2", "a0", "a1", "a2"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn seeded_schedule_is_replayable_and_varied() {
+        let runs: Vec<Vec<String>> = (0..8)
+            .map(|s| interleaving_of(Schedule::Seeded(s)))
+            .collect();
+        for (seed, first) in runs.iter().enumerate() {
+            // Same seed → identical schedule.
+            assert_eq!(
+                *first,
+                interleaving_of(Schedule::Seeded(seed as u64)),
+                "seed {seed} did not replay"
+            );
+            // Every schedule preserves per-task program order.
+            for name in ["a", "b"] {
+                let steps: Vec<&String> = first.iter().filter(|e| e.starts_with(name)).collect();
+                assert_eq!(steps.len(), 3);
+                assert!(steps.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        // Across 8 seeds at least two distinct interleavings must appear.
+        assert!(
+            runs.iter().any(|r| *r != runs[0]),
+            "all seeds produced the same schedule"
+        );
+    }
+
+    #[test]
+    fn fault_injection_defers_but_never_drops_work() {
+        let counter = Rc::new(Cell::new(0));
+        let mut ex = Executor::new()
+            .with_schedule(Schedule::Seeded(7))
+            .with_faults(FaultPlan::new(7, 50));
+        for _ in 0..8 {
+            let c = Rc::clone(&counter);
+            ex.spawn(
+                "t",
+                Box::pin(async move {
+                    YieldN { remaining: 4 }.await;
+                    c.set(c.get() + 1);
+                }),
+            );
+        }
+        let (stats, stalled) = ex.run();
+        assert_eq!(counter.get(), 8);
+        assert!(stalled.is_empty());
+        assert!(stats.injected_stalls > 0, "plan with 50% never fired");
+        // Deferrals are not polls.
+        assert_eq!(stats.polls, 8 * 5);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub use cgsim_core;
 pub use cgsim_trace;
 pub use channel::{Channel, ChannelAdmin, ChannelStats, Consumer, Producer};
 pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle};
-pub use executor::{block_on, ExecStats, Executor, LocalBoxFuture, TaskProfile};
+pub use executor::{
+    block_on, ExecStats, Executor, FaultPlan, FifoPolicy, LifoPolicy, LocalBoxFuture, Schedule,
+    SchedulePolicy, SeededPolicy, TaskProfile,
+};
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};
 pub use port::{KernelReadPort, KernelWritePort};

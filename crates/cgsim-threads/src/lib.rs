@@ -49,7 +49,9 @@
 #![warn(missing_docs)]
 
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
-use cgsim_runtime::{block_on, AnyChannel, Channel, KernelLibrary, PortBinder, SinkHandle};
+use cgsim_runtime::{
+    block_on, AnyChannel, Channel, ChannelStats, KernelLibrary, PortBinder, SinkHandle,
+};
 use parking_lot::Mutex;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -78,6 +80,10 @@ pub struct ThreadReport {
     /// run actually exploited parallelism — the paper's farrow observation
     /// that x86sim "utilizes two CPU cores fully").
     pub cpu_time: Duration,
+    /// Per-connector channel counters `(name, stats)`, in connector order —
+    /// the same shape as `cgsim_runtime::RunReport::channels`, so the
+    /// conformance harness applies one conservation check to both backends.
+    pub channels: Vec<(String, ChannelStats)>,
 }
 
 type WorkItem = Box<dyn FnOnce(&Barrier) -> Duration + Send>;
@@ -289,10 +295,26 @@ impl<'g> ThreadedContext<'g> {
         if let Some(e) = errors.into_iter().next() {
             return Err(e);
         }
+        let channels = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, c)| {
+                c.admin().map(|a| {
+                    let name = self.graph.connectors[ci]
+                        .attrs
+                        .get_str("name")
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| format!("c{ci}"));
+                    (name, a.stats())
+                })
+            })
+            .collect();
         Ok(ThreadReport {
             threads,
             wall_time,
             cpu_time,
+            channels,
         })
     }
 }
@@ -346,6 +368,13 @@ mod tests {
         let report = ctx.run().unwrap();
         assert_eq!(report.threads, 3);
         assert_eq!(out.take(), vec![11, 21, 31]);
+        // Channel counters survive the parallel run: both connectors moved
+        // 3 elements each way.
+        assert_eq!(report.channels.len(), 2);
+        for (name, stats) in &report.channels {
+            assert_eq!(stats.pushes, 3, "channel {name}");
+            assert_eq!(stats.pops, 3, "channel {name}");
+        }
     }
 
     #[test]

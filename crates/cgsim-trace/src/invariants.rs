@@ -1,0 +1,236 @@
+//! Structural invariant checks over a [`TraceSnapshot`].
+//!
+//! A correct run — cooperative runtime or simulator — leaves a trace that
+//! satisfies a handful of structural properties regardless of schedule:
+//! polls nest properly on the single scheduler thread, channel occupancy
+//! never exceeds the registered capacity, and nothing executes outside the
+//! `RunBegin`/`RunEnd` span (no kernel runs after quiescence). The
+//! conformance harness (`cgsim-check`) runs these checks on every traced
+//! execution; they are also usable standalone on any snapshot.
+//!
+//! Checks that need graph knowledge (e.g. push/pop conservation per
+//! connector, which depends on the consumer count) live with the callers
+//! that hold a graph; this module is graph-agnostic by design.
+
+use crate::event::TraceEvent;
+use crate::snapshot::TraceSnapshot;
+
+/// Check all structural invariants; returns one human-readable line per
+/// violation (empty = clean). An empty snapshot (untraced run) is clean by
+/// definition; a snapshot with dropped records skips the whole-history
+/// checks that require completeness and keeps the per-record ones.
+pub fn check(snap: &TraceSnapshot) -> Vec<String> {
+    let mut violations = Vec::new();
+    let complete = snap.dropped == 0;
+
+    // --- Per-record checks (valid even on a truncated ring) ---
+    for r in &snap.records {
+        match r.event {
+            TraceEvent::ChannelPush { channel, occupancy } => {
+                if let Some(info) = snap.channels.get(channel.0 as usize) {
+                    if info.capacity > 0 && occupancy > info.capacity {
+                        violations.push(format!(
+                            "channel {}: occupancy {} exceeds capacity {} after push",
+                            info.name, occupancy, info.capacity
+                        ));
+                    }
+                }
+            }
+            TraceEvent::IterationEnd {
+                kernel, start_ns, ..
+            } if start_ns > r.ts_ns => {
+                violations.push(format!(
+                    "kernel {}: iteration ends at {} before it starts at {}",
+                    snap.kernel_name(kernel),
+                    r.ts_ns,
+                    start_ns
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    if !complete || snap.records.is_empty() {
+        return violations;
+    }
+
+    // --- Whole-history checks (need every record) ---
+
+    // Poll bracketing: the cooperative scheduler is single-threaded, so at
+    // most one poll is open at a time and each PollEnd must close the poll
+    // that is open.
+    let mut open_poll = None;
+    let mut run_open = false;
+    let mut run_ended = false;
+    for r in &snap.records {
+        match r.event {
+            TraceEvent::PollBegin { kernel } => {
+                if let Some(prev) = open_poll {
+                    violations.push(format!(
+                        "poll of {} begins inside open poll of {}",
+                        snap.kernel_name(kernel),
+                        snap.kernel_name(prev)
+                    ));
+                }
+                open_poll = Some(kernel);
+            }
+            TraceEvent::PollEnd { kernel, .. } => match open_poll.take() {
+                Some(open) if open == kernel => {}
+                Some(open) => violations.push(format!(
+                    "poll of {} ends while poll of {} is open",
+                    snap.kernel_name(kernel),
+                    snap.kernel_name(open)
+                )),
+                None => violations.push(format!(
+                    "poll of {} ends without a matching begin",
+                    snap.kernel_name(kernel)
+                )),
+            },
+            TraceEvent::RunBegin => run_open = true,
+            TraceEvent::RunEnd => {
+                run_open = false;
+                run_ended = true;
+            }
+            // Execution events must not appear outside the run span — after
+            // RunEnd would mean a kernel ran past quiescence.
+            TraceEvent::ChannelPush { .. }
+            | TraceEvent::ChannelPop { .. }
+            | TraceEvent::SourceIo { .. }
+            | TraceEvent::SinkIo { .. } => {
+                if run_ended && !run_open {
+                    violations.push(format!(
+                        "{} event after run end (kernel ran past quiescence)",
+                        r.event.kind()
+                    ));
+                } else if !run_open {
+                    violations.push(format!("{} event before run begin", r.event.kind()));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(kernel) = open_poll {
+        violations.push(format!("poll of {} never ended", snap.kernel_name(kernel)));
+    }
+
+    // Timestamps on the shared axis never go backwards.
+    for pair in snap.records.windows(2) {
+        if pair[1].ts_ns < pair[0].ts_ns {
+            violations.push(format!(
+                "timestamps regress: {} then {}",
+                pair[0].ts_ns, pair[1].ts_ns
+            ));
+            break;
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ChannelRef, KernelRef, TraceRecord};
+    use crate::snapshot::ChannelInfo;
+
+    fn snap_with(records: Vec<TraceEvent>) -> TraceSnapshot {
+        TraceSnapshot {
+            kernels: vec!["k0".into(), "k1".into()],
+            channels: vec![ChannelInfo {
+                name: "c0".into(),
+                capacity: 2,
+            }],
+            records: records
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| TraceRecord {
+                    ts_ns: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+            metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let k = KernelRef(0);
+        let c = ChannelRef(0);
+        let snap = snap_with(vec![
+            TraceEvent::RunBegin,
+            TraceEvent::PollBegin { kernel: k },
+            TraceEvent::ChannelPush {
+                channel: c,
+                occupancy: 1,
+            },
+            TraceEvent::PollEnd {
+                kernel: k,
+                pending: false,
+            },
+            TraceEvent::RunEnd,
+        ]);
+        assert_eq!(check(&snap), Vec::<String>::new());
+    }
+
+    #[test]
+    fn empty_snapshot_is_clean() {
+        assert!(check(&TraceSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn overfull_channel_is_flagged() {
+        let snap = snap_with(vec![
+            TraceEvent::RunBegin,
+            TraceEvent::ChannelPush {
+                channel: ChannelRef(0),
+                occupancy: 3,
+            },
+            TraceEvent::RunEnd,
+        ]);
+        let v = check(&snap);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exceeds capacity"), "{v:?}");
+    }
+
+    #[test]
+    fn activity_after_run_end_is_flagged() {
+        let snap = snap_with(vec![
+            TraceEvent::RunBegin,
+            TraceEvent::RunEnd,
+            TraceEvent::ChannelPop {
+                channel: ChannelRef(0),
+                occupancy: 0,
+            },
+        ]);
+        let v = check(&snap);
+        assert!(v.iter().any(|m| m.contains("after run end")), "{v:?}");
+    }
+
+    #[test]
+    fn nested_polls_are_flagged() {
+        let snap = snap_with(vec![
+            TraceEvent::RunBegin,
+            TraceEvent::PollBegin {
+                kernel: KernelRef(0),
+            },
+            TraceEvent::PollBegin {
+                kernel: KernelRef(1),
+            },
+            TraceEvent::RunEnd,
+        ]);
+        let v = check(&snap);
+        assert!(v.iter().any(|m| m.contains("inside open poll")), "{v:?}");
+    }
+
+    #[test]
+    fn truncated_ring_skips_history_checks() {
+        let mut snap = snap_with(vec![TraceEvent::PollEnd {
+            kernel: KernelRef(0),
+            pending: false,
+        }]);
+        snap.dropped = 10;
+        // An unmatched PollEnd is expected when the begin fell off the ring.
+        assert!(check(&snap).is_empty());
+    }
+}

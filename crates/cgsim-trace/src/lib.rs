@@ -29,6 +29,7 @@
 
 mod event;
 pub mod export;
+pub mod invariants;
 mod metrics;
 mod sink;
 mod snapshot;

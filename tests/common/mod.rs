@@ -1,0 +1,54 @@
+//! Helpers shared by the integration tests: the build-feed-collect-run
+//! boilerplate around both functional runtimes, deduplicated from the
+//! individual test files. Each test binary compiles its own copy and uses a
+//! subset, hence the `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use cgsim::core::{FlatGraph, StreamData};
+use cgsim::runtime::{KernelLibrary, RuntimeConfig, RuntimeContext, Schedule};
+use cgsim::threads::{ThreadedConfig, ThreadedContext};
+
+/// Run `graph` on the cooperative runtime under the default FIFO schedule:
+/// feed `inputs` positionally, require the run to drain, return output 0.
+pub fn run_coop<TIn: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    inputs: Vec<Vec<TIn>>,
+) -> Vec<TOut> {
+    run_coop_scheduled(graph, lib, inputs, Schedule::Fifo)
+}
+
+/// [`run_coop`] under an explicit ready-list schedule (e.g.
+/// `Schedule::Seeded(seed)` for a replayable permutation).
+pub fn run_coop_scheduled<TIn: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    inputs: Vec<Vec<TIn>>,
+    schedule: Schedule,
+) -> Vec<TOut> {
+    let mut ctx = RuntimeContext::new(graph, lib, RuntimeConfig::scheduled(schedule)).unwrap();
+    for (i, input) in inputs.into_iter().enumerate() {
+        ctx.feed(i, input).unwrap();
+    }
+    let out = ctx.collect::<TOut>(0).unwrap();
+    let report = ctx.run().unwrap();
+    assert!(report.drained(), "graph stalled: {:?}", report.stalled);
+    out.take()
+}
+
+/// Run `graph` on the thread-per-kernel runtime; same contract as
+/// [`run_coop`].
+pub fn run_threaded<TIn: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    inputs: Vec<Vec<TIn>>,
+) -> Vec<TOut> {
+    let mut ctx = ThreadedContext::new(graph, lib, ThreadedConfig::default()).unwrap();
+    for (i, input) in inputs.into_iter().enumerate() {
+        ctx.feed(i, input).unwrap();
+    }
+    let out = ctx.collect::<TOut>(0).unwrap();
+    ctx.run().unwrap();
+    out.take()
+}

@@ -2,6 +2,8 @@
 //! not hang or crash — the quiescence semantics of §3.8 make deadlock a
 //! reportable outcome ("no coroutines can continue") rather than a hang.
 
+mod common;
+
 use cgsim::core::GraphBuilder;
 use cgsim::extract::Extractor;
 use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
@@ -76,16 +78,11 @@ fn starved_join_input_stalls_with_diagnosis() {
         Ok(())
     })
     .unwrap();
-    let lib = library();
-    let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
     // Feed a with plenty but b with fewer elements: the kernel drains b,
-    // sees end-of-stream and exits cleanly — NOT a deadlock.
-    ctx.feed(0, vec![1; 10]).unwrap();
-    ctx.feed(1, vec![2; 4]).unwrap();
-    let out = ctx.collect::<i32>(0).unwrap();
-    let report = ctx.run().unwrap();
-    assert!(report.drained(), "closed streams must unwind cleanly");
-    assert_eq!(out.take(), vec![3; 4]);
+    // sees end-of-stream and exits cleanly — NOT a deadlock (run_coop
+    // asserts the run drains).
+    let out: Vec<i32> = common::run_coop(&graph, &library(), vec![vec![1; 10], vec![2; 4]]);
+    assert_eq!(out, vec![3; 4]);
 }
 
 #[test]

@@ -2,9 +2,10 @@
 //! must behave identically on both functional runtimes and match direct
 //! computation.
 
+mod common;
+
 use cgsim::core::{FlatGraph, GraphBuilder};
-use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
-use cgsim::threads::{ThreadedConfig, ThreadedContext};
+use cgsim::runtime::{compute_kernel, KernelLibrary};
 use proptest::prelude::*;
 
 compute_kernel! {
@@ -83,22 +84,11 @@ fn expected(stages: &[bool], input: &[i64]) -> Vec<i64> {
 }
 
 fn run_coop(graph: &FlatGraph, input: Vec<i64>) -> Vec<i64> {
-    let lib = library();
-    let mut ctx = RuntimeContext::new(graph, &lib, RuntimeConfig::default()).unwrap();
-    ctx.feed(0, input).unwrap();
-    let out = ctx.collect::<i64>(0).unwrap();
-    let report = ctx.run().unwrap();
-    assert!(report.drained());
-    out.take()
+    common::run_coop(graph, &library(), vec![input])
 }
 
 fn run_threads(graph: &FlatGraph, input: Vec<i64>) -> Vec<i64> {
-    let lib = library();
-    let mut ctx = ThreadedContext::new(graph, &lib, ThreadedConfig::default()).unwrap();
-    ctx.feed(0, input).unwrap();
-    let out = ctx.collect::<i64>(0).unwrap();
-    ctx.run().unwrap();
-    out.take()
+    common::run_threaded(graph, &library(), vec![input])
 }
 
 proptest! {

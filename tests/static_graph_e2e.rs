@@ -3,9 +3,11 @@
 //! converted to the flattened form and executed by the runtime — the full
 //! compile-time → runtime handoff.
 
+mod common;
+
 use cgsim::core::static_graph::{SGraph, SGraphBuilder, SKernelDef, SPortDef};
 use cgsim::core::{PortDir, PortSettings, Realm};
-use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::runtime::{compute_kernel, KernelLibrary};
 
 compute_kernel! {
     /// Runtime implementation for the statically declared `negate` kernel.
@@ -90,13 +92,9 @@ fn const_graph_executes_on_the_runtime() {
     let library = KernelLibrary::with(|l| {
         l.register::<negate>();
     });
-    let mut ctx = RuntimeContext::new(&typed, &library, RuntimeConfig::default()).unwrap();
-    ctx.feed(0, vec![1i32, -2, 3]).unwrap();
-    let out = ctx.collect::<i32>(0).unwrap();
-    let report = ctx.run().unwrap();
-    assert!(report.drained());
+    let out: Vec<i32> = common::run_coop(&typed, &library, vec![vec![1i32, -2, 3]]);
     // Double negation is the identity.
-    assert_eq!(out.take(), vec![1, -2, 3]);
+    assert_eq!(out, vec![1, -2, 3]);
 }
 
 #[test]

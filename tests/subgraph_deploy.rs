@@ -4,8 +4,10 @@
 //! the cycle simulator. This is the execution-side counterpart of the
 //! extractor's per-realm project generation (§4.3/§4.7).
 
+mod common;
+
 use cgsim::core::{GraphBuilder, Realm, RealmPartition};
-use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::runtime::{compute_kernel, KernelLibrary};
 use cgsim::sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
 use std::collections::HashMap;
 
@@ -69,13 +71,9 @@ fn aie_subgraph_runs_functionally_in_isolation() {
         l.register::<aie_double>();
         l.register::<aie_inc>();
     });
-    let mut ctx = RuntimeContext::new(&aie, &lib, RuntimeConfig::default()).unwrap();
-    ctx.feed(0, vec![1, 2, 3]).unwrap();
-    let out = ctx.collect::<i32>(0).unwrap();
-    let report = ctx.run().unwrap();
-    assert!(report.drained());
+    let out: Vec<i32> = common::run_coop(&aie, &lib, vec![vec![1, 2, 3]]);
     // (x*2)+1 without the host negation.
-    assert_eq!(out.take(), vec![3, 5, 7]);
+    assert_eq!(out, vec![3, 5, 7]);
 }
 
 #[test]
@@ -90,20 +88,14 @@ fn subgraph_and_full_graph_agree_through_the_boundary() {
     });
     let input = vec![5, -7, 100];
 
-    let mut ctx = RuntimeContext::new(&full, &lib, RuntimeConfig::default()).unwrap();
-    ctx.feed(0, input.clone()).unwrap();
-    let full_out = ctx.collect::<i32>(0).unwrap();
-    ctx.run().unwrap();
+    let full_out: Vec<i32> = common::run_coop(&full, &lib, vec![input.clone()]);
 
     let partition = RealmPartition::of(&full);
     let aie = partition.subgraph(Realm::Aie).unwrap().extract(&full);
-    let mut ctx = RuntimeContext::new(&aie, &lib, RuntimeConfig::default()).unwrap();
-    ctx.feed(0, input).unwrap();
-    let aie_out = ctx.collect::<i32>(0).unwrap();
-    ctx.run().unwrap();
+    let aie_out: Vec<i32> = common::run_coop(&aie, &lib, vec![input]);
 
-    let composed: Vec<i32> = aie_out.take().into_iter().map(|v| -v).collect();
-    assert_eq!(full_out.take(), composed);
+    let composed: Vec<i32> = aie_out.into_iter().map(|v| -v).collect();
+    assert_eq!(full_out, composed);
 }
 
 #[test]
