@@ -54,7 +54,8 @@ impl DeployManifest {
         serde_json::to_string_pretty(self).expect("manifest serializes")
     }
 
-    /// Parse from JSON; the graph is re-validated.
+    /// Parse from JSON; the graph is re-validated and linted (deploying a
+    /// graph the verifier can prove broken would only waste a simulation).
     pub fn from_json(json: &str) -> Result<Self, String> {
         let m: DeployManifest =
             serde_json::from_str(json).map_err(|e| format!("manifest parse error: {e}"))?;
@@ -67,7 +68,24 @@ impl DeployManifest {
         m.graph
             .validate()
             .map_err(|e| format!("manifest graph invalid: {e}"))?;
+        let report = m.lint();
+        if report.has_errors() {
+            return Err(format!(
+                "manifest graph invalid: rejected by cgsim-lint\n{}",
+                report.render_human(&m.graph)
+            ));
+        }
         Ok(m)
+    }
+
+    /// Run the ahead-of-deploy lint over the manifest's graph, using the
+    /// manifest's own FIFO depth as the default channel capacity.
+    pub fn lint(&self) -> cgsim_lint::LintReport {
+        let cfg = cgsim_lint::LintConfig {
+            default_depth: self.config.fifo_depth as u32,
+            ..cgsim_lint::LintConfig::default()
+        };
+        cgsim_lint::lint_graph(&self.graph, &cfg)
     }
 
     /// Profiles keyed by kernel kind.
@@ -80,8 +98,23 @@ impl DeployManifest {
 }
 
 /// Simulate the manifest's graph with its embedded configuration and
-/// workload.
+/// workload. Deny-by-default: a manifest whose graph carries Error-severity
+/// lint findings is rejected with [`GraphError::LintRejected`] (`CG012`)
+/// before any cycle is simulated; use [`run_manifest_unchecked`] to bypass.
 pub fn run_manifest(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
+    let report = manifest.lint();
+    if report.has_errors() {
+        return Err(GraphError::LintRejected {
+            errors: report.error_count(),
+            report: report.render_human(&manifest.graph),
+        });
+    }
+    run_manifest_unchecked(manifest)
+}
+
+/// [`run_manifest`] without the ahead-of-run lint gate — for deliberately
+/// simulating a diagnosed-broken graph (e.g. to observe its stall).
+pub fn run_manifest_unchecked(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
     simulate_graph(
         &manifest.graph,
         &manifest.profile_map(),
@@ -192,5 +225,39 @@ mod tests {
     #[test]
     fn parse_garbage_rejected() {
         assert!(DeployManifest::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn deadlocked_manifest_rejected_by_lint() {
+        // A sealed self-loop beside the working pipeline: passes
+        // `validate()` (every connector produced and consumed) but can
+        // never fire — exactly what the ahead-of-run lint gate is for.
+        let mut m = manifest();
+        m.graph = GraphBuilder::build("dead", |g| {
+            let a = g.input::<f32>("a");
+            let b = g.wire::<f32>();
+            let w = g.wire::<f32>();
+            g.invoke::<K>(&[a.id(), b.id()])?;
+            g.invoke::<K>(&[w.id(), w.id()])?;
+            g.output(&b);
+            Ok(())
+        })
+        .unwrap();
+        m.graph.validate().unwrap();
+
+        let err = run_manifest(&m).unwrap_err();
+        assert_eq!(err.code(), "CG012");
+        assert!(err.to_string().contains("CG020"), "{err}");
+
+        let j = m.to_json();
+        let msg = DeployManifest::from_json(&j).unwrap_err();
+        assert!(msg.contains("cgsim-lint") && msg.contains("CG020"), "{msg}");
+    }
+
+    #[test]
+    fn unchecked_escape_hatch_skips_the_gate() {
+        let m = manifest();
+        assert!(m.lint().is_clean());
+        assert!(run_manifest_unchecked(&m).is_ok());
     }
 }

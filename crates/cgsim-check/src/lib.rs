@@ -103,7 +103,27 @@ pub fn run_suite_with(cfg: &SuiteConfig, mut on_case: impl FnMut(&CaseVerdict)) 
     for i in 0..cfg.cases {
         let case_seed = cfg.seed.wrapping_add(i);
         let case = gen::generate(case_seed, &cfg.gen);
-        let verdict = oracle::check_case(&case, &cfg.oracle);
+        // Static verification before any leg runs: a generated graph with
+        // Error-severity lint findings would hang or misbehave on every
+        // backend, so the verdict fails fast with the lint report instead
+        // of a wall of backend disagreements.
+        let lint = cgsim_lint::lint_graph(&case.graph, &cgsim_lint::LintConfig::default());
+        let verdict = if lint.has_errors() {
+            CaseVerdict {
+                seed: case_seed,
+                signature: case.signature.clone(),
+                legs: 0,
+                failures: vec![
+                    format!(
+                        "cgsim-lint rejected the generated graph before any leg ran:\n{}",
+                        lint.render_human(&case.graph)
+                    ),
+                    format!("reproduce with: {}", repro::repro_command(case_seed)),
+                ],
+            }
+        } else {
+            oracle::check_case(&case, &cfg.oracle)
+        };
         signatures.push(verdict.signature.clone());
         legs += verdict.legs;
         on_case(&verdict);
@@ -156,6 +176,22 @@ mod tests {
         for i in 0..4u64 {
             let solo = run_suite(&SuiteConfig::new(100 + i, 1));
             assert_eq!(solo.signatures[0], suite.signatures[i as usize]);
+        }
+    }
+
+    #[test]
+    fn generated_graphs_lint_error_clean() {
+        // Soundness of the generator against the static verifier: every
+        // graph `gen` emits must be free of Error-severity findings (merge
+        // fan-in CG043 warnings are expected and fine).
+        for seed in 0..40u64 {
+            let case = gen::generate(seed, &GenConfig::default());
+            let lint = cgsim_lint::lint_graph(&case.graph, &cgsim_lint::LintConfig::default());
+            assert!(
+                !lint.has_errors(),
+                "seed {seed}:\n{}",
+                lint.render_human(&case.graph)
+            );
         }
     }
 

@@ -201,6 +201,7 @@ impl GraphBuilder {
                 dtype: sig.dtype.clone(),
                 settings: sig.settings,
                 connector: conn,
+                rate: sig.rate,
             });
         }
         let count = self.instance_counts.entry(meta.name.clone()).or_insert(0);

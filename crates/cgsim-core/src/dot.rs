@@ -10,10 +10,35 @@ use crate::flat::FlatGraph;
 use crate::id::ConnectorId;
 use crate::partition::RealmPartition;
 use crate::realm::Realm;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// Visual overrides applied by [`to_dot_styled`]: per-element colours keyed
+/// by kernel/connector index. Produced e.g. by `cgsim-lint` so the Graphviz
+/// export doubles as a visual diagnostic report (red = Error, orange = Warn).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DotStyle {
+    /// Fill colour per kernel index (`style=filled, fillcolor=…`).
+    pub kernel_fill: HashMap<usize, String>,
+    /// Edge colour per connector index (applied to every edge of the
+    /// connector).
+    pub connector_color: HashMap<usize, String>,
+}
+
+impl DotStyle {
+    /// Whether any override is present.
+    pub fn is_empty(&self) -> bool {
+        self.kernel_fill.is_empty() && self.connector_color.is_empty()
+    }
+}
 
 /// Render `graph` as a Graphviz `digraph`.
 pub fn to_dot(graph: &FlatGraph) -> String {
+    to_dot_styled(graph, &DotStyle::default())
+}
+
+/// Render `graph` as a Graphviz `digraph` with per-element colour overrides.
+pub fn to_dot_styled(graph: &FlatGraph, style: &DotStyle) -> String {
     let partition = RealmPartition::of(graph);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", graph.name);
@@ -29,9 +54,14 @@ pub fn to_dot(graph: &FlatGraph) -> String {
         let _ = writeln!(out, "    label=\"realm: {realm}\";");
         for &ki in &sub.kernels {
             let k = &graph.kernels[ki.index()];
+            let fill = style
+                .kernel_fill
+                .get(&ki.index())
+                .map(|c| format!(", style=filled, fillcolor=\"{c}\""))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "    \"{}\" [shape=box, label=\"{}\\n({})\"];",
+                "    \"{}\" [shape=box, label=\"{}\\n({})\"{fill}];",
                 k.instance, k.instance, k.kind
             );
         }
@@ -53,6 +83,11 @@ pub fn to_dot(graph: &FlatGraph) -> String {
         let c = ConnectorId::new(ci);
         let conn = &graph.connectors[ci];
         let label = format!("c{ci}: {} [{}]", conn.dtype.name, conn.kind);
+        let color = style
+            .connector_color
+            .get(&ci)
+            .map(|c| format!(", color=\"{c}\", fontcolor=\"{c}\""))
+            .unwrap_or_default();
         let producers: Vec<String> = graph
             .producers_of(c)
             .into_iter()
@@ -81,7 +116,7 @@ pub fn to_dot(graph: &FlatGraph) -> String {
             .collect();
         for p in &producers {
             for q in &consumers {
-                let _ = writeln!(out, "  \"{p}\" -> \"{q}\" [label=\"{label}\"];");
+                let _ = writeln!(out, "  \"{p}\" -> \"{q}\" [label=\"{label}\"{color}];");
             }
         }
     }
@@ -157,6 +192,27 @@ mod tests {
         assert!(dot.contains("-> \"out:0\""));
         assert!(dot.contains("f32 [stream]"));
         // Balanced braces → parseable by graphviz.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn styled_export_colours_kernels_and_edges() {
+        let g = GraphBuilder::build("styled", |g| {
+            let a = g.input::<f32>("a");
+            let m = g.wire::<f32>();
+            g.invoke::<A>(&[a.id(), m.id()])?;
+            g.output(&m);
+            Ok(())
+        })
+        .unwrap();
+        let mut style = DotStyle::default();
+        style.kernel_fill.insert(0, "red".into());
+        style.connector_color.insert(1, "orange".into());
+        let dot = to_dot_styled(&g, &style);
+        assert!(dot.contains("style=filled, fillcolor=\"red\""));
+        assert!(dot.contains("color=\"orange\", fontcolor=\"orange\""));
+        // Unstyled export is byte-identical to the default style.
+        assert_eq!(to_dot(&g), to_dot_styled(&g, &DotStyle::default()));
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 

@@ -97,18 +97,49 @@ pub enum GraphError {
         /// The realm in question.
         realm: crate::realm::Realm,
     },
+    /// The graph was rejected by the ahead-of-run lint gate (`cgsim-lint`):
+    /// at least one Error-severity diagnostic was reported.
+    LintRejected {
+        /// Number of Error-severity diagnostics.
+        errors: usize,
+        /// The rendered diagnostic report.
+        report: String,
+    },
 }
 
-impl fmt::Display for GraphError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl GraphError {
+    /// Stable diagnostic code for this error, shared with `cgsim-lint`.
+    ///
+    /// Codes are part of the tool's contract: they appear in rendered
+    /// diagnostics, JSON reports, and documentation, and never change
+    /// meaning between releases.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GraphError::TypeMismatch { .. } => "CG001",
+            GraphError::ArityMismatch { .. } => "CG002",
+            GraphError::IncompatibleSettings { .. } => "CG003",
+            GraphError::DanglingConnector { .. } => "CG004",
+            GraphError::UnconsumedConnector { .. } => "CG005",
+            GraphError::IdOutOfRange { .. } => "CG006",
+            GraphError::DuplicateGlobal { .. } => "CG007",
+            GraphError::UnknownKernel { .. } => "CG008",
+            GraphError::IoArityMismatch { .. } => "CG009",
+            GraphError::IoTypeMismatch { .. } => "CG010",
+            GraphError::UnsupportedRealm { .. } => "CG011",
+            GraphError::LintRejected { .. } => "CG012",
+        }
+    }
+
+    /// The human-readable description, without the `[CGxxx]` code prefix
+    /// (`Display` prepends it).
+    pub fn message(&self) -> String {
         match self {
             GraphError::TypeMismatch {
                 kernel,
                 port,
                 port_type,
                 connector_type,
-            } => write!(
-                f,
+            } => format!(
                 "type mismatch binding port `{kernel}.{port}`: port carries {port_type}, \
                  connector carries {connector_type}"
             ),
@@ -116,54 +147,51 @@ impl fmt::Display for GraphError {
                 kernel,
                 expected,
                 actual,
-            } => write!(
-                f,
+            } => format!(
                 "kernel `{kernel}` has {expected} ports but was invoked with {actual} connectors"
             ),
             GraphError::IncompatibleSettings {
                 connector,
                 conflict,
-            } => write!(f, "on connector {connector}: {conflict}"),
-            GraphError::DanglingConnector { connector } => write!(
-                f,
+            } => format!("on connector {connector}: {conflict}"),
+            GraphError::DanglingConnector { connector } => format!(
                 "connector {connector} has no producer (no kernel output and not a global input)"
             ),
-            GraphError::UnconsumedConnector { connector } => write!(
-                f,
+            GraphError::UnconsumedConnector { connector } => format!(
                 "connector {connector} is never consumed (no kernel input and not a global output)"
             ),
             GraphError::IdOutOfRange { what, index, len } => {
-                write!(f, "{what} id {index} out of range (array length {len})")
+                format!("{what} id {index} out of range (array length {len})")
             }
-            GraphError::DuplicateGlobal { connector } => write!(
-                f,
-                "connector {connector} listed more than once as a global port"
-            ),
+            GraphError::DuplicateGlobal { connector } => {
+                format!("connector {connector} listed more than once as a global port")
+            }
             GraphError::UnknownKernel { kind } => {
-                write!(f, "kernel kind `{kind}` is not registered")
+                format!("kernel kind `{kind}` is not registered")
             }
             GraphError::IoArityMismatch {
                 what,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "graph declares {expected} global {what} but {actual} were supplied"
-            ),
+            } => format!("graph declares {expected} global {what} but {actual} were supplied"),
             GraphError::IoTypeMismatch {
                 connector,
                 expected,
-            } => write!(
-                f,
-                "source/sink for global connector {connector} must carry {expected}"
-            ),
+            } => format!("source/sink for global connector {connector} must carry {expected}"),
             GraphError::UnsupportedRealm { kernel, realm } => {
-                write!(
-                    f,
-                    "kernel `{kernel}`: realm `{realm}` is not supported here"
-                )
+                format!("kernel `{kernel}`: realm `{realm}` is not supported here")
             }
+            GraphError::LintRejected { errors, report } => format!(
+                "graph rejected by static analysis ({errors} error-level diagnostic{}):\n{report}",
+                if *errors == 1 { "" } else { "s" }
+            ),
         }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code(), self.message())
     }
 }
 
@@ -217,5 +245,19 @@ mod tests {
     fn settings_conflict_converts() {
         let e: GraphError = (ConnectorId::new(4), SettingsConflict::Depth(1, 2)).into();
         assert!(e.to_string().contains("c4"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_prefixed() {
+        let e = GraphError::UnknownKernel { kind: "x".into() };
+        assert_eq!(e.code(), "CG008");
+        assert!(e.to_string().starts_with("[CG008] "));
+        assert!(!e.message().contains("CG008"));
+        let lint = GraphError::LintRejected {
+            errors: 2,
+            report: "error[CG020] ...".into(),
+        };
+        assert_eq!(lint.code(), "CG012");
+        assert!(lint.to_string().contains("2 error-level diagnostics"));
     }
 }

@@ -37,6 +37,9 @@ pub struct FlatPort {
     pub settings: PortSettings,
     /// Connector this port is bound to.
     pub connector: ConnectorId,
+    /// Declared SDF rate (elements per firing); `0` = not declared.
+    #[serde(default)]
+    pub rate: u32,
 }
 
 /// One kernel instance in flattened form.
@@ -278,6 +281,7 @@ mod tests {
             dtype: dtype.clone(),
             settings: PortSettings::DEFAULT,
             connector: ConnectorId::new(c),
+            rate: 0,
         };
         let kernel = |n: usize, cin: usize, cout: usize| FlatKernel {
             kind: "k".into(),
@@ -393,6 +397,7 @@ mod tests {
                     dtype: DTypeDesc::of::<i32>(),
                     settings: PortSettings::DEFAULT,
                     connector: ConnectorId::new(1),
+                    rate: 0,
                 },
                 FlatPort {
                     name: "out".into(),
@@ -400,6 +405,7 @@ mod tests {
                     dtype: DTypeDesc::of::<i32>(),
                     settings: PortSettings::DEFAULT,
                     connector: ConnectorId::new(1),
+                    rate: 0,
                 },
             ],
         };

@@ -40,7 +40,7 @@ pub mod static_graph;
 pub use analysis::Topology;
 pub use attrs::{AttrList, AttrValue, Attribute};
 pub use builder::{Connector, GraphBuilder};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_styled, DotStyle};
 pub use dtype::{DTypeDesc, StreamData};
 pub use error::GraphError;
 pub use flat::{Endpoint, FlatConnector, FlatGraph, FlatKernel, FlatPort, GraphStats};

@@ -66,17 +66,29 @@ pub struct RealmPartition {
 
 impl RealmPartition {
     /// Partition `graph` along its realm annotations.
+    ///
+    /// Panics if the graph is structurally broken (a connector without any
+    /// endpoint); use [`RealmPartition::try_of`] to get the `CG0xx`-coded
+    /// [`crate::GraphError`] instead.
     pub fn of(graph: &FlatGraph) -> RealmPartition {
-        let classes: Vec<ConnectorClass> = (0..graph.connectors.len())
+        Self::try_of(graph).expect("graph failed realm partitioning — see FlatGraph::validate")
+    }
+
+    /// Partition `graph`, reporting structural problems as [`crate::GraphError`]
+    /// values with stable diagnostic codes instead of panicking. A connector
+    /// with no endpoint at all surfaces as `CG004`
+    /// ([`crate::GraphError::DanglingConnector`]).
+    pub fn try_of(graph: &FlatGraph) -> crate::error::Result<RealmPartition> {
+        let classes = (0..graph.connectors.len())
             .map(|ci| classify(graph, ConnectorId::new(ci)))
-            .collect();
+            .collect::<crate::error::Result<Vec<ConnectorClass>>>()?;
 
         let subgraphs = Realm::ALL
             .into_iter()
             .filter_map(|realm| build_subgraph(graph, &classes, realm))
             .collect();
 
-        RealmPartition { classes, subgraphs }
+        Ok(RealmPartition { classes, subgraphs })
     }
 
     /// The subgraph for `realm`, if any kernel targets it.
@@ -149,22 +161,25 @@ impl RealmSubgraph {
     }
 }
 
-fn classify(graph: &FlatGraph, c: ConnectorId) -> ConnectorClass {
+fn classify(graph: &FlatGraph, c: ConnectorId) -> crate::error::Result<ConnectorClass> {
     if graph.is_global_input(c) || graph.is_global_output(c) {
-        return ConnectorClass::Global;
+        return Ok(ConnectorClass::Global);
     }
     let mut realms = graph
         .producers_of(c)
         .into_iter()
         .chain(graph.consumers_of(c))
         .map(|e| graph.kernels[e.kernel.index()].realm);
-    // `validate()` guarantees at least one endpoint on a non-global connector.
-    let first = realms.next().expect("non-global connector has endpoints");
-    if realms.all(|r| r == first) {
+    // `validate()` guarantees at least one endpoint on a non-global
+    // connector; descriptors that skipped validation get the coded error.
+    let first = realms
+        .next()
+        .ok_or(crate::GraphError::DanglingConnector { connector: c })?;
+    Ok(if realms.all(|r| r == first) {
         ConnectorClass::Intra(first)
     } else {
         ConnectorClass::Inter
-    }
+    })
 }
 
 fn build_subgraph(
@@ -413,5 +428,26 @@ mod tests {
             .filter(|b| b.connector == ConnectorId::new(1))
             .collect();
         assert_eq!(m_ports.len(), 2);
+    }
+
+    #[test]
+    fn try_of_reports_dangling_connector_with_code() {
+        // A connector with no endpoint at all: `of` would panic, `try_of`
+        // returns the coded error the lint framework reuses.
+        let mut g = mixed_graph();
+        g.connectors.push(crate::flat::FlatConnector {
+            dtype: crate::dtype::DTypeDesc::of::<i32>(),
+            settings: PortSettings::DEFAULT,
+            kind: crate::kernel::PortKind::Stream,
+            attrs: crate::attrs::AttrList::new(),
+        });
+        let err = RealmPartition::try_of(&g).unwrap_err();
+        assert_eq!(err.code(), "CG004");
+        assert!(matches!(
+            err,
+            crate::GraphError::DanglingConnector { connector } if connector.index() == 4
+        ));
+        // Sound graphs still partition.
+        assert!(RealmPartition::try_of(&mixed_graph()).is_ok());
     }
 }

@@ -366,6 +366,7 @@ impl<const NK: usize, const NC: usize> SGraph<NK, NC> {
                     dtype: dtype_for(p.elem_size),
                     settings: p.settings,
                     connector: ConnectorId::new(inst.bindings[pi]),
+                    rate: 0,
                 })
                 .collect();
             kernels.push(FlatKernel {

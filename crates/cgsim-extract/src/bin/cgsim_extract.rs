@@ -12,7 +12,9 @@
 //!   `#[extract_compute_graph]` (default: every `compute_graph!`);
 //! * `--type NAME:SIZE[:ALIGN]` — register a user element type's layout
 //!   (the stand-in for Clang's full type information);
-//! * `--no-blacklist` — keep simulation-only imports in extracted code.
+//! * `--no-blacklist` — keep simulation-only imports in extracted code;
+//! * `--no-lint` — generate the project even when `cgsim-lint` reports
+//!   Error-severity findings (the report is still embedded as `lint.json`).
 
 use cgsim_extract::{Blacklist, Extractor, TypeTable};
 use std::path::PathBuf;
@@ -21,7 +23,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: cgsim-extract INPUT.rs [--out DIR] [--require-marker] \
-         [--type NAME:SIZE[:ALIGN]]... [--no-blacklist]"
+         [--type NAME:SIZE[:ALIGN]]... [--no-blacklist] [--no-lint]"
     );
     std::process::exit(2);
 }
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     let mut input: Option<PathBuf> = None;
     let mut out_dir = PathBuf::from("extracted");
     let mut require_marker = false;
+    let mut deny_lint_errors = true;
     let mut types = TypeTable::new();
     let mut blacklist = Blacklist::aie_default();
 
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--require-marker" => require_marker = true,
+            "--no-lint" => deny_lint_errors = false,
             "--no-blacklist" => blacklist = Blacklist::none(),
             "--type" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
         types,
         blacklist,
         require_marker,
+        deny_lint_errors,
     };
     let extractions = match extractor.extract(&source) {
         Ok(x) => x,

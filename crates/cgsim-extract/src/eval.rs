@@ -171,6 +171,7 @@ fn port_sig(p: &PortDecl, types: &TypeTable) -> Result<PortSig, EvalError> {
         },
         dtype: types.resolve(&p.elem_ty)?,
         settings,
+        rate: 0,
     })
 }
 

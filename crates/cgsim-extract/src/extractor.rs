@@ -28,6 +28,15 @@ pub enum ExtractError {
     NoGraphs,
     /// A graph references a kernel defined in no `compute_kernel!` block.
     MissingKernelSource(String),
+    /// The evaluated graph carries Error-severity `cgsim-lint` findings
+    /// (extraction would only produce a project `aiecompiler`/the simulator
+    /// must reject later). Disable with [`Extractor::deny_lint_errors`].
+    Lint {
+        /// Name of the offending graph.
+        graph: String,
+        /// Human-rendered diagnostic report.
+        report: String,
+    },
 }
 
 impl fmt::Display for ExtractError {
@@ -41,6 +50,9 @@ impl fmt::Display for ExtractError {
                     f,
                     "kernel `{k}` has no compute_kernel! definition in this file"
                 )
+            }
+            ExtractError::Lint { graph, report } => {
+                write!(f, "graph `{graph}` rejected by cgsim-lint:\n{report}")
             }
         }
     }
@@ -70,6 +82,9 @@ pub struct Extraction {
     pub graph: FlatGraph,
     /// Realm partition (§4.3).
     pub partition: RealmPartition,
+    /// Ahead-of-run verifier findings for the graph (also embedded in the
+    /// project as `lint.json` and a `graph.hpp` header comment).
+    pub lint: cgsim_lint::LintReport,
 }
 
 /// The extractor with its configuration.
@@ -81,6 +96,10 @@ pub struct Extractor {
     /// When true, only graphs annotated `#[extract_compute_graph]` are
     /// extracted; otherwise every `compute_graph!` definition is.
     pub require_marker: bool,
+    /// When true (the default), a graph with Error-severity `cgsim-lint`
+    /// findings aborts extraction with [`ExtractError::Lint`] instead of
+    /// generating a project that cannot run.
+    pub deny_lint_errors: bool,
 }
 
 impl Default for Extractor {
@@ -89,6 +108,7 @@ impl Default for Extractor {
             types: TypeTable::new(),
             blacklist: Blacklist::aie_default(),
             require_marker: false,
+            deny_lint_errors: true,
         }
     }
 }
@@ -121,6 +141,18 @@ impl Extractor {
         let mut out = Vec::with_capacity(graphs.len());
         for gdef in graphs {
             let graph = eval_graph(gdef, &scanned.kernels, &self.types)?;
+
+            // Ahead-of-codegen verification (the paper's motivation for
+            // static extraction: reject what the hardware flow would only
+            // discover hours later). Deny-by-default on Error findings.
+            let lint = cgsim_lint::lint_graph(&graph, &cgsim_lint::LintConfig::default());
+            if self.deny_lint_errors && lint.has_errors() {
+                return Err(ExtractError::Lint {
+                    graph: graph.name.clone(),
+                    report: lint.render_human(&graph),
+                });
+            }
+
             let partition = RealmPartition::of(&graph);
             let mut project = ExtractedProject::new(graph.name.clone());
 
@@ -129,6 +161,7 @@ impl Extractor {
                 let decls = codegen_aie::kernel_decls_hpp(&graph, &kernel_defs, &self.types)?;
                 project.add_file("kernel_decls.hpp", decls);
                 let mut hpp = codegen_aie::classification_comment(&partition);
+                hpp.push_str(&lint_comment(&lint, &graph));
                 hpp.push_str(&codegen_aie::graph_hpp(&graph, &partition));
                 project.add_file("graph.hpp", hpp);
 
@@ -206,15 +239,30 @@ impl Extractor {
                 "partition.json",
                 serde_json::to_string_pretty(&partition).expect("partition serializes"),
             );
+            project.add_file("lint.json", lint.to_json());
 
             out.push(Extraction {
                 project,
                 graph,
                 partition,
+                lint,
             });
         }
         Ok(out)
     }
+}
+
+/// Render the lint report as a C++ comment block for `graph.hpp`, so the
+/// verifier's verdict travels with the generated project.
+fn lint_comment(lint: &cgsim_lint::LintReport, graph: &FlatGraph) -> String {
+    let mut s = String::new();
+    for line in lint.render_human(graph).lines() {
+        s.push_str("// ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push('\n');
+    s
 }
 
 #[cfg(test)]
@@ -357,6 +405,72 @@ compute_graph! {
             Extractor::new().extract("fn main() {}"),
             Err(ExtractError::NoGraphs)
         ));
+    }
+
+    const DEADLOCK_SRC: &str = r#"
+compute_kernel! {
+    #[realm(aie)]
+    pub fn amp_kernel(input: ReadPort<f32>, out: WritePort<f32>) {
+        while let Some(v) = input.get().await {
+            out.put(v).await;
+        }
+    }
+}
+
+compute_graph! {
+    name: dead,
+    inputs: (a: f32),
+    body: {
+        let b = wire::<f32>();
+        let w = wire::<f32>();
+        amp_kernel(a, b);
+        amp_kernel(w, w);
+    },
+    outputs: (b),
+};
+"#;
+
+    #[test]
+    fn lint_errors_deny_extraction_by_default() {
+        // The self-fed `amp_kernel(w, w)` invocation is structurally valid
+        // but can never fire: CG020, Error severity.
+        let err = Extractor::new().extract(DEADLOCK_SRC).unwrap_err();
+        match &err {
+            ExtractError::Lint { graph, report } => {
+                assert_eq!(graph, "dead");
+                assert!(report.contains("CG020"), "{report}");
+            }
+            other => panic!("expected lint rejection, got {other}"),
+        }
+        assert!(err.to_string().contains("cgsim-lint"));
+    }
+
+    #[test]
+    fn lint_gate_can_be_disabled_and_report_is_embedded() {
+        let ex = Extractor {
+            deny_lint_errors: false,
+            ..Extractor::new()
+        };
+        let results = ex.extract(DEADLOCK_SRC).unwrap();
+        let r = &results[0];
+        assert!(r.lint.has_errors());
+        assert!(r.project.file("lint.json").unwrap().contains("CG020"));
+        let hpp = r.project.file("graph.hpp").unwrap();
+        assert!(hpp.contains("// cgsim-lint"), "{hpp}");
+        assert!(hpp.contains("CG020"));
+    }
+
+    #[test]
+    fn clean_graph_embeds_clean_report() {
+        let results = Extractor::new().extract(SRC).unwrap();
+        let r = &results[0];
+        assert!(r.lint.is_clean());
+        assert!(r.project.file("lint.json").is_some());
+        assert!(r
+            .project
+            .file("graph.hpp")
+            .unwrap()
+            .contains("// cgsim-lint"));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Lint configuration: channel-depth defaults, declared kernel rates, and
+//! per-realm hardware budgets.
+
+use std::collections::HashMap;
+
+/// Hardware budgets for the AIE realm, checked by the `CG05x` pass.
+///
+/// The numbers default to the VC1902 device the paper targets; they live
+/// here (rather than being imported from `aie-sim`) so the lint crate stays
+/// a leaf dependency of `cgsim-core` and every consumer — runtime, deploy,
+/// extractor — can gate on the same limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RealmBudgets {
+    /// AIE tiles available on the device (VC1902: 50 columns × 8 rows).
+    /// With the paper's one-kernel-per-tile placement this bounds the AIE
+    /// kernel count.
+    pub aie_tiles: usize,
+    /// Data memory per AIE tile in bytes (32 KiB on AIE1). A kernel's window
+    /// buffers (ping-pong counted twice) must fit.
+    pub tile_data_bytes: u64,
+    /// Stream input ports per AIE kernel (the AIE1 stream switch exposes
+    /// two 32-bit inputs per core).
+    pub stream_in: usize,
+    /// Stream output ports per AIE kernel.
+    pub stream_out: usize,
+}
+
+impl Default for RealmBudgets {
+    fn default() -> Self {
+        RealmBudgets {
+            aie_tiles: 400,
+            tile_data_bytes: 32 * 1024,
+            stream_in: 2,
+            stream_out: 2,
+        }
+    }
+}
+
+/// Configuration for one lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Effective channel capacity (elements) for connectors that do not set
+    /// an explicit `depth`. `0` falls back to
+    /// [`LintConfig::FALLBACK_DEPTH`], matching the runtime's default.
+    pub default_depth: u32,
+    /// AIE realm budgets for the `CG05x` pass.
+    pub budgets: RealmBudgets,
+    /// Declared SDF rates per kernel *kind*, by port index — an external
+    /// override for kernels whose ports do not carry a `rate` themselves
+    /// (e.g. a library of fixed-function kernels). Port rates in the graph
+    /// win over entries here.
+    pub kernel_rates: HashMap<String, Vec<u32>>,
+}
+
+impl LintConfig {
+    /// Channel capacity assumed when neither the connector nor the config
+    /// specifies one — the cooperative runtime's default channel depth.
+    pub const FALLBACK_DEPTH: u32 = 64;
+
+    /// The effective default depth (resolving `0` to the fallback).
+    pub fn effective_default_depth(&self) -> u32 {
+        if self.default_depth == 0 {
+            Self::FALLBACK_DEPTH
+        } else {
+            self.default_depth
+        }
+    }
+
+    /// Declare rates for all ports of kernel kind `kind`, in port order.
+    pub fn with_kernel_rates(mut self, kind: impl Into<String>, rates: Vec<u32>) -> Self {
+        self.kernel_rates.insert(kind.into(), rates);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_vc1902() {
+        let b = RealmBudgets::default();
+        assert_eq!(b.aie_tiles, 400);
+        assert_eq!(b.tile_data_bytes, 32768);
+        assert_eq!((b.stream_in, b.stream_out), (2, 2));
+    }
+
+    #[test]
+    fn zero_depth_falls_back() {
+        assert_eq!(
+            LintConfig::default().effective_default_depth(),
+            LintConfig::FALLBACK_DEPTH
+        );
+        let cfg = LintConfig {
+            default_depth: 8,
+            ..LintConfig::default()
+        };
+        assert_eq!(cfg.effective_default_depth(), 8);
+    }
+
+    #[test]
+    fn kernel_rates_builder() {
+        let cfg = LintConfig::default().with_kernel_rates("fir", vec![1, 4]);
+        assert_eq!(cfg.kernel_rates["fir"], vec![1, 4]);
+    }
+}

@@ -1,0 +1,430 @@
+//! # cgsim-lint — ahead-of-run static analysis for compute graphs
+//!
+//! The paper's flow trusts the `constexpr`-serialized graph descriptor and
+//! discovers topology mistakes only when the simulation stalls or
+//! `aiecompiler` rejects the design. This crate moves those discoveries
+//! ahead of any execution: [`lint_graph`] runs a suite of passes over a
+//! [`FlatGraph`] and returns a [`LintReport`] of coded diagnostics.
+//!
+//! ## Lint codes
+//!
+//! | Code | Severity | Finding |
+//! |------|----------|---------|
+//! | `CG001`–`CG011` | Error | Structural invariants shared with [`cgsim_core::GraphError`] (type/arity mismatches, dangling or unconsumed connectors, out-of-range ids, …) |
+//! | `CG012` | Error | Graph rejected by a deny-by-default lint gate (carried by `GraphError::LintRejected`) |
+//! | `CG020` | Error | Feedback cycle with no external token source: guaranteed deadlock |
+//! | `CG021` | Warn | Feedback cycle primed from outside: correct only with priming tokens |
+//! | `CG022` | Error | Stream channel capacity below one firing's token demand |
+//! | `CG030` | Error | SDF rate-balance violation: firing-vector equations are inconsistent |
+//! | `CG040` | Warn | Kernel unreachable from any global input |
+//! | `CG041` | Warn | Kernel output can never reach a global output |
+//! | `CG042` | Warn | Broadcast fan-out feeding a dead branch |
+//! | `CG043` | Warn | Merge fan-in: output order is schedule-dependent (multiset oracle only) |
+//! | `CG050` | Error | More AIE kernels than device tiles |
+//! | `CG051` | Error | Kernel window buffers exceed per-tile data memory |
+//! | `CG052` | Error | Kernel exceeds per-core stream-port budget |
+//!
+//! Consumers: the `cgsim-lint` CLI binary (umbrella crate), the
+//! deny-by-default verify hooks in `cgsim-runtime::RuntimeContext` and
+//! `aie-sim::deploy`, the extractor (report embedded in generated headers)
+//! and the `conform` fuzzing driver (fail-fast on generator drift).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+mod passes;
+pub mod style;
+
+pub use config::{LintConfig, RealmBudgets};
+pub use diag::{Anchor, Diagnostic, LintReport, Severity};
+pub use style::dot_style;
+
+use cgsim_core::FlatGraph;
+
+/// Run every lint pass over `graph` and collect the findings.
+///
+/// Passes run in order: structural integrity (`CG00x`), reachability
+/// (`CG040`/`CG041`), deadlock and capacity (`CG02x`), rate balance
+/// (`CG030`), dataflow shape (`CG042`/`CG043`), realm budgets (`CG05x`).
+/// If the descriptor has out-of-range indices the structural findings are
+/// returned alone — the deeper passes cannot index into a corrupt graph.
+pub fn lint_graph(graph: &FlatGraph, config: &LintConfig) -> LintReport {
+    let mut report = LintReport::new(&graph.name);
+    if passes::structural(graph, &mut report) {
+        return report;
+    }
+    let reach = passes::reachability(graph, &mut report);
+    passes::deadlock::check(graph, config, &mut report);
+    passes::rates::check(graph, config, &mut report);
+    passes::shape(graph, &reach, &mut report);
+    passes::budget::check(graph, config, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_core::{
+        AttrList, ConnectorId, DTypeDesc, FlatConnector, FlatGraph, FlatKernel, FlatPort, PortDir,
+        PortKind, PortSettings, Realm,
+    };
+
+    fn dtype() -> DTypeDesc {
+        DTypeDesc::of::<i32>()
+    }
+
+    fn port(name: &str, dir: PortDir, c: usize) -> FlatPort {
+        FlatPort {
+            name: name.into(),
+            dir,
+            dtype: dtype(),
+            settings: PortSettings::DEFAULT,
+            connector: ConnectorId::new(c),
+            rate: 0,
+        }
+    }
+
+    fn kernel(instance: &str, ports: Vec<FlatPort>) -> FlatKernel {
+        FlatKernel {
+            kind: instance.split('_').next().unwrap().into(),
+            instance: instance.into(),
+            realm: Realm::Aie,
+            ports,
+        }
+    }
+
+    fn connector() -> FlatConnector {
+        FlatConnector {
+            dtype: dtype(),
+            settings: PortSettings::DEFAULT,
+            kind: PortKind::Stream,
+            attrs: AttrList::new(),
+        }
+    }
+
+    /// input c0 → k_0 → c1 → k_1 → c2 (output): lints clean.
+    fn pipeline() -> FlatGraph {
+        FlatGraph {
+            name: "pipe".into(),
+            kernels: vec![
+                kernel(
+                    "k_0",
+                    vec![port("in", PortDir::In, 0), port("out", PortDir::Out, 1)],
+                ),
+                kernel(
+                    "k_1",
+                    vec![port("in", PortDir::In, 1), port("out", PortDir::Out, 2)],
+                ),
+            ],
+            connectors: vec![connector(), connector(), connector()],
+            inputs: vec![ConnectorId::new(0)],
+            outputs: vec![ConnectorId::new(2)],
+        }
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_findings() {
+        let r = lint_graph(&pipeline(), &LintConfig::default());
+        assert!(r.is_clean(), "{}", r.render_human(&pipeline()));
+    }
+
+    #[test]
+    fn structural_findings_are_collected_not_first_only() {
+        let mut g = pipeline();
+        g.connectors[1].dtype = DTypeDesc::of::<f64>(); // CG001 twice (both endpoints)
+        g.outputs.push(ConnectorId::new(2)); // CG007
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG001"));
+        assert!(r.codes().contains("CG007"));
+        assert!(r.error_count() >= 3);
+    }
+
+    #[test]
+    fn out_of_range_index_aborts_deeper_passes() {
+        let mut g = pipeline();
+        g.kernels[0].ports[1].connector = ConnectorId::new(99);
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG006"));
+        // Only structural findings present: nothing from CG02x/CG04x.
+        assert!(r.codes().iter().all(|c| c <= &"CG011".to_owned()));
+    }
+
+    #[test]
+    fn unprimed_feedback_cycle_is_cg020() {
+        // k_0 reads input c0 and feedback c2, writes output c1 and c2.
+        let g = FlatGraph {
+            name: "dead".into(),
+            kernels: vec![kernel(
+                "k_0",
+                vec![
+                    port("a", PortDir::In, 0),
+                    port("fb", PortDir::In, 2),
+                    port("out", PortDir::Out, 1),
+                    port("fb_out", PortDir::Out, 2),
+                ],
+            )],
+            connectors: vec![connector(), connector(), connector()],
+            inputs: vec![ConnectorId::new(0)],
+            outputs: vec![ConnectorId::new(1)],
+        };
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.has_errors());
+        assert!(r.codes().contains("CG020"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn primed_feedback_cycle_is_cg021_warn_only() {
+        // Same loop but the feedback connector is also a global input.
+        let g = FlatGraph {
+            name: "primed".into(),
+            kernels: vec![kernel(
+                "k_0",
+                vec![
+                    port("a", PortDir::In, 0),
+                    port("fb", PortDir::In, 2),
+                    port("out", PortDir::Out, 1),
+                    port("fb_out", PortDir::Out, 2),
+                ],
+            )],
+            connectors: vec![connector(), connector(), connector()],
+            inputs: vec![ConnectorId::new(0), ConnectorId::new(2)],
+            outputs: vec![ConnectorId::new(1)],
+        };
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.has_errors(), "{}", r.render_human(&g));
+        assert!(r.codes().contains("CG021"));
+    }
+
+    #[test]
+    fn two_kernel_cycle_detected() {
+        // k_0 → c1 → k_1 → c2 → k_0, no external source on the loop wires.
+        let g = FlatGraph {
+            name: "loop2".into(),
+            kernels: vec![
+                kernel(
+                    "k_0",
+                    vec![
+                        port("a", PortDir::In, 0),
+                        port("fb", PortDir::In, 2),
+                        port("out", PortDir::Out, 1),
+                        port("res", PortDir::Out, 3),
+                    ],
+                ),
+                kernel(
+                    "k_1",
+                    vec![port("in", PortDir::In, 1), port("out", PortDir::Out, 2)],
+                ),
+            ],
+            connectors: vec![connector(), connector(), connector(), connector()],
+            inputs: vec![ConnectorId::new(0)],
+            outputs: vec![ConnectorId::new(3)],
+        };
+        let r = lint_graph(&g, &LintConfig::default());
+        let report = r.render_human(&g);
+        assert!(r.codes().contains("CG020"), "{report}");
+        assert!(
+            report.contains("k_0 → k_1") || report.contains("k_0"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn capacity_below_rate_is_cg022() {
+        let mut g = pipeline();
+        g.kernels[1].ports[0].rate = 8; // k_1 pops 8 per firing …
+        g.connectors[1].settings = PortSettings::new().depth(4); // … from a 4-deep channel
+        g.kernels[0].ports[1].settings = PortSettings::new().depth(4);
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG022"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn rate_imbalance_is_cg030() {
+        // k_0 pushes 2 per firing, k_1 pops 3: fine in isolation (firing
+        // ratio 2/3) — so pin both kernels together through a second
+        // 1:1 connector to force the contradiction.
+        let mut g = pipeline();
+        g.kernels[0].ports.push(port("aux_out", PortDir::Out, 3));
+        g.kernels[1].ports.push(port("aux_in", PortDir::In, 3));
+        g.connectors.push(connector());
+        g.kernels[0].ports[1].rate = 2;
+        g.kernels[1].ports[0].rate = 3;
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG030"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn kernel_rates_config_feeds_the_rate_pass() {
+        let mut g = pipeline();
+        g.kernels[0].ports.push(port("aux_out", PortDir::Out, 3));
+        g.kernels[1].ports.push(port("aux_in", PortDir::In, 3));
+        g.connectors.push(connector());
+        // Same imbalance, but declared via the kernel library instead of
+        // the graph ("k" kind, port order: in, out, aux).
+        let cfg = LintConfig::default()
+            .with_kernel_rates("k", vec![3, 2, 1])
+            .with_kernel_rates("unrelated", vec![9]);
+        let r = lint_graph(&g, &cfg);
+        assert!(r.codes().contains("CG030"), "{}", r.render_human(&g));
+        assert!(lint_graph(&g, &LintConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn dead_branches_warn_cg040_cg041_cg042() {
+        // c1 broadcasts to k_1 (live) and k_2 (writes c3 which nobody
+        // reads — but make c3 an output-less sink connector read by k_3
+        // that drops it). Simpler: k_2 writes c3, k_3 reads c3, writes
+        // nothing onward? Every connector must be consumed; so give k_2's
+        // output to k_3 which has no outputs (a sink kernel is bwd-live by
+        // definition). Instead make the dead branch via an unreachable
+        // kernel: k_2 reads c3 which no input feeds.
+        let mut g = pipeline();
+        g.kernels.push(kernel(
+            "k_2",
+            vec![port("in", PortDir::In, 3), port("out", PortDir::Out, 4)],
+        ));
+        g.kernels.push(kernel(
+            "k_3",
+            vec![port("in", PortDir::In, 4), port("out", PortDir::Out, 3)],
+        ));
+        g.connectors.push(connector());
+        g.connectors.push(connector());
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG040")); // k_2/k_3 unreachable
+        assert!(r.codes().contains("CG041")); // their work never drains
+                                              // In a structurally valid graph, an unreachable region necessarily
+                                              // feeds itself — the deadlock pass flags the sealed loop too.
+        assert!(r.codes().contains("CG020"));
+    }
+
+    #[test]
+    fn broadcast_into_dead_branch_warns_cg042() {
+        let mut g = pipeline();
+        // k_2 also reads c1 (broadcast) but its output c3 only feeds k_3,
+        // whose output goes back to k_2: a sealed sub-loop that can't reach
+        // the global output.
+        g.kernels.push(kernel(
+            "k_2",
+            vec![port("in", PortDir::In, 1), port("out", PortDir::Out, 3)],
+        ));
+        g.kernels.push(kernel(
+            "k_3",
+            vec![port("in", PortDir::In, 3), port("out", PortDir::Out, 4)],
+        ));
+        g.kernels[2].ports.push(port("loop_in", PortDir::In, 4));
+        g.connectors.push(connector());
+        g.connectors.push(connector());
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG042"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn merge_warns_cg043() {
+        let mut g = pipeline();
+        // Second producer onto c1.
+        g.kernels.push(kernel(
+            "k_2",
+            vec![port("in", PortDir::In, 0), port("out", PortDir::Out, 1)],
+        ));
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.has_errors());
+        assert!(r.codes().contains("CG043"));
+    }
+
+    #[test]
+    fn tile_count_overflow_is_cg050() {
+        let mut g = pipeline();
+        let cfg = LintConfig {
+            budgets: RealmBudgets {
+                aie_tiles: 1,
+                ..RealmBudgets::default()
+            },
+            ..LintConfig::default()
+        };
+        g.kernels[1].realm = Realm::Aie;
+        let r = lint_graph(&g, &cfg);
+        assert!(r.codes().contains("CG050"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn window_memory_overflow_is_cg051_with_ping_pong_doubling() {
+        let mut g = pipeline();
+        // 20 KiB ping-pong window = 40 KiB > 32 KiB tile memory. Settings
+        // must agree across endpoints and the connector (merge rules).
+        let w = PortSettings::new().window_bytes(20 * 1024).ping_pong();
+        g.kernels[0].ports[1].settings = w;
+        g.kernels[1].ports[0].settings = w;
+        g.connectors[1].settings = w;
+        g.connectors[1].kind = PortKind::Window;
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG051"), "{}", r.render_human(&g));
+        // Exactly at the budget (2 × 8 KiB ping-pong = 32 KiB) is fine —
+        // the paper's IIR graph sits precisely there.
+        let w = PortSettings::new().window_bytes(8 * 1024).ping_pong();
+        let mut g2 = pipeline();
+        g2.kernels[1].ports[0].settings = w;
+        g2.kernels[1].ports[1].settings = w;
+        g2.connectors[1].settings = w;
+        g2.connectors[1].kind = PortKind::Window;
+        g2.connectors[2].settings = w;
+        g2.connectors[2].kind = PortKind::Window;
+        g2.kernels[0].ports[1].settings = w;
+        let r2 = lint_graph(&g2, &LintConfig::default());
+        assert!(!r2.codes().contains("CG051"), "{}", r2.render_human(&g2));
+    }
+
+    #[test]
+    fn stream_port_overflow_is_cg052() {
+        // Three stream inputs on one kernel (budget: 2).
+        let g = FlatGraph {
+            name: "wide".into(),
+            kernels: vec![kernel(
+                "k_0",
+                vec![
+                    port("a", PortDir::In, 0),
+                    port("b", PortDir::In, 1),
+                    port("c", PortDir::In, 2),
+                    port("out", PortDir::Out, 3),
+                ],
+            )],
+            connectors: vec![connector(), connector(), connector(), connector()],
+            inputs: vec![
+                ConnectorId::new(0),
+                ConnectorId::new(1),
+                ConnectorId::new(2),
+            ],
+            outputs: vec![ConnectorId::new(3)],
+        };
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG052"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn non_aie_kernels_are_exempt_from_budgets() {
+        let mut g = pipeline();
+        let w = PortSettings::new().window_bytes(40 * 1024);
+        g.kernels[0].realm = Realm::NoExtract;
+        g.kernels[0].ports[1].settings = w;
+        g.kernels[1].ports[0].settings = w;
+        g.connectors[1].settings = w;
+        g.connectors[1].kind = PortKind::Window;
+        g.kernels[1].realm = Realm::Hls;
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.codes().contains("CG051"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn report_renders_human_and_json() {
+        let mut g = pipeline();
+        g.kernels[0].ports[1].connector = ConnectorId::new(2); // c1 dangles
+        let r = lint_graph(&g, &LintConfig::default());
+        let human = r.render_human(&g);
+        assert!(human.contains("cgsim-lint: graph `pipe`"));
+        assert!(human.contains("error[CG004]"));
+        let json = r.to_json();
+        assert!(json.contains("\"CG004\""));
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

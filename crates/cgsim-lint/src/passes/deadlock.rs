@@ -1,0 +1,212 @@
+//! Capacity-aware deadlock detection: the `CG02x` family.
+//!
+//! Feedback cycles are found as strongly connected components of the
+//! kernel-to-kernel dataflow relation (runtime parameters excluded — an RTP
+//! edge never carries firing tokens). A cycle whose connectors receive no
+//! tokens from outside the cycle can never fire at all (`CG020`, Error);
+//! one that is primed from outside executes but depends on the priming
+//! tokens and FIFO depths (`CG021`, Warn). Independently, a stream channel
+//! whose capacity is below one firing's token demand wedges its endpoint
+//! kernel forever (`CG022`, Error).
+
+use crate::config::LintConfig;
+use crate::diag::{Anchor, Diagnostic, LintReport, Severity};
+use crate::passes::port_rate;
+use cgsim_core::{ConnectorId, FlatGraph, KernelId, PortKind};
+
+/// Run the deadlock pass.
+pub(crate) fn check(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport) {
+    cycles(graph, report);
+    capacity(graph, cfg, report);
+}
+
+/// Kernel adjacency (producer kernel → consumer kernel), token-carrying
+/// connectors only.
+fn adjacency(graph: &FlatGraph) -> Vec<Vec<usize>> {
+    let mut succ = vec![Vec::new(); graph.kernels.len()];
+    for ci in 0..graph.connectors.len() {
+        let c = ConnectorId::new(ci);
+        if graph.connectors[ci].kind == PortKind::RuntimeParam {
+            continue;
+        }
+        for p in graph.producers_of(c) {
+            for q in graph.consumers_of(c) {
+                let (pi, qi) = (p.kernel.index(), q.kernel.index());
+                if !succ[pi].contains(&qi) {
+                    succ[pi].push(qi);
+                }
+            }
+        }
+    }
+    succ
+}
+
+/// Iterative Tarjan SCC over the kernel adjacency. Returns the components
+/// in discovery order; single-kernel components are included only when the
+/// kernel has a self-loop.
+fn sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack: (node, next-successor position).
+        let mut work = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succ[v].get(*pos) {
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    if component.len() > 1 || succ[v].contains(&v) {
+                        out.push(component);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cycles(graph: &FlatGraph, report: &mut LintReport) {
+    let succ = adjacency(graph);
+    for component in sccs(&succ) {
+        let in_scc = |k: usize| component.contains(&k);
+        // Connectors carried around the cycle: produced and consumed inside.
+        let mut cycle_connectors = Vec::new();
+        let mut primed_by = None;
+        for ci in 0..graph.connectors.len() {
+            let c = ConnectorId::new(ci);
+            if graph.connectors[ci].kind == PortKind::RuntimeParam {
+                continue;
+            }
+            let producers = graph.producers_of(c);
+            let consumed_inside = graph
+                .consumers_of(c)
+                .iter()
+                .any(|e| in_scc(e.kernel.index()));
+            if !consumed_inside || !producers.iter().any(|e| in_scc(e.kernel.index())) {
+                continue;
+            }
+            cycle_connectors.push(c);
+            // External token source: a global input merged into the cycle
+            // connector, or a producer kernel outside the component.
+            if graph.is_global_input(c) || producers.iter().any(|e| !in_scc(e.kernel.index())) {
+                primed_by.get_or_insert(c);
+            }
+        }
+
+        let members = component
+            .iter()
+            .map(|&k| graph.kernels[k].instance.as_str())
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let anchor = Anchor::Kernel {
+            kernel: KernelId::new(component[0]),
+        };
+        match primed_by {
+            None => report.push(Diagnostic::new(
+                "CG020",
+                Severity::Error,
+                anchor,
+                format!(
+                    "feedback cycle {{{members}}} has no external token source on any cycle connector ({}); no kernel in the cycle can ever fire — guaranteed deadlock",
+                    list(&cycle_connectors)
+                ),
+            )),
+            Some(source) => {
+                let buffering: u64 = cycle_connectors
+                    .iter()
+                    .map(|c| u64::from(graph.connectors[c.index()].settings.depth.max(1)))
+                    .sum();
+                report.push(Diagnostic::new(
+                    "CG021",
+                    Severity::Warn,
+                    anchor,
+                    format!(
+                        "feedback cycle {{{members}}} relies on priming tokens arriving through {source}; verify the priming count and FIFO depths (explicit cycle buffering: {buffering} element{})",
+                        if buffering == 1 { "" } else { "s" }
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `CG022`: a stream channel narrower than one firing's token demand.
+fn capacity(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport) {
+    for ci in 0..graph.connectors.len() {
+        let c = ConnectorId::new(ci);
+        let conn = &graph.connectors[ci];
+        if conn.kind != PortKind::Stream {
+            continue;
+        }
+        let cap = if conn.settings.depth != 0 {
+            conn.settings.depth
+        } else {
+            cfg.effective_default_depth()
+        };
+        for e in graph
+            .producers_of(c)
+            .into_iter()
+            .chain(graph.consumers_of(c))
+        {
+            let rate = port_rate(graph, cfg, e.kernel.index(), e.port);
+            if u64::from(cap) < u64::from(rate) {
+                let k = &graph.kernels[e.kernel.index()];
+                report.push(Diagnostic::new(
+                    "CG022",
+                    Severity::Error,
+                    Anchor::Port {
+                        kernel: e.kernel,
+                        port: e.port,
+                    },
+                    format!(
+                        "channel {c} has capacity {cap} but port `{}.{}` moves {rate} elements per firing; the kernel can never complete a firing",
+                        k.instance, k.ports[e.port].name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn list(connectors: &[ConnectorId]) -> String {
+    connectors
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

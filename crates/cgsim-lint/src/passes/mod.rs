@@ -1,0 +1,263 @@
+//! The lint passes.
+//!
+//! Pass order matters: [`structural`] re-checks the invariants of
+//! [`FlatGraph::validate`] first and reports whether the descriptor is too
+//! corrupted (out-of-range indices) for the deeper passes to run safely.
+//! The remaining passes assume indices are in range but nothing else.
+
+pub mod budget;
+pub mod deadlock;
+pub mod rates;
+
+use crate::config::LintConfig;
+use crate::diag::{Anchor, Diagnostic, LintReport, Severity};
+use cgsim_core::{ConnectorId, FlatGraph, GraphError, KernelId, PortDir, PortSettings};
+
+/// Resolve the SDF rate (elements per firing) of one port: the port's own
+/// declared rate wins, then a `kernel_rates` entry for the kernel kind, then
+/// the SDF default of 1.
+pub(crate) fn port_rate(graph: &FlatGraph, cfg: &LintConfig, kernel: usize, port: usize) -> u32 {
+    let k = &graph.kernels[kernel];
+    let declared = k.ports[port].rate;
+    if declared != 0 {
+        return declared;
+    }
+    cfg.kernel_rates
+        .get(&k.kind)
+        .and_then(|rates| rates.get(port))
+        .copied()
+        .filter(|r| *r != 0)
+        .unwrap_or(1)
+}
+
+/// Structural integrity: the `CG001`–`CG007` family, mirroring
+/// [`FlatGraph::validate`] but collecting *all* findings instead of stopping
+/// at the first. Returns `true` if an out-of-range index was found — the
+/// descriptor is corrupt and later passes must not index into it.
+pub(crate) fn structural(graph: &FlatGraph, report: &mut LintReport) -> bool {
+    let ncon = graph.connectors.len();
+    let mut fatal = false;
+    let oob = |index: usize, report: &mut LintReport| {
+        if index >= ncon {
+            report.push(Diagnostic::from_graph_error(&GraphError::IdOutOfRange {
+                what: "connector",
+                index,
+                len: ncon,
+            }));
+            true
+        } else {
+            false
+        }
+    };
+
+    for id in graph.inputs.iter().chain(&graph.outputs) {
+        fatal |= oob(id.index(), report);
+    }
+    for list in [&graph.inputs, &graph.outputs] {
+        for (i, id) in list.iter().enumerate() {
+            if list[..i].contains(id) {
+                report.push(Diagnostic::from_graph_error(&GraphError::DuplicateGlobal {
+                    connector: *id,
+                }));
+            }
+        }
+    }
+
+    for (ki, k) in graph.kernels.iter().enumerate() {
+        for (pi, p) in k.ports.iter().enumerate() {
+            if oob(p.connector.index(), report) {
+                fatal = true;
+                continue;
+            }
+            let c = &graph.connectors[p.connector.index()];
+            if !p.dtype.compatible(&c.dtype) {
+                report.push(Diagnostic {
+                    anchor: Anchor::Port {
+                        kernel: KernelId::new(ki),
+                        port: pi,
+                    },
+                    ..Diagnostic::from_graph_error(&GraphError::TypeMismatch {
+                        kernel: k.instance.clone(),
+                        port: p.name.clone(),
+                        port_type: Box::new(p.dtype.clone()),
+                        connector_type: Box::new(c.dtype.clone()),
+                    })
+                });
+            }
+        }
+    }
+    if fatal {
+        return true;
+    }
+
+    for ci in 0..ncon {
+        let c = ConnectorId::new(ci);
+        let produced = !graph.producers_of(c).is_empty() || graph.is_global_input(c);
+        let consumed = !graph.consumers_of(c).is_empty() || graph.is_global_output(c);
+        if !produced {
+            report.push(Diagnostic::from_graph_error(
+                &GraphError::DanglingConnector { connector: c },
+            ));
+        }
+        if !consumed {
+            report.push(Diagnostic::from_graph_error(
+                &GraphError::UnconsumedConnector { connector: c },
+            ));
+        }
+        let endpoint_settings = graph.kernels.iter().flat_map(|k| {
+            k.ports
+                .iter()
+                .filter(|p| p.connector == c)
+                .map(|p| p.settings)
+        });
+        let merged = PortSettings::merge_all(endpoint_settings)
+            .and_then(|m| m.merge(graph.connectors[ci].settings));
+        if let Err(conflict) = merged {
+            report.push(Diagnostic::from_graph_error(
+                &GraphError::IncompatibleSettings {
+                    connector: c,
+                    conflict,
+                },
+            ));
+        }
+    }
+    false
+}
+
+/// Per-kernel liveness computed by [`reachability`], shared with the shape
+/// pass.
+pub(crate) struct Reach {
+    /// Kernel output can reach a global output (or the kernel is a sink).
+    pub bwd: Vec<bool>,
+}
+
+/// Dead-code detection: `CG040` (kernel unreachable from the inputs) and
+/// `CG041` (kernel output never reaches an output). Both are warnings —
+/// such kernels execute (or silently never fire) but do no useful work.
+pub(crate) fn reachability(graph: &FlatGraph, report: &mut LintReport) -> Reach {
+    let nk = graph.kernels.len();
+    let ncon = graph.connectors.len();
+
+    // Forward: connectors fed from global inputs, kernels with a fed input
+    // (or none at all), fixpoint.
+    let mut con_live = vec![false; ncon];
+    for c in &graph.inputs {
+        con_live[c.index()] = true;
+    }
+    let mut fwd = vec![false; nk];
+    loop {
+        let mut changed = false;
+        for (ki, k) in graph.kernels.iter().enumerate() {
+            if fwd[ki] {
+                continue;
+            }
+            let ins: Vec<_> = k.ports.iter().filter(|p| p.dir == PortDir::In).collect();
+            if ins.is_empty() || ins.iter().any(|p| con_live[p.connector.index()]) {
+                fwd[ki] = true;
+                changed = true;
+                for p in k.ports.iter().filter(|p| p.dir == PortDir::Out) {
+                    con_live[p.connector.index()] = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Backward: connectors that drain to a global output, kernels with a
+    // draining output (or none), fixpoint.
+    let mut con_drains = vec![false; ncon];
+    for c in &graph.outputs {
+        con_drains[c.index()] = true;
+    }
+    let mut bwd = vec![false; nk];
+    loop {
+        let mut changed = false;
+        for (ki, k) in graph.kernels.iter().enumerate() {
+            if bwd[ki] {
+                continue;
+            }
+            let outs: Vec<_> = k.ports.iter().filter(|p| p.dir == PortDir::Out).collect();
+            if outs.is_empty() || outs.iter().any(|p| con_drains[p.connector.index()]) {
+                bwd[ki] = true;
+                changed = true;
+                for p in k.ports.iter().filter(|p| p.dir == PortDir::In) {
+                    con_drains[p.connector.index()] = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for ki in 0..nk {
+        let instance = &graph.kernels[ki].instance;
+        if !fwd[ki] {
+            report.push(Diagnostic::new(
+                "CG040",
+                Severity::Warn,
+                Anchor::Kernel {
+                    kernel: KernelId::new(ki),
+                },
+                format!("kernel `{instance}` is unreachable: no global input can feed any of its input ports, so it never fires"),
+            ));
+        }
+        if !bwd[ki] {
+            report.push(Diagnostic::new(
+                "CG041",
+                Severity::Warn,
+                Anchor::Kernel {
+                    kernel: KernelId::new(ki),
+                },
+                format!("nothing `{instance}` produces can reach a global output; the kernel's work is dead"),
+            ));
+        }
+    }
+    Reach { bwd }
+}
+
+/// Dataflow-shape warnings: `CG042` (broadcast fan-out feeding a dead
+/// branch) and `CG043` (merge fan-in makes output order schedule-dependent,
+/// so only multiset comparison is a sound oracle — exactly the distinction
+/// `cgsim-check` draws between exact and multiset legs).
+pub(crate) fn shape(graph: &FlatGraph, reach: &Reach, report: &mut LintReport) {
+    for ci in 0..graph.connectors.len() {
+        let c = ConnectorId::new(ci);
+        if graph.connectors[ci].kind == cgsim_core::PortKind::RuntimeParam {
+            continue;
+        }
+        let consumers = graph.consumers_of(c);
+        let readers = consumers.len() + usize::from(graph.is_global_output(c));
+        if readers > 1 {
+            for e in &consumers {
+                if !reach.bwd[e.kernel.index()] {
+                    report.push(Diagnostic::new(
+                        "CG042",
+                        Severity::Warn,
+                        Anchor::Port {
+                            kernel: e.kernel,
+                            port: e.port,
+                        },
+                        format!(
+                            "broadcast fan-out of {c} feeds kernel `{}`, whose results cannot reach any global output — a dead branch that still consumes channel capacity",
+                            graph.kernels[e.kernel.index()].instance
+                        ),
+                    ));
+                }
+            }
+        }
+        let writers = graph.producers_of(c).len() + usize::from(graph.is_global_input(c));
+        if writers > 1 {
+            report.push(Diagnostic::new(
+                "CG043",
+                Severity::Warn,
+                Anchor::Connector { connector: c },
+                format!(
+                    "connector {c} merges {writers} producers: element arrival order is schedule-dependent, so only multiset output comparison is decidable"
+                ),
+            ));
+        }
+    }
+}

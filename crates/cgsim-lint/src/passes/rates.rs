@@ -1,0 +1,130 @@
+//! SDF rate-balance checking: `CG030`.
+//!
+//! Treating each kernel as an SDF actor with per-port rates (declared on
+//! the port, supplied by the kernel library, or defaulting to 1), every
+//! point-to-point connector imposes the balance equation
+//! `f(producer) · rate(out port) = f(consumer) · rate(in port)` on the
+//! firing vector `f`. The pass propagates a rational firing vector across
+//! the graph and reports any connector whose equation contradicts the rates
+//! already forced by the rest of the graph — the static form of a pipeline
+//! that drifts out of step and eventually starves or floods a channel.
+//!
+//! Merge connectors (several producers) and runtime parameters are excluded:
+//! their token flow is not a single-producer SDF edge.
+
+use crate::config::LintConfig;
+use crate::diag::{Anchor, Diagnostic, LintReport, Severity};
+use crate::passes::port_rate;
+use cgsim_core::{ConnectorId, FlatGraph, PortKind};
+
+/// A non-negative rational, kept in lowest terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    fn new(num: u64, den: u64) -> Ratio {
+        debug_assert!(den != 0);
+        let g = gcd(num.max(1), den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// `self * (num/den)`.
+    fn scale(self, num: u64, den: u64) -> Ratio {
+        Ratio::new(self.num * num, self.den * den)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// Run the rate-balance pass.
+pub(crate) fn check(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport) {
+    // Balance constraints: (producer kernel, producer rate, consumer kernel,
+    // consumer rate, connector) for every single-producer token edge.
+    let mut constraints = Vec::new();
+    for ci in 0..graph.connectors.len() {
+        let c = ConnectorId::new(ci);
+        if graph.connectors[ci].kind == PortKind::RuntimeParam {
+            continue;
+        }
+        let producers = graph.producers_of(c);
+        if producers.len() != 1 || graph.is_global_input(c) {
+            continue; // merge or externally fed: not a pure SDF edge
+        }
+        let p = producers[0];
+        let p_rate = port_rate(graph, cfg, p.kernel.index(), p.port);
+        for q in graph.consumers_of(c) {
+            let q_rate = port_rate(graph, cfg, q.kernel.index(), q.port);
+            constraints.push((p.kernel.index(), p_rate, q.kernel.index(), q_rate, c));
+        }
+    }
+
+    // Propagate a firing vector per weakly-connected component.
+    let nk = graph.kernels.len();
+    let mut firing: Vec<Option<Ratio>> = vec![None; nk];
+    let mut reported = std::collections::BTreeSet::new();
+    for seed in 0..nk {
+        if firing[seed].is_some() {
+            continue;
+        }
+        firing[seed] = Some(Ratio::ONE);
+        let mut queue = vec![seed];
+        while let Some(k) = queue.pop() {
+            let f_k = firing[k].expect("queued kernels have firing rates");
+            for &(p, p_rate, q, q_rate, c) in &constraints {
+                // f(p) * p_rate = f(q) * q_rate, read in whichever
+                // direction extends the assignment.
+                let (unknown, scale_num, scale_den) = if p == k {
+                    (q, p_rate, q_rate)
+                } else if q == k {
+                    (p, q_rate, p_rate)
+                } else {
+                    continue;
+                };
+                let implied = f_k.scale(u64::from(scale_num), u64::from(scale_den));
+                match firing[unknown] {
+                    None => {
+                        firing[unknown] = Some(implied);
+                        queue.push(unknown);
+                    }
+                    Some(existing) if existing != implied && reported.insert(c) => {
+                        let (kp, kq) = (&graph.kernels[p], &graph.kernels[q]);
+                        report.push(Diagnostic::new(
+                            "CG030",
+                            Severity::Error,
+                            Anchor::Connector { connector: c },
+                            format!(
+                                "rate imbalance on {c}: `{}` produces {p_rate}/firing and `{}` consumes {q_rate}/firing, which would require firing ratio {} for `{}`, but the rest of the graph fixes it at {}; the pipeline starves or floods this channel",
+                                kp.instance, kq.instance, implied,
+                                graph.kernels[unknown].instance, existing
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+}

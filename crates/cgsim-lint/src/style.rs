@@ -1,0 +1,84 @@
+//! Map a [`LintReport`] onto a [`DotStyle`] so the Graphviz export doubles
+//! as a visual lint report: red for Error findings, orange for Warn.
+
+use crate::diag::{Anchor, LintReport, Severity};
+use cgsim_core::DotStyle;
+
+/// Colours for [`dot_style`].
+const ERROR_COLOR: &str = "red";
+const WARN_COLOR: &str = "orange";
+
+/// Build Graphviz colour overrides from a lint report. Error beats Warn
+/// when one element carries both; Info findings are not coloured.
+pub fn dot_style(report: &LintReport) -> DotStyle {
+    let mut style = DotStyle::default();
+    let paint = |slot: &mut std::collections::HashMap<usize, String>, idx: usize, sev| {
+        let color = match sev {
+            Severity::Error => ERROR_COLOR,
+            Severity::Warn => WARN_COLOR,
+            Severity::Info => return,
+        };
+        let entry = slot.entry(idx).or_insert_with(|| color.to_owned());
+        if sev == Severity::Error {
+            *entry = color.to_owned();
+        }
+    };
+    for d in &report.diagnostics {
+        match d.anchor {
+            Anchor::Kernel { kernel } => paint(&mut style.kernel_fill, kernel.index(), d.severity),
+            Anchor::Port { kernel, .. } => {
+                paint(&mut style.kernel_fill, kernel.index(), d.severity)
+            }
+            Anchor::Connector { connector } => {
+                paint(&mut style.connector_color, connector.index(), d.severity)
+            }
+            Anchor::Graph => {}
+        }
+    }
+    style
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+    use cgsim_core::{ConnectorId, KernelId};
+
+    #[test]
+    fn error_beats_warn_and_info_is_ignored() {
+        let mut r = LintReport::new("g");
+        let k = KernelId::new(0);
+        r.push(Diagnostic::new(
+            "CG021",
+            Severity::Warn,
+            Anchor::Kernel { kernel: k },
+            "w",
+        ));
+        r.push(Diagnostic::new(
+            "CG020",
+            Severity::Error,
+            Anchor::Kernel { kernel: k },
+            "e",
+        ));
+        r.push(Diagnostic::new(
+            "CG043",
+            Severity::Warn,
+            Anchor::Connector {
+                connector: ConnectorId::new(2),
+            },
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            "CG000",
+            Severity::Info,
+            Anchor::Connector {
+                connector: ConnectorId::new(3),
+            },
+            "i",
+        ));
+        let s = dot_style(&r);
+        assert_eq!(s.kernel_fill[&0], "red");
+        assert_eq!(s.connector_color[&2], "orange");
+        assert!(!s.connector_color.contains_key(&3));
+    }
+}

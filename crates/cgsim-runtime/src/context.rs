@@ -15,6 +15,21 @@ use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
 use cgsim_trace::{TraceSnapshot, Tracer};
 use std::sync::{Arc, Mutex};
 
+/// What to do with Error-severity `cgsim-lint` findings before running a
+/// graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyPolicy {
+    /// Refuse to instantiate the graph ([`cgsim_core::GraphError::LintRejected`],
+    /// code `CG012`). The default: a graph the verifier can prove broken —
+    /// deadlocked, rate-imbalanced, over budget — should not burn a run.
+    #[default]
+    Deny,
+    /// Print the report to stderr and run anyway.
+    Warn,
+    /// Skip the ahead-of-run verification entirely.
+    Off,
+}
+
 /// Tunables for a simulation run.
 #[derive(Clone, Copy, Debug)]
 pub struct RuntimeConfig {
@@ -30,6 +45,9 @@ pub struct RuntimeConfig {
     pub schedule: Schedule,
     /// Optional seeded fault injection (forced stalls / wake reordering).
     pub faults: Option<FaultPlan>,
+    /// Ahead-of-run `cgsim-lint` gate on Error diagnostics (deny by
+    /// default; see [`VerifyPolicy`]).
+    pub verify: VerifyPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -39,6 +57,7 @@ impl Default for RuntimeConfig {
             max_polls: None,
             schedule: Schedule::Fifo,
             faults: None,
+            verify: VerifyPolicy::Deny,
         }
     }
 }
@@ -189,6 +208,29 @@ impl<'g> RuntimeContext<'g> {
         tracer: Tracer,
     ) -> Result<Self, GraphError> {
         graph.validate()?;
+
+        // Ahead-of-run verification (§ static analysis): refuse graphs the
+        // lint passes can prove broken — deadlock, rate imbalance, realm
+        // budget overflow — before materialising a single channel.
+        if config.verify != VerifyPolicy::Off {
+            let lint_cfg = cgsim_lint::LintConfig {
+                default_depth: config.default_depth as u32,
+                ..cgsim_lint::LintConfig::default()
+            };
+            let report = cgsim_lint::lint_graph(graph, &lint_cfg);
+            if report.has_errors() {
+                match config.verify {
+                    VerifyPolicy::Deny => {
+                        return Err(GraphError::LintRejected {
+                            errors: report.error_count(),
+                            report: report.render_human(graph),
+                        })
+                    }
+                    VerifyPolicy::Warn => eprintln!("{}", report.render_human(graph)),
+                    VerifyPolicy::Off => unreachable!(),
+                }
+            }
+        }
 
         // Recreate all graph I/O channels from the serialized descriptors.
         // The element type is only known to the kernel implementations, so

@@ -58,7 +58,7 @@ pub use cgsim_core;
 
 pub use cgsim_trace;
 pub use channel::{Channel, ChannelAdmin, ChannelStats, Consumer, Producer};
-pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle};
+pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle, VerifyPolicy};
 pub use executor::{
     block_on, ExecStats, Executor, FaultPlan, FifoPolicy, LifoPolicy, LocalBoxFuture, Schedule,
     SchedulePolicy, SeededPolicy, TaskProfile,

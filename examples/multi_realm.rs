@@ -7,8 +7,9 @@
 //!
 //! Run with: `cargo run --example multi_realm`
 
-use cgsim::core::{to_dot, Realm};
+use cgsim::core::{to_dot_styled, Realm};
 use cgsim::extract::Extractor;
+use cgsim::lint::{dot_style, lint_graph, LintConfig};
 use cgsim::runtime::{compute_graph, compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
 use cgsim::sim::{
     simulate_graph, KernelCostProfile, PortTraffic, SimConfig, SimReport, WorkloadSpec,
@@ -119,8 +120,14 @@ fn main() {
     println!("functional results: {results:?}");
     assert_eq!(results, vec![1001.0, 999.0, 1000.25]);
 
-    // 2. Graphviz rendering of the partitioned graph.
-    println!("\n--- graphviz ---\n{}", to_dot(&graph));
+    // 2. Graphviz rendering of the partitioned graph, with any lint
+    // findings coloured in (this graph is clean, so no colours appear).
+    let lint = lint_graph(&graph, &LintConfig::default());
+    assert!(lint.is_clean(), "{}", lint.render_human(&graph));
+    println!(
+        "\n--- graphviz ---\n{}",
+        to_dot_styled(&graph, &dot_style(&lint))
+    );
 
     // 3. Extract: one project carrying AIE *and* HLS realm files.
     let extraction = Extractor::new().extract(PROTOTYPE).unwrap().remove(0);

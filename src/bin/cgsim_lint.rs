@@ -1,0 +1,188 @@
+//! `cgsim-lint` — ahead-of-run static verification for compute graphs.
+//!
+//! Lints the paper's evaluation graphs, serialized graph/manifest JSON
+//! files, or cgsim prototype sources, and exits non-zero when Error-severity
+//! diagnostics are found — the CI face of the same verifier that gates
+//! `RuntimeContext`, `aie-sim` deployment and `cgsim-extract` codegen.
+//!
+//! ```text
+//! cgsim-lint [--app NAME|all] [FILE.json ...] [--source FILE.rs]
+//!            [--json] [--dot] [--expect-errors]
+//! ```
+//!
+//! * `--app NAME|all` — lint a built-in evaluation app graph (`bitonic`,
+//!   `farrow`, `IIR`, `bilinear`) or all four;
+//! * `FILE.json` — lint a serialized [`FlatGraph`] or aie-sim
+//!   [`DeployManifest`](cgsim::sim::DeployManifest) (auto-detected);
+//! * `--source FILE.rs` — extract graphs from a cgsim prototype source
+//!   (lint gate disabled so the report is produced even for broken graphs);
+//! * `--json` — machine-readable report on stdout instead of human text;
+//! * `--dot` — Graphviz export on stdout with findings coloured in
+//!   (red = Error, orange = Warn); the report moves to stderr;
+//! * `--expect-errors` — invert the exit code: succeed only if every
+//!   linted graph has Error findings (for bad-graph corpus CI).
+//!
+//! Exit status: 0 = clean (or expected errors found), 1 = Error-severity
+//! findings (or none found under `--expect-errors`), 2 = usage/IO failure.
+
+use cgsim::lint::{dot_style, lint_graph, LintConfig, LintReport};
+use cgsim::FlatGraph;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cgsim-lint [--app NAME|all] [FILE.json ...] [--source FILE.rs] \
+         [--json] [--dot] [--expect-errors]"
+    );
+    std::process::exit(2);
+}
+
+/// One graph to lint, however it was obtained.
+struct Target {
+    label: String,
+    graph: FlatGraph,
+}
+
+fn app_targets(which: &str) -> Vec<Target> {
+    let apps = cgsim::graphs::all_apps();
+    let selected: Vec<_> = if which == "all" {
+        apps
+    } else {
+        let found: Vec<_> = apps
+            .into_iter()
+            .filter(|a| a.name().eq_ignore_ascii_case(which))
+            .collect();
+        if found.is_empty() {
+            eprintln!(
+                "cgsim-lint: unknown app `{which}` (try bitonic, farrow, IIR, bilinear, all)"
+            );
+            std::process::exit(2);
+        }
+        found
+    };
+    selected
+        .iter()
+        .map(|a| Target {
+            label: format!("app:{}", a.name()),
+            graph: a.graph(),
+        })
+        .collect()
+}
+
+fn json_target(path: &str) -> Target {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cgsim-lint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // A deploy manifest wraps the graph; try that shape first, then a bare
+    // FlatGraph. Manifest parsing must bypass `DeployManifest::from_json`
+    // (which itself lints and rejects) — the whole point here is to report.
+    #[derive(serde::Deserialize)]
+    struct ManifestGraph {
+        version: u32,
+        graph: FlatGraph,
+    }
+    let graph = match serde_json::from_str::<ManifestGraph>(&text) {
+        Ok(m) if m.version >= 1 => m.graph,
+        _ => match serde_json::from_str::<FlatGraph>(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cgsim-lint: {path}: neither a DeployManifest nor a FlatGraph: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    Target {
+        label: path.to_string(),
+        graph,
+    }
+}
+
+fn source_targets(path: &str) -> Vec<Target> {
+    let source = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cgsim-lint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let extractor = cgsim::extract::Extractor {
+        deny_lint_errors: false,
+        ..Default::default()
+    };
+    match extractor.extract(&source) {
+        Ok(extractions) => extractions
+            .into_iter()
+            .map(|x| Target {
+                label: format!("{path}#{}", x.graph.name),
+                graph: x.graph,
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cgsim-lint: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut targets: Vec<Target> = Vec::new();
+    let mut json = false;
+    let mut dot = false;
+    let mut expect_errors = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => targets.extend(app_targets(&args.next().unwrap_or_else(|| usage()))),
+            "--source" => targets.extend(source_targets(&args.next().unwrap_or_else(|| usage()))),
+            "--json" => json = true,
+            "--dot" => dot = true,
+            "--expect-errors" => expect_errors = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => targets.push(json_target(other)),
+            _ => usage(),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    let config = LintConfig::default();
+    let mut any_errors = false;
+    let mut all_errors = true;
+    for t in &targets {
+        let report: LintReport = lint_graph(&t.graph, &config);
+        any_errors |= report.has_errors();
+        all_errors &= report.has_errors();
+        if dot {
+            eprintln!("{}", banner(t, &report));
+            println!(
+                "{}",
+                cgsim::core::to_dot_styled(&t.graph, &dot_style(&report))
+            );
+        } else if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", banner(t, &report));
+        }
+    }
+
+    let ok = if expect_errors {
+        all_errors
+    } else {
+        !any_errors
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn banner(t: &Target, report: &LintReport) -> String {
+    format!("== {} ==\n{}", t.label, report.render_human(&t.graph))
+}

@@ -10,6 +10,7 @@
 //! * [`sim`](aie_sim) — cycle-approximate AIE array simulator
 //! * [`extract`](cgsim_extract) — source-to-source graph extractor
 //! * [`graphs`](cgsim_graphs) — the four ported evaluation applications
+//! * [`lint`](cgsim_lint) — ahead-of-run static graph verifier
 
 #![warn(missing_docs)]
 
@@ -18,6 +19,7 @@ pub use aie_sim as sim;
 pub use cgsim_core as core;
 pub use cgsim_extract as extract;
 pub use cgsim_graphs as graphs;
+pub use cgsim_lint as lint;
 pub use cgsim_runtime as runtime;
 pub use cgsim_threads as threads;
 pub use cgsim_trace as trace;

@@ -6,7 +6,7 @@ mod common;
 
 use cgsim::core::GraphBuilder;
 use cgsim::extract::Extractor;
-use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::runtime::{compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext, VerifyPolicy};
 
 compute_kernel! {
     /// Adds pairs from two streams — deadlocks if one stream is starved.
@@ -56,8 +56,28 @@ fn unprimed_feedback_loop_is_reported_not_hung() {
     let topo = cgsim::core::Topology::of(&graph);
     assert!(topo.has_feedback());
 
+    // Static analysis proves the deadlock before any run: the cycle has no
+    // external token source, so cgsim-lint reports CG020 at Error severity.
+    let lint = cgsim::lint::lint_graph(&graph, &cgsim::lint::LintConfig::default());
+    assert!(lint.has_errors());
+    assert!(lint.codes().contains("CG020"), "{:?}", lint.codes());
+
+    // Deny-by-default: the runtime refuses to even build the context.
     let lib = library();
-    let mut ctx = RuntimeContext::new(&graph, &lib, RuntimeConfig::default()).unwrap();
+    let err = match RuntimeContext::new(&graph, &lib, RuntimeConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("deny-by-default context construction should fail"),
+    };
+    assert_eq!(err.code(), "CG012");
+    assert!(err.to_string().contains("CG020"), "{err}");
+
+    // With verification disabled, the dynamic quiescence diagnosis still
+    // works: the run terminates and names the stuck kernel.
+    let cfg = RuntimeConfig {
+        verify: VerifyPolicy::Off,
+        ..RuntimeConfig::default()
+    };
+    let mut ctx = RuntimeContext::new(&graph, &lib, cfg).unwrap();
     ctx.feed(0, vec![1, 2, 3]).unwrap();
     let out = ctx.collect::<i32>(0).unwrap();
     // Terminates (quiescence) and names the stuck kernel.

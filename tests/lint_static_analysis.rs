@@ -1,0 +1,129 @@
+//! Static-analysis integration tests: the bad-graph corpus produces its
+//! golden diagnostic codes, the four paper graphs lint clean, generated
+//! conformance graphs are Error-free, and the runtime/deploy verification
+//! hooks reject what the verifier condemns.
+
+use cgsim::lint::{lint_graph, LintConfig, Severity};
+use cgsim::FlatGraph;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn corpus_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(file)
+}
+
+fn lint_corpus(file: &str) -> (FlatGraph, cgsim::lint::LintReport) {
+    let text = std::fs::read_to_string(corpus_path(file)).unwrap();
+    let graph: FlatGraph = serde_json::from_str(&text).unwrap();
+    let report = lint_graph(&graph, &LintConfig::default());
+    (graph, report)
+}
+
+/// Golden corpus: every bad graph yields exactly its expected codes at
+/// Error severity (warnings may accompany them).
+#[test]
+fn corpus_produces_golden_error_codes() {
+    let golden: &[(&str, &[&str])] = &[
+        ("bad_dangling.json", &["CG004", "CG005"]),
+        ("bad_type_mismatch.json", &["CG001"]),
+        ("bad_duplicate_global.json", &["CG007"]),
+        ("bad_deadlock_feedback.json", &["CG020"]),
+        ("bad_rate_imbalance.json", &["CG030"]),
+        ("bad_over_budget.json", &["CG052"]),
+        ("bad_capacity_starved.json", &["CG022"]),
+    ];
+    for (file, expected) in golden {
+        let (_, report) = lint_corpus(file);
+        let errors: BTreeSet<String> = report.at(Severity::Error).map(|d| d.code.clone()).collect();
+        let expected: BTreeSet<String> = expected.iter().map(|s| s.to_string()).collect();
+        assert_eq!(errors, expected, "{file}:\n{:#?}", report);
+    }
+}
+
+/// The corpus covers at least five distinct Error codes — the breadth the
+/// verifier is expected to demonstrate.
+#[test]
+fn corpus_spans_at_least_five_error_codes() {
+    let mut codes = BTreeSet::new();
+    for entry in std::fs::read_dir(corpus_path("")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let graph: FlatGraph = serde_json::from_str(&text).unwrap();
+        let report = lint_graph(&graph, &LintConfig::default());
+        assert!(
+            report.has_errors(),
+            "{} should lint with errors",
+            path.display()
+        );
+        codes.extend(report.at(Severity::Error).map(|d| d.code.clone()));
+    }
+    assert!(codes.len() >= 5, "only {codes:?}");
+}
+
+/// All four paper evaluation graphs are Error-clean — the lint gate must
+/// never reject the applications the framework exists to run.
+#[test]
+fn paper_graphs_lint_error_free() {
+    for app in cgsim::graphs::all_apps() {
+        let graph = app.graph();
+        let report = lint_graph(&graph, &LintConfig::default());
+        assert!(
+            !report.has_errors(),
+            "{}:\n{}",
+            app.name(),
+            report.render_human(&graph)
+        );
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    /// Soundness against the conformance generator: any graph `cgsim-check`
+    /// emits is Error-clean under the verifier (merge fan-in CG043 warnings
+    /// are expected — that's the exact/multiset oracle distinction, not an
+    /// error).
+    #[test]
+    fn generated_conformance_graphs_are_error_clean(seed in 0u64..1u64 << 48) {
+        use cgsim_check::{gen, GenConfig};
+        let case = gen::generate(seed, &GenConfig::default());
+        let report = lint_graph(&case.graph, &LintConfig::default());
+        proptest::prop_assert!(
+            !report.has_errors(),
+            "seed {}:\n{}",
+            seed,
+            report.render_human(&case.graph)
+        );
+    }
+}
+
+/// Corpus graphs parse as graphs, not manifests, and the styled DOT export
+/// marks the offending elements in red.
+#[test]
+fn corpus_diagnostics_colour_the_dot_export() {
+    let (graph, report) = lint_corpus("bad_deadlock_feedback.json");
+    let dot = cgsim::core::to_dot_styled(&graph, &cgsim::lint::dot_style(&report));
+    assert!(dot.contains("fillcolor=\"red\""), "{dot}");
+}
+
+/// The acceptance-criteria hook test: a Deny-policy runtime context refuses
+/// an Error-level graph end to end (mirrored in tests/failure_modes.rs for
+/// the richer dynamic-fallback story).
+#[test]
+fn runtime_deny_hook_rejects_error_level_graph() {
+    use cgsim::runtime::{KernelLibrary, RuntimeConfig, RuntimeContext};
+    let (graph, report) = lint_corpus("bad_capacity_starved.json");
+    assert!(report.has_errors());
+    let lib = KernelLibrary::default();
+    let err = match RuntimeContext::new(&graph, &lib, RuntimeConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("deny-by-default context construction should fail"),
+    };
+    assert_eq!(err.code(), "CG012");
+    assert!(err.to_string().contains("CG022"), "{err}");
+}
