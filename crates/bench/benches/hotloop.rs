@@ -1,0 +1,72 @@
+//! Criterion suite for the hot-loop optimisation: every workload from
+//! `bench::hotloop` under both the baseline (mutex channels, full timing,
+//! element-wise I/O) and the fast-path (single-thread channels, sampled
+//! timing, batched window I/O) configurations.
+//!
+//! Run the full suite with `cargo bench --bench hotloop`; CI smoke-runs it
+//! with short warm-up/measurement windows. The machine-readable
+//! before/after summary comes from the `bench-report` binary instead
+//! (`cargo run --release -p bench --bin bench-report`).
+
+use bench::hotloop::{broadcast, channel_throughput, paper_graph, pipeline, BASELINE, FASTPATH};
+use cgsim_graphs::all_apps;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const ELEMENTS: u64 = 65_536;
+
+fn bench_channel_caps(c: &mut Criterion) {
+    for capacity in [1usize, 4, 64] {
+        let mut g = c.benchmark_group(format!("hotloop/channel_cap{capacity}"));
+        g.throughput(Throughput::Elements(ELEMENTS));
+        for leg in [&BASELINE, &FASTPATH] {
+            g.bench_function(leg.name, |b| {
+                b.iter(|| black_box(channel_throughput(leg, capacity, ELEMENTS)))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop/broadcast_1p4c");
+    g.throughput(Throughput::Elements(ELEMENTS * 4));
+    for leg in [&BASELINE, &FASTPATH] {
+        g.bench_function(leg.name, |b| {
+            b.iter(|| black_box(broadcast(leg, 4, 64, ELEMENTS)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotloop/pipeline_d4");
+    g.throughput(Throughput::Elements(ELEMENTS));
+    for leg in [&BASELINE, &FASTPATH] {
+        g.bench_function(leg.name, |b| {
+            b.iter(|| black_box(pipeline(leg, 4, 4, ELEMENTS)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_paper_graphs(c: &mut Criterion) {
+    for app in all_apps() {
+        let mut g = c.benchmark_group(format!("hotloop/paper_{}", app.name()));
+        for leg in [&BASELINE, &FASTPATH] {
+            g.bench_function(leg.name, |b| {
+                b.iter(|| black_box(paper_graph(app.as_ref(), leg, 4)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_channel_caps,
+    bench_broadcast,
+    bench_pipeline,
+    bench_paper_graphs
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! `bench-report` — machine-readable before/after summary of the hot-loop
+//! optimisation.
+//!
+//! Runs every `bench::hotloop` workload under the baseline (mutex channels,
+//! full per-poll timing, element-wise I/O) and fast-path (single-thread
+//! channels, sampled profiling, batched window I/O) configurations,
+//! best-of-N to shed scheduler noise, and writes `BENCH_PR4.json` mapping
+//! each bench to `elements_per_sec` / `ns_per_poll` per leg plus the
+//! fast-path speedup.
+//!
+//! Usage: `cargo run --release -p bench --bin bench-report [-- --out PATH]`
+
+use bench::hotloop::{
+    broadcast, channel_throughput, paper_graph, pipeline, LegConfig, Measured, BASELINE, FASTPATH,
+};
+use cgsim_graphs::all_apps;
+use serde_json::{json, Value};
+
+const ELEMENTS: u64 = 65_536;
+const ROUNDS: usize = 5;
+
+/// Best (highest-throughput) of `ROUNDS` runs, after one discarded warm-up.
+fn best_of(mut run: impl FnMut() -> Measured) -> Measured {
+    let _ = run();
+    (0..ROUNDS)
+        .map(|_| run())
+        .max_by(|a, b| {
+            a.elements_per_sec()
+                .partial_cmp(&b.elements_per_sec())
+                .unwrap()
+        })
+        .unwrap()
+}
+
+fn leg_json(m: &Measured) -> Value {
+    json!({
+        "elements": m.elements,
+        "wall_ns": m.wall.as_nanos() as u64,
+        "elements_per_sec": m.elements_per_sec(),
+        "ns_per_poll": m.ns_per_poll(),
+    })
+}
+
+fn compare(name: &str, mut run: impl FnMut(&LegConfig) -> Measured) -> (String, Value) {
+    let base = best_of(|| run(&BASELINE));
+    let fast = best_of(|| run(&FASTPATH));
+    let speedup = fast.elements_per_sec() / base.elements_per_sec().max(1e-12);
+    eprintln!(
+        "{name:<24} baseline {:>12.0} elem/s   fastpath {:>12.0} elem/s   speedup {speedup:.2}x",
+        base.elements_per_sec(),
+        fast.elements_per_sec(),
+    );
+    (
+        name.to_owned(),
+        json!({
+            "baseline": leg_json(&base),
+            "fastpath": leg_json(&fast),
+            "speedup": speedup,
+        }),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: bench-report [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut benches: Vec<(String, Value)> = Vec::new();
+    for capacity in [1usize, 4, 64] {
+        benches.push(compare(&format!("channel_cap{capacity}"), |leg| {
+            channel_throughput(leg, capacity, ELEMENTS)
+        }));
+    }
+    benches.push(compare("broadcast_1p4c", |leg| {
+        broadcast(leg, 4, 64, ELEMENTS)
+    }));
+    benches.push(compare("pipeline_d4", |leg| pipeline(leg, 4, 4, ELEMENTS)));
+    for app in all_apps() {
+        benches.push(compare(&format!("paper_{}", app.name()), |leg| {
+            paper_graph(app.as_ref(), leg, 8)
+        }));
+    }
+
+    let report = json!({
+        "schema": "cgsim-bench-report/1",
+        "suite": "hotloop",
+        "elements_per_microbench": ELEMENTS,
+        "rounds_best_of": ROUNDS,
+        "benches": Value::Object(benches),
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -7,6 +7,10 @@
 //!   cgsim (cooperative), x86sim substitute (thread-per-kernel) and the
 //!   aiesim substitute (cycle-approximate, cycle-stepped) (paper Table 2),
 //!   plus the §5.2 kernel-time-fraction profile;
+//! * [`hotloop`] — before/after workloads for the hot-loop optimisation
+//!   (fast-path channels, sampled profiling, batched window I/O), shared by
+//!   the `hotloop` Criterion suite and the `bench-report` binary that
+//!   emits `BENCH_PR4.json`;
 //! * the `repro-table1` / `repro-table2` binaries print the same rows the
 //!   paper reports, side by side with the paper's published numbers;
 //! * `benches/` carries Criterion micro-benchmarks and the ablation studies
@@ -15,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hotloop;
 pub mod table1;
 pub mod table2;
 

@@ -9,7 +9,7 @@
 //! aiesim is orders slower — is the reproduction target).
 
 use aie_sim::{simulate_graph, SimConfig};
-use cgsim_graphs::{all_apps, EvalApp, Runtime};
+use cgsim_graphs::{all_apps, EvalApp, Profiling, Runtime};
 use std::time::Duration;
 
 /// One reproduced Table 2 row.
@@ -50,8 +50,11 @@ pub fn default_blocks(app: &dyn EvalApp, scale: u64) -> u64 {
 pub fn measure_app(app: &dyn EvalApp, scale: u64) -> Table2Row {
     let blocks = default_blocks(app, scale);
 
+    // Full per-poll timing: the kernel-fraction column reproduces the §5.2
+    // profiling methodology (the runtime's default `Profiling::Sampled`
+    // extrapolates and is too noisy for batch-heavy polls to assert on).
     let coop = app
-        .run_functional(Runtime::Cooperative, blocks)
+        .run_functional(Runtime::CooperativeProfiled(Profiling::Full), blocks)
         .expect("cooperative run verifies");
     let threaded = app
         .run_functional(Runtime::Threaded, blocks)

@@ -26,7 +26,8 @@ use aie_intrinsics::OpCounts;
 use aie_sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
 use cgsim_core::{ConnectorId, PortKind};
 use cgsim_runtime::{
-    ChannelStats, FaultPlan, KernelLibrary, RuntimeConfig, RuntimeContext, Schedule,
+    ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RuntimeConfig, RuntimeContext,
+    Schedule,
 };
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
 use cgsim_trace::{invariants, Tracer};
@@ -41,6 +42,11 @@ pub struct OracleConfig {
     pub fault_rounds: u32,
     /// Run the LIFO (depth-first) permutation leg.
     pub lifo: bool,
+    /// Run the channel-backend and profiling-mode legs (mutex-guarded
+    /// channels, profiling off, full per-poll timing) — these exercise the
+    /// hot-loop configuration axes and must be bit-identical to the
+    /// reference.
+    pub backend_legs: bool,
     /// Run one round with an early-closing sink on output 0.
     pub early_close: bool,
     /// Cross-check against the thread-per-kernel runtime.
@@ -58,6 +64,7 @@ impl Default for OracleConfig {
             schedules: 4,
             fault_rounds: 2,
             lifo: true,
+            backend_legs: true,
             early_close: true,
             check_threaded: true,
             check_aiesim: true,
@@ -105,10 +112,8 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         case,
         &lib,
         "coop-fifo",
-        Schedule::Fifo,
+        coop_cfg(cfg, Schedule::Fifo),
         None,
-        None,
-        cfg,
         &mut failures,
     ) else {
         return CaseVerdict {
@@ -134,14 +139,47 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             case,
             &lib,
             "coop-lifo",
-            Schedule::Lifo,
+            coop_cfg(cfg, Schedule::Lifo),
             None,
-            None,
-            cfg,
             &mut failures,
         ) {
             legs += 1;
             compare_outputs("coop-lifo", &got, &reference, case, &mut failures);
+        }
+    }
+
+    if cfg.backend_legs {
+        // Same FIFO schedule as the reference, varying only the hot-loop
+        // configuration axes: channel storage policy and profiling mode.
+        // All three must be bit-identical to the reference leg.
+        let backend_cfgs = [
+            (
+                "coop-mutex",
+                RuntimeConfig {
+                    channels: ChannelMode::Shared,
+                    ..coop_cfg(cfg, Schedule::Fifo)
+                },
+            ),
+            (
+                "coop-prof-off",
+                RuntimeConfig {
+                    profiling: Profiling::Off,
+                    ..coop_cfg(cfg, Schedule::Fifo)
+                },
+            ),
+            (
+                "coop-prof-full",
+                RuntimeConfig {
+                    profiling: Profiling::Full,
+                    ..coop_cfg(cfg, Schedule::Fifo)
+                },
+            ),
+        ];
+        for (label, rt_cfg) in backend_cfgs {
+            if let Some(got) = run_cooperative(case, &lib, label, rt_cfg, None, &mut failures) {
+                legs += 1;
+                compare_outputs(label, &got, &reference, case, &mut failures);
+            }
         }
     }
 
@@ -152,10 +190,8 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             case,
             &lib,
             &label,
-            Schedule::Seeded(s),
+            coop_cfg(cfg, Schedule::Seeded(s)),
             None,
-            None,
-            cfg,
             &mut failures,
         ) {
             legs += 1;
@@ -170,10 +206,11 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             case,
             &lib,
             &label,
-            Schedule::Seeded(s),
-            Some(FaultPlan::new(s, 35)),
+            RuntimeConfig {
+                faults: Some(FaultPlan::new(s, 35)),
+                ..coop_cfg(cfg, Schedule::Seeded(s))
+            },
             None,
-            cfg,
             &mut failures,
         ) {
             legs += 1;
@@ -190,10 +227,8 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             case,
             &lib,
             label,
-            Schedule::Fifo,
-            None,
+            coop_cfg(cfg, Schedule::Fifo),
             Some(limit),
-            cfg,
             &mut failures,
         ) {
             legs += 1;
@@ -321,25 +356,28 @@ fn check_conservation(
     }
 }
 
+/// Build the cooperative runtime configuration for one oracle leg: default
+/// fast-path channels and sampled profiling under the given schedule, with
+/// the oracle's poll budget applied. Legs that vary the channel backend or
+/// profiling mode override the relevant field on the returned value.
+fn coop_cfg(cfg: &OracleConfig, schedule: Schedule) -> RuntimeConfig {
+    RuntimeConfig {
+        max_polls: Some(cfg.max_polls),
+        schedule,
+        ..RuntimeConfig::default()
+    }
+}
+
 /// One cooperative-executor leg. Returns the collected sink outputs, or
 /// `None` when the run could not even be set up (already reported).
-#[allow(clippy::too_many_arguments)]
 fn run_cooperative(
     case: &GeneratedCase,
     lib: &KernelLibrary,
     label: &str,
-    schedule: Schedule,
-    faults: Option<FaultPlan>,
+    rt_cfg: RuntimeConfig,
     bound_limit: Option<usize>,
-    cfg: &OracleConfig,
     failures: &mut Vec<String>,
 ) -> Option<Vec<Vec<i64>>> {
-    let rt_cfg = RuntimeConfig {
-        max_polls: Some(cfg.max_polls),
-        schedule,
-        faults,
-        ..RuntimeConfig::default()
-    };
     // Tracer::enabled() degrades to a no-op in untraced builds; the
     // invariant pass below then sees an empty snapshot and checks nothing,
     // while the channel-counter conservation law still applies.
@@ -522,6 +560,7 @@ mod tests {
         assert!(verdict.ok(), "{:#?}", verdict.failures);
         let expected = 1 // fifo
             + 1 // lifo
+            + 3 // backend legs: mutex channels, profiling off, profiling full
             + cfg.schedules as usize
             + cfg.fault_rounds as usize
             + 1 // early close

@@ -8,19 +8,30 @@
 
 use aie_sim::{KernelCostProfile, WorkloadSpec};
 use cgsim_core::FlatGraph;
-use cgsim_runtime::KernelLibrary;
+use cgsim_runtime::{KernelLibrary, Profiling};
 use std::collections::HashMap;
 use std::time::Duration;
 
 /// Which functional runtime executed a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Runtime {
-    /// Cooperative single-threaded simulator (`cgsim`).
+    /// Cooperative single-threaded simulator (`cgsim`) in its default
+    /// configuration: single-thread fast-path channels and sampled
+    /// profiling.
     Cooperative,
     /// Cooperative simulator with a seeded ready-list permutation — same
     /// semantics, different (but replayable) task interleaving. Used by the
     /// conformance tests to show results are schedule-independent.
     CooperativeSeeded(u64),
+    /// Cooperative simulator in its pre-optimisation configuration:
+    /// mutex-guarded (`Shared`) channels and full per-poll timing. The
+    /// bench harness uses this as the baseline leg of before/after
+    /// comparisons.
+    CooperativeBaseline,
+    /// Cooperative simulator with an explicit [`Profiling`] mode on the
+    /// default fast-path channels. `Profiling::Full` reproduces the §5.2
+    /// kernel-fraction methodology exactly (every poll timed).
+    CooperativeProfiled(Profiling),
     /// Thread-per-kernel simulator (`x86sim` substitute).
     Threaded,
 }

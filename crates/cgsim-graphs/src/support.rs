@@ -164,11 +164,23 @@ fn run_with_inputs<TOut: StreamData>(
     feeds: Vec<FeedFn>,
 ) -> Result<(Vec<TOut>, AppRun), String> {
     match runtime {
-        Runtime::Cooperative | Runtime::CooperativeSeeded(_) => {
+        Runtime::Cooperative
+        | Runtime::CooperativeSeeded(_)
+        | Runtime::CooperativeBaseline
+        | Runtime::CooperativeProfiled(_) => {
             let config = match runtime {
                 Runtime::CooperativeSeeded(seed) => {
                     RuntimeConfig::scheduled(cgsim_runtime::Schedule::Seeded(seed))
                 }
+                Runtime::CooperativeBaseline => RuntimeConfig {
+                    channels: cgsim_runtime::ChannelMode::Shared,
+                    profiling: cgsim_runtime::Profiling::Full,
+                    ..RuntimeConfig::default()
+                },
+                Runtime::CooperativeProfiled(profiling) => RuntimeConfig {
+                    profiling,
+                    ..RuntimeConfig::default()
+                },
                 _ => RuntimeConfig::default(),
             };
             let mut ctx = RuntimeContext::new(graph, lib, config).map_err(|e| e.to_string())?;

@@ -8,8 +8,8 @@
 //! then drives the embedded cooperative scheduler to quiescence and returns
 //! a [`RunReport`].
 
-use crate::channel::{Channel, ChannelStats};
-use crate::executor::{ExecStats, Executor, FaultPlan, Schedule};
+use crate::channel::{Channel, ChannelMode, ChannelStats};
+use crate::executor::{ExecStats, Executor, FaultPlan, Profiling, Schedule};
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
 use cgsim_trace::{TraceSnapshot, Tracer};
@@ -48,6 +48,15 @@ pub struct RuntimeConfig {
     /// Ahead-of-run `cgsim-lint` gate on Error diagnostics (deny by
     /// default; see [`VerifyPolicy`]).
     pub verify: VerifyPolicy,
+    /// Channel storage policy. The cooperative context is single-threaded
+    /// by construction (`!Send`), so the uncontended
+    /// [`ChannelMode::SingleThread`] fast path is the default;
+    /// [`ChannelMode::Shared`] restores the mutex-guarded pre-optimisation
+    /// behaviour (and is what `cgsim-threads` uses).
+    pub channels: ChannelMode,
+    /// Per-poll timing mode for the embedded scheduler; see [`Profiling`].
+    /// Defaults to `Profiling::Sampled(64)`.
+    pub profiling: Profiling,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +67,8 @@ impl Default for RuntimeConfig {
             schedule: Schedule::Fifo,
             faults: None,
             verify: VerifyPolicy::Deny,
+            channels: ChannelMode::SingleThread,
+            profiling: Profiling::default(),
         }
     }
 }
@@ -173,6 +184,7 @@ pub struct RuntimeContext<'g> {
     executor: Executor,
     fed_inputs: Vec<bool>,
     bound_outputs: Vec<bool>,
+    channel_mode: ChannelMode,
     tracer: Tracer,
 }
 
@@ -252,7 +264,7 @@ impl<'g> RuntimeContext<'g> {
             });
             if let Some((ki, pi)) = endpoint {
                 let entry = library.get(&graph.kernels[ki].kind)?;
-                channels[ci] = Some(entry.make_channel(pi, capacity)?);
+                channels[ci] = Some(entry.make_channel_mode(pi, capacity, config.channels)?);
             }
             // Connectors with no kernel endpoint (pure global passthrough)
             // are created lazily by the typed feed/collect calls.
@@ -260,6 +272,7 @@ impl<'g> RuntimeContext<'g> {
 
         let mut executor = Executor::new()
             .with_schedule(config.schedule)
+            .with_profiling(config.profiling)
             .with_tracer(tracer.clone());
         if let Some(budget) = config.max_polls {
             executor = executor.with_poll_budget(budget);
@@ -274,6 +287,7 @@ impl<'g> RuntimeContext<'g> {
             executor,
             fed_inputs: vec![false; graph.inputs.len()],
             bound_outputs: vec![false; graph.outputs.len()],
+            channel_mode: config.channels,
             tracer,
         };
 
@@ -329,7 +343,7 @@ impl<'g> RuntimeContext<'g> {
         // Placeholder (global passthrough connector): create typed channel
         // if the slot is still the unit placeholder.
         if slot.clone().downcast::<()>().is_ok() {
-            let chan = Channel::<T>::new(64);
+            let chan = Channel::<T>::with_mode(64, self.channel_mode);
             chan.instrument(&self.tracer, &connector_name(self.graph, ci));
             *slot = AnyChannel::typed(chan.clone());
             return Ok(chan);

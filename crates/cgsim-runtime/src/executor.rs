@@ -74,9 +74,13 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    /// Uniform value in `0..bound` (`bound > 0`).
+    /// Uniform value in `0..bound` (`bound > 0`), via Lemire's widening
+    /// multiply: `(x * bound) >> 64` maps the full 64-bit range onto the
+    /// bound without the low-index skew a simple `%` has for bounds that do
+    /// not divide 2^64.
     fn next_below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound as u64) as usize
+        debug_assert!(bound > 0, "next_below needs a positive bound");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
     }
 }
 
@@ -154,6 +158,34 @@ impl FaultPlan {
     }
 }
 
+/// How much per-poll wall-clock timing the run loop performs (§5.2).
+///
+/// The paper's perf methodology samples the running simulator rather than
+/// timestamping every event; `Sampled` is the equivalent here — it times one
+/// poll in `n` and extrapolates, keeping `Instant::now()` syscalls off the
+/// hot path while `ExecStats::kernel_fraction` stays meaningful. `Full`
+/// times every poll (the pre-optimisation behaviour, exact per-task busy
+/// times); `Off` removes timing entirely for pure-throughput runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profiling {
+    /// No per-poll timing: `kernel_time` and per-task busy times stay zero.
+    Off,
+    /// Time one poll in `n` (`n` clamped to ≥ 1) and attribute the measured
+    /// duration to all `n`, extrapolating kernel time at 1/n the timing
+    /// cost.
+    Sampled(u32),
+    /// Time every poll — exact, but two `Instant::now()` calls per poll.
+    Full,
+}
+
+impl Default for Profiling {
+    /// One timed poll in 64: cheap enough to leave on, accurate enough for
+    /// the §5.2 kernel-fraction analysis.
+    fn default() -> Self {
+        Profiling::Sampled(64)
+    }
+}
+
 /// Aggregated scheduling statistics for one run.
 ///
 /// The split between `kernel_time` and everything else is what supports the
@@ -171,7 +203,12 @@ pub struct ExecStats {
     pub suspensions: u64,
     /// Ready tasks deferred (not polled) by the fault-injection layer.
     pub injected_stalls: u64,
-    /// Wall-clock time spent inside task polls (kernel work).
+    /// Polls the profiler actually timed: equal to `polls` under
+    /// [`Profiling::Full`], roughly `polls / n` under
+    /// [`Profiling::Sampled`], and 0 under [`Profiling::Off`].
+    pub timed_polls: u64,
+    /// Wall-clock time spent inside task polls (kernel work). Under
+    /// [`Profiling::Sampled`] this is extrapolated from the timed polls.
     pub kernel_time: Duration,
     /// Total wall-clock time of the run loop.
     pub total_time: Duration,
@@ -180,12 +217,13 @@ pub struct ExecStats {
 impl ExecStats {
     /// Fraction of run-loop time spent inside kernels (0..=1). A run that
     /// never entered the loop has done no kernel work, so an empty
-    /// `total_time` reports 0.0.
+    /// `total_time` reports 0.0. Under [`Profiling::Sampled`] the numerator
+    /// is extrapolated, so the ratio is clamped to 1.0.
     pub fn kernel_fraction(&self) -> f64 {
         if self.total_time.is_zero() {
             return 0.0;
         }
-        self.kernel_time.as_secs_f64() / self.total_time.as_secs_f64()
+        (self.kernel_time.as_secs_f64() / self.total_time.as_secs_f64()).min(1.0)
     }
 }
 
@@ -212,6 +250,13 @@ impl ReadyQueue {
         self.queue.lock().unwrap().push_back(id);
     }
 
+    /// O(1) FIFO pop — the fast path when the schedule is strict FIFO, where
+    /// consulting a policy (and the `make_contiguous`/`remove` it requires)
+    /// is pure overhead.
+    fn pop_front(&self) -> Option<usize> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
     /// Remove and return the entry the policy picks. Only the run loop pops
     /// (wakers only push), so removing at an arbitrary index is safe.
     fn pop_with(&self, policy: &mut dyn SchedulePolicy) -> Option<usize> {
@@ -219,7 +264,15 @@ impl ReadyQueue {
         if queue.is_empty() {
             return None;
         }
-        let idx = policy.pick(queue.make_contiguous()).min(queue.len() - 1);
+        let idx = policy.pick(queue.make_contiguous());
+        // A policy returning an index past the ready list is a bug in the
+        // policy; surface it in debug builds rather than silently clamping.
+        debug_assert!(
+            idx < queue.len(),
+            "SchedulePolicy::pick returned out-of-range index {idx} for a ready list of {}",
+            queue.len()
+        );
+        let idx = idx.min(queue.len() - 1);
         queue.remove(idx)
     }
 
@@ -271,7 +324,11 @@ pub struct Executor {
     ready: Option<Arc<ReadyQueue>>,
     poll_budget: Option<u64>,
     policy: Box<dyn SchedulePolicy>,
+    /// True while the installed schedule is known to be strict FIFO, letting
+    /// the run loop use the O(1) `ReadyQueue::pop_front` fast path.
+    fifo: bool,
     faults: Option<(SplitMix64, u8)>,
+    profiling: Profiling,
     tracer: Tracer,
 }
 
@@ -291,7 +348,9 @@ impl Executor {
             })),
             poll_budget: None,
             policy: Box::new(FifoPolicy),
+            fifo: true,
             faults: None,
+            profiling: Profiling::default(),
             tracer: Tracer::default(),
         }
     }
@@ -314,16 +373,30 @@ impl Executor {
         self
     }
 
-    /// Replace the ready-list policy with the one `schedule` names.
-    pub fn with_schedule(self, schedule: Schedule) -> Self {
-        self.with_policy(schedule.into_policy())
+    /// Replace the ready-list policy with the one `schedule` names. A
+    /// [`Schedule::Fifo`] schedule keeps the O(1) pop-front fast path.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.fifo = matches!(schedule, Schedule::Fifo);
+        self.policy = schedule.into_policy();
+        self
     }
 
     /// Install a custom [`SchedulePolicy`]. The policy only reorders *which*
     /// ready task runs next; it cannot make an unready task run, so every
-    /// schedule it produces is a legal cooperative interleaving.
+    /// schedule it produces is a legal cooperative interleaving. Custom
+    /// policies always go through the general pick path — use
+    /// [`Executor::with_schedule`] with [`Schedule::Fifo`] to get the O(1)
+    /// fast path.
     pub fn with_policy(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.fifo = false;
         self.policy = policy;
+        self
+    }
+
+    /// Select how much per-poll timing the run loop performs; see
+    /// [`Profiling`]. Defaults to `Profiling::Sampled(64)`.
+    pub fn with_profiling(mut self, profiling: Profiling) -> Self {
+        self.profiling = profiling;
         self
     }
 
@@ -390,8 +463,28 @@ impl Executor {
         };
         let mut profiles: Vec<Option<TaskProfile>> = (0..self.tasks.len()).map(|_| None).collect();
         let ready = Arc::clone(self.ready());
-        let poll_hist = self.tracer.histogram("poll_ns", &[]);
-        while let Some(id) = ready.pop_with(self.policy.as_mut()) {
+        // Branch-predictable early-outs hoisted off the hot loop: whether
+        // the tracer records anything, and how often a poll is timed.
+        let trace_on = self.tracer.is_enabled();
+        let sample_every: u64 = match self.profiling {
+            Profiling::Off => 0,
+            Profiling::Sampled(n) => u64::from(n.max(1)),
+            Profiling::Full => 1,
+        };
+        // The histogram key documents its own sampling rate
+        // (`poll_ns{sample_every=N}`) so trace consumers can tell sampled
+        // data from full data instead of silently under-counting.
+        let poll_hist = (trace_on && sample_every > 0).then(|| {
+            self.tracer
+                .histogram("poll_ns", &[("sample_every", &sample_every.to_string())])
+        });
+        loop {
+            let next = if self.fifo {
+                ready.pop_front()
+            } else {
+                ready.pop_with(self.policy.as_mut())
+            };
+            let Some(id) = next else { break };
             if self.poll_budget.is_some_and(|b| stats.polls >= b) {
                 break; // budget exhausted: remaining tasks report as stalled
             }
@@ -411,20 +504,35 @@ impl Executor {
             task.scheduled.store(false, Ordering::Release);
             let waker = task.waker.clone();
             let mut cx = Context::from_waker(&waker);
+            let timed =
+                sample_every == 1 || (sample_every > 1 && stats.polls.is_multiple_of(sample_every));
             stats.polls += 1;
             task.polls += 1;
             let kernel = task.kernel;
-            self.tracer.emit(TraceEvent::PollBegin { kernel });
-            let poll_start = Instant::now();
+            if trace_on {
+                self.tracer.emit(TraceEvent::PollBegin { kernel });
+            }
+            let poll_start = timed.then(Instant::now);
             let result = task.future.as_mut().poll(&mut cx);
-            let elapsed = poll_start.elapsed();
-            self.tracer.emit(TraceEvent::PollEnd {
-                kernel,
-                pending: result.is_pending(),
-            });
-            poll_hist.observe(elapsed.as_nanos() as u64);
-            stats.kernel_time += elapsed;
-            task.busy += elapsed;
+            if let Some(start) = poll_start {
+                let elapsed = start.elapsed();
+                // One timed poll stands for `sample_every` polls: attribute
+                // the extrapolated duration so kernel_fraction stays
+                // meaningful at a fraction of the timing cost.
+                let attributed = elapsed * sample_every as u32;
+                stats.timed_polls += 1;
+                stats.kernel_time += attributed;
+                task.busy += attributed;
+                if let Some(hist) = &poll_hist {
+                    hist.observe(elapsed.as_nanos() as u64);
+                }
+            }
+            if trace_on {
+                self.tracer.emit(TraceEvent::PollEnd {
+                    kernel,
+                    pending: result.is_pending(),
+                });
+            }
             match result {
                 Poll::Ready(()) => {
                     stats.completed += 1;
@@ -801,5 +909,131 @@ mod tests {
         let (stats, _) = ex.run();
         assert_eq!(polls.get(), 3);
         assert_eq!(stats.polls, 3);
+    }
+
+    #[test]
+    fn seeded_next_below_has_no_gross_bias() {
+        // 13 does not divide 2^64, so the old `%`-based mapping skewed low
+        // buckets; the widening multiply must keep every bucket within a
+        // loose ±10% of uniform.
+        let bound = 13usize;
+        let draws = 130_000u32;
+        let mut rng = SplitMix64(0xDEC0DE);
+        let mut counts = vec![0u32; bound];
+        for _ in 0..draws {
+            let v = rng.next_below(bound);
+            assert!(v < bound, "next_below escaped its bound: {v}");
+            counts[v] += 1;
+        }
+        let mean = (draws as usize / bound) as i64;
+        for (bucket, &count) in counts.iter().enumerate() {
+            let deviation = (count as i64 - mean).abs();
+            assert!(
+                deviation < mean / 10,
+                "bucket {bucket} count {count} deviates more than 10% from {mean}"
+            );
+        }
+    }
+
+    /// A policy with an off-by-N bug: always picks past the ready list.
+    struct WildPolicy;
+    impl SchedulePolicy for WildPolicy {
+        fn pick(&mut self, ready: &[usize]) -> usize {
+            ready.len() + 3
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_policy_pick_panics_in_debug() {
+        let mut ex = Executor::new().with_policy(Box::new(WildPolicy));
+        ex.spawn("a", Box::pin(async {}));
+        ex.spawn("b", Box::pin(async {}));
+        ex.run();
+    }
+
+    #[test]
+    fn profiling_off_does_no_timing() {
+        let mut ex = Executor::new().with_profiling(Profiling::Off);
+        for _ in 0..4 {
+            ex.spawn(
+                "t",
+                Box::pin(async {
+                    YieldN { remaining: 3 }.await;
+                }),
+            );
+        }
+        let (stats, _) = ex.run();
+        assert_eq!(stats.polls, 16);
+        assert_eq!(stats.timed_polls, 0);
+        assert_eq!(stats.kernel_time, Duration::ZERO);
+        // total_time is still measured (two Instant calls per *run*, not per
+        // poll), so the fraction is well-defined and zero.
+        assert_eq!(stats.kernel_fraction(), 0.0);
+    }
+
+    #[test]
+    fn profiling_sampled_times_one_poll_in_n() {
+        let mut ex = Executor::new().with_profiling(Profiling::Sampled(4));
+        for _ in 0..10 {
+            ex.spawn(
+                "t",
+                Box::pin(async {
+                    YieldN { remaining: 3 }.await;
+                }),
+            );
+        }
+        let (stats, profiles) = ex.run_profiled();
+        assert_eq!(stats.polls, 40);
+        assert_eq!(stats.timed_polls, 10); // polls 0, 4, 8, ... 36
+        let f = stats.kernel_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        assert_eq!(profiles.len(), 10);
+    }
+
+    #[test]
+    fn profiling_full_times_every_poll() {
+        let mut ex = Executor::new().with_profiling(Profiling::Full);
+        ex.spawn(
+            "t",
+            Box::pin(async {
+                YieldN { remaining: 5 }.await;
+            }),
+        );
+        let (stats, _) = ex.run();
+        assert_eq!(stats.polls, 6);
+        assert_eq!(stats.timed_polls, 6);
+    }
+
+    #[test]
+    fn sampled_zero_is_clamped_to_full() {
+        let mut ex = Executor::new().with_profiling(Profiling::Sampled(0));
+        ex.spawn("t", Box::pin(async {}));
+        let (stats, _) = ex.run();
+        assert_eq!(stats.timed_polls, stats.polls);
+    }
+
+    #[test]
+    fn fifo_fast_path_matches_policy_fifo_order() {
+        // The O(1) pop_front fast path and the general FifoPolicy pick path
+        // must produce the same schedule.
+        let fast = interleaving_of(Schedule::Fifo);
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex = Executor::new().with_policy(Box::new(FifoPolicy));
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            ex.spawn(
+                name,
+                Box::pin(async move {
+                    for i in 0..3 {
+                        log.borrow_mut().push(format!("{name}{i}"));
+                        YieldN { remaining: 1 }.await;
+                    }
+                }),
+            );
+        }
+        ex.run();
+        assert_eq!(fast, *log.borrow());
     }
 }

@@ -57,11 +57,11 @@ pub mod port;
 pub use cgsim_core;
 
 pub use cgsim_trace;
-pub use channel::{Channel, ChannelAdmin, ChannelStats, Consumer, Producer};
+pub use channel::{Channel, ChannelAdmin, ChannelMode, ChannelStats, Consumer, Producer};
 pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle, VerifyPolicy};
 pub use executor::{
-    block_on, ExecStats, Executor, FaultPlan, FifoPolicy, LifoPolicy, LocalBoxFuture, Schedule,
-    SchedulePolicy, SeededPolicy, TaskProfile,
+    block_on, ExecStats, Executor, FaultPlan, FifoPolicy, LifoPolicy, LocalBoxFuture, Profiling,
+    Schedule, SchedulePolicy, SeededPolicy, TaskProfile,
 };
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};
 pub use port::{KernelReadPort, KernelWritePort};

@@ -129,13 +129,27 @@ macro_rules! compute_kernel {
                 port_idx: usize,
                 capacity: usize,
             ) -> ::std::result::Result<$crate::AnyChannel, $crate::cgsim_core::GraphError> {
-                let constructors: &[fn(usize) -> $crate::AnyChannel] = &[
-                    $( |cap: usize| -> $crate::AnyChannel {
-                        $crate::AnyChannel::typed($crate::Channel::<$pty>::new(cap))
+                <Self as $crate::KernelImpl>::make_channel_mode(
+                    port_idx,
+                    capacity,
+                    $crate::ChannelMode::Shared,
+                )
+            }
+
+            fn make_channel_mode(
+                port_idx: usize,
+                capacity: usize,
+                mode: $crate::ChannelMode,
+            ) -> ::std::result::Result<$crate::AnyChannel, $crate::cgsim_core::GraphError> {
+                let constructors: &[fn(usize, $crate::ChannelMode) -> $crate::AnyChannel] = &[
+                    $( |cap: usize, mode: $crate::ChannelMode| -> $crate::AnyChannel {
+                        $crate::AnyChannel::typed($crate::Channel::<$pty>::with_mode(cap, mode))
                     } ),*
                 ];
                 match constructors.get(port_idx) {
-                    ::std::option::Option::Some(f) => ::std::result::Result::Ok(f(capacity)),
+                    ::std::option::Option::Some(f) => {
+                        ::std::result::Result::Ok(f(capacity, mode))
+                    }
                     ::std::option::Option::None => {
                         ::std::result::Result::Err($crate::cgsim_core::GraphError::ArityMismatch {
                             kernel: <Self as $crate::cgsim_core::KernelDecl>::NAME.into(),
@@ -348,5 +362,17 @@ mod tests {
         let c1 = settings_kernel::make_channel(1, 4).unwrap();
         assert!(c1.downcast::<crate::Channel<f32>>().is_ok());
         assert!(settings_kernel::make_channel(3, 4).is_err());
+    }
+
+    #[test]
+    fn make_channel_mode_selects_storage_policy() {
+        use crate::{ChannelMode, KernelImpl};
+        let fast = settings_kernel::make_channel_mode(0, 4, ChannelMode::SingleThread).unwrap();
+        let chan = fast.downcast::<crate::Channel<i16>>().unwrap();
+        assert_eq!(chan.mode(), ChannelMode::SingleThread);
+        // The mode-less entry point stays on the thread-safe path.
+        let shared = settings_kernel::make_channel(0, 4).unwrap();
+        let chan = shared.downcast::<crate::Channel<i16>>().unwrap();
+        assert_eq!(chan.mode(), ChannelMode::Shared);
     }
 }

@@ -35,10 +35,22 @@ impl<T: StreamData> KernelReadPort<T> {
     /// available; a trailing partial block is discarded, matching hardware
     /// window semantics where a kernel only fires on full buffers.
     pub async fn get_window(&mut self, n: usize) -> Option<Vec<T>> {
+        self.read_window(n).await
+    }
+
+    /// Batched window acquire: accumulates `n` elements via
+    /// [`Consumer::pop_chunk`], draining whatever is available per channel
+    /// acquisition instead of one element at a time. Same contract as
+    /// [`KernelReadPort::get_window`] — a trailing partial window yields
+    /// `None`.
+    pub async fn read_window(&mut self, n: usize) -> Option<Vec<T>> {
+        if n == 0 {
+            return Some(Vec::new());
+        }
         let mut window = Vec::with_capacity(n);
-        for _ in 0..n {
-            match self.consumer.recv().await {
-                Some(v) => window.push(v),
+        while window.len() < n {
+            match self.consumer.pop_chunk(n - window.len()).await {
+                Some(mut chunk) => window.append(&mut chunk),
                 None => return None,
             }
         }
@@ -62,11 +74,17 @@ impl<T: StreamData> KernelWritePort<T> {
         self.producer.send(value).await;
     }
 
-    /// Send a full window of elements (AIE window port release).
+    /// Send a full window of elements (AIE window port release). Batched:
+    /// the whole window moves through [`Producer::push_slice`], waking
+    /// consumers once per batch rather than once per element.
     pub async fn put_window(&mut self, window: impl IntoIterator<Item = T>) {
-        for v in window {
-            self.producer.send(v).await;
-        }
+        self.write_window(window.into_iter().collect()).await;
+    }
+
+    /// Batched window release from an owned buffer — the zero-adaptor form
+    /// of [`KernelWritePort::put_window`].
+    pub async fn write_window(&mut self, window: Vec<T>) {
+        self.producer.push_slice(window).await;
     }
 }
 
@@ -89,6 +107,43 @@ mod tests {
             assert_eq!(inp.get().await, Some(8));
             assert_eq!(inp.get().await, None);
         });
+    }
+
+    #[test]
+    fn windows_larger_than_capacity_stream_through() {
+        use crate::channel::ChannelMode;
+        use crate::executor::Executor;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // A 16-element window over a 4-deep fast-path channel: the batched
+        // futures must make partial progress per poll and hand off
+        // cooperatively, not deadlock.
+        let chan = Channel::with_mode(4, ChannelMode::SingleThread);
+        let mut out = KernelWritePort::new(chan.add_producer());
+        let mut inp = KernelReadPort::new(chan.add_consumer());
+        let mut ex = Executor::new();
+        ex.spawn(
+            "writer",
+            Box::pin(async move {
+                for base in 0..4u32 {
+                    out.write_window((0..16).map(|i| base * 16 + i).collect())
+                        .await;
+                }
+            }),
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&got);
+        ex.spawn(
+            "reader",
+            Box::pin(async move {
+                while let Some(w) = inp.read_window(16).await {
+                    sink.borrow_mut().extend(w);
+                }
+            }),
+        );
+        let (_, stalled) = ex.run();
+        assert!(stalled.is_empty(), "windowed pipeline deadlocked");
+        assert_eq!(*got.borrow(), (0..64).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -128,6 +128,10 @@ impl<'g> ThreadedContext<'g> {
             match endpoint {
                 Some((ki, pi)) => {
                     let entry = library.get(&graph.kernels[ki].kind)?;
+                    // `make_channel` builds mutex-guarded (`Shared`) channels
+                    // — mandatory here: endpoints live on kernel threads, so
+                    // the cooperative runtime's single-thread fast path
+                    // (`ChannelMode::SingleThread`) must never be used.
                     channels.push(entry.make_channel(pi, capacity)?);
                 }
                 None => channels.push(AnyChannel::placeholder()),

@@ -5,7 +5,7 @@
 //! evaluation-app counterpart of the random-graph `conform` harness
 //! (`cargo run -p cgsim-check --bin conform -- --seed S --cases N`).
 
-use cgsim::graphs::{all_apps, Runtime};
+use cgsim::graphs::{all_apps, Profiling, Runtime};
 
 /// ≥ 8 per the conformance harness design; spread out so neighbouring seeds
 /// don't share low bits.
@@ -61,6 +61,45 @@ fn paper_graphs_agree_between_seeded_cooperative_and_threaded() {
             app.name()
         );
         assert_eq!(seeded.out_elems, threaded.out_elems);
+    }
+}
+
+#[test]
+fn paper_graphs_agree_across_channel_backends_and_profiling_modes() {
+    // The hot-loop configuration axes — channel storage policy (fast-path
+    // cell vs mutex) and profiling mode (off / sampled / full) — must be
+    // pure observers: bit-identical output on every paper graph.
+    for app in all_apps() {
+        let reference = app
+            .run_functional(Runtime::Cooperative, 4)
+            .unwrap_or_else(|e| panic!("{} reference: {e}", app.name()));
+        let legs: [(&str, Runtime); 4] = [
+            ("mutex channels + full timing", Runtime::CooperativeBaseline),
+            (
+                "profiling off",
+                Runtime::CooperativeProfiled(Profiling::Off),
+            ),
+            (
+                "profiling sampled(7)",
+                Runtime::CooperativeProfiled(Profiling::Sampled(7)),
+            ),
+            (
+                "profiling full",
+                Runtime::CooperativeProfiled(Profiling::Full),
+            ),
+        ];
+        for (what, runtime) in legs {
+            let run = app
+                .run_functional(runtime, 4)
+                .unwrap_or_else(|e| panic!("{} {what}: {e}", app.name()));
+            assert_eq!(
+                run.checksum,
+                reference.checksum,
+                "{}: {what} changed the output",
+                app.name()
+            );
+            assert_eq!(run.out_elems, reference.out_elems, "{}", app.name());
+        }
     }
 }
 
