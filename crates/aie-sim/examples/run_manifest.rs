@@ -11,8 +11,8 @@
 //! ```
 
 use aie_sim::{
-    run_manifest, simulate_graph, DeployManifest, KernelCostProfile, PortTraffic, SimConfig,
-    SimReport, WorkloadSpec,
+    deploy_manifest, simulate_graph, DeployManifest, DeployOptions, KernelCostProfile, PortTraffic,
+    SimConfig, SimReport, WorkloadSpec,
 };
 use cgsim_core::{FlatGraph, PortDir};
 use std::collections::HashMap;
@@ -35,7 +35,7 @@ fn main() {
 
     // Try the full manifest first, then fall back to a bare graph.
     let (trace, graph, profiles, config) = if let Ok(manifest) = DeployManifest::from_json(&text) {
-        let trace = run_manifest(&manifest).expect("manifest simulates");
+        let trace = deploy_manifest(&manifest, &DeployOptions::new()).expect("manifest simulates");
         (
             trace,
             manifest.graph.clone(),

@@ -5,12 +5,14 @@
 //! `aiecompiler` turns into a hardware image which `aiesim` then executes.
 //! Without AMD's toolchain, the extracted project instead carries a JSON
 //! *deployment manifest*: the flattened graph, the kernels' cost profiles
-//! and the workload. [`run_manifest`] is the "board" it deploys onto.
+//! and the workload. [`deploy`] is the "board" it deploys onto, with the
+//! lint gate selected by [`DeployOptions`].
 
 use crate::config::SimConfig;
 use crate::cost::KernelCostProfile;
 use crate::graphsim::{simulate_graph, GraphTrace, WorkloadSpec};
 use cgsim_core::{FlatGraph, GraphError};
+use cgsim_lint::VerifyPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -97,30 +99,90 @@ impl DeployManifest {
     }
 }
 
-/// Simulate the manifest's graph with its embedded configuration and
-/// workload. Deny-by-default: a manifest whose graph carries Error-severity
-/// lint findings is rejected with [`GraphError::LintRejected`] (`CG012`)
-/// before any cycle is simulated; use [`run_manifest_unchecked`] to bypass.
-pub fn run_manifest(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
-    let report = manifest.lint();
-    if report.has_errors() {
-        return Err(GraphError::LintRejected {
-            errors: report.error_count(),
-            report: report.render_human(&manifest.graph),
-        });
-    }
-    run_manifest_unchecked(manifest)
+/// How (and whether) to deploy a manifest — the single entry point that
+/// replaced the `run_manifest` / `run_manifest_unchecked` pair. The old
+/// split buried the verification decision in the function name; here it is
+/// an explicit [`VerifyPolicy`] axis, matching `RunSpec::verify` on the
+/// functional-runtime side.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct DeployOptions {
+    /// Ahead-of-deploy lint-gate policy. `Deny` (the default) rejects
+    /// manifests whose graphs carry Error-severity findings; `Warn` prints
+    /// the report and deploys anyway; `Off` skips the lint entirely.
+    pub verify: VerifyPolicy,
 }
 
-/// [`run_manifest`] without the ahead-of-run lint gate — for deliberately
-/// simulating a diagnosed-broken graph (e.g. to observe its stall).
-pub fn run_manifest_unchecked(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
+impl DeployOptions {
+    /// Deploy options with the deny-by-default lint gate.
+    pub fn new() -> Self {
+        DeployOptions::default()
+    }
+
+    /// Set the lint-gate policy.
+    pub fn verify(mut self, policy: VerifyPolicy) -> Self {
+        self.verify = policy;
+        self
+    }
+}
+
+/// Simulate the manifest's graph with its embedded configuration and
+/// workload, gated by `options.verify`: under [`VerifyPolicy::Deny`] a
+/// manifest whose graph carries Error-severity lint findings is rejected
+/// with [`GraphError::LintRejected`] (`CG012`) before any cycle is
+/// simulated; [`VerifyPolicy::Warn`] reports the findings on stderr and
+/// simulates anyway; [`VerifyPolicy::Off`] skips the lint — for
+/// deliberately simulating a diagnosed-broken graph (e.g. to observe its
+/// stall).
+pub fn deploy(
+    manifest: &DeployManifest,
+    options: &DeployOptions,
+) -> Result<GraphTrace, GraphError> {
+    match options.verify {
+        VerifyPolicy::Deny => {
+            let report = manifest.lint();
+            if report.has_errors() {
+                return Err(GraphError::LintRejected {
+                    errors: report.error_count(),
+                    report: report.render_human(&manifest.graph),
+                });
+            }
+        }
+        VerifyPolicy::Warn => {
+            let report = manifest.lint();
+            if report.has_errors() {
+                eprintln!(
+                    "warning: deploying despite {} lint error(s):\n{}",
+                    report.error_count(),
+                    report.render_human(&manifest.graph)
+                );
+            }
+        }
+        VerifyPolicy::Off => {}
+    }
     simulate_graph(
         &manifest.graph,
         &manifest.profile_map(),
         &manifest.config,
         &manifest.workload,
     )
+}
+
+/// Deny-gated deployment — the legacy entry point, equivalent to
+/// [`deploy`] with default options.
+#[deprecated(since = "0.2.0", note = "use deploy(manifest, &DeployOptions::new())")]
+pub fn run_manifest(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
+    deploy(manifest, &DeployOptions::new())
+}
+
+/// Ungated deployment — the legacy escape hatch, equivalent to [`deploy`]
+/// with `verify: VerifyPolicy::Off`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use deploy(manifest, &DeployOptions::new().verify(VerifyPolicy::Off))"
+)]
+pub fn run_manifest_unchecked(manifest: &DeployManifest) -> Result<GraphTrace, GraphError> {
+    deploy(manifest, &DeployOptions::new().verify(VerifyPolicy::Off))
 }
 
 #[cfg(test)]
@@ -196,10 +258,21 @@ mod tests {
     }
 
     #[test]
-    fn run_manifest_simulates() {
+    fn deploy_simulates() {
         let m = manifest();
-        let t = run_manifest(&m).unwrap();
+        let t = deploy(&m, &DeployOptions::new()).unwrap();
         assert_eq!(t.trace.block_times.len(), 8);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_deploy() {
+        let m = manifest();
+        let a = run_manifest(&m).unwrap();
+        let b = deploy(&m, &DeployOptions::new()).unwrap();
+        assert_eq!(a.trace.end_time, b.trace.end_time);
+        let c = run_manifest_unchecked(&m).unwrap();
+        assert_eq!(a.trace.end_time, c.trace.end_time);
     }
 
     #[test]
@@ -245,9 +318,14 @@ mod tests {
         .unwrap();
         m.graph.validate().unwrap();
 
-        let err = run_manifest(&m).unwrap_err();
+        let err = deploy(&m, &DeployOptions::new()).unwrap_err();
         assert_eq!(err.code(), "CG012");
         assert!(err.to_string().contains("CG020"), "{err}");
+
+        // Warn deploys the same broken graph anyway (it stalls, but the
+        // gate itself does not reject).
+        let opts = DeployOptions::new().verify(VerifyPolicy::Warn);
+        assert!(deploy(&m, &opts).is_ok());
 
         let j = m.to_json();
         let msg = DeployManifest::from_json(&j).unwrap_err();
@@ -255,9 +333,10 @@ mod tests {
     }
 
     #[test]
-    fn unchecked_escape_hatch_skips_the_gate() {
+    fn verify_off_skips_the_gate() {
         let m = manifest();
         assert!(m.lint().is_clean());
-        assert!(run_manifest_unchecked(&m).is_ok());
+        let opts = DeployOptions::new().verify(VerifyPolicy::Off);
+        assert!(deploy(&m, &opts).is_ok());
     }
 }

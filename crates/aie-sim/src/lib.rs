@@ -18,7 +18,7 @@
 //!   distinguishing hand-optimized from extractor-generated stream-access
 //!   code (the cause of the paper's ≤15 % gap);
 //! * [`graphsim`] — binds a `FlatGraph` to the engine;
-//! * [`array`] — tile-grid placement with window-adjacency checking;
+//! * [`mod@array`] — tile-grid placement with window-adjacency checking;
 //! * [`deploy`] — the JSON deployment manifest the graph extractor emits
 //!   in place of a Vitis project.
 
@@ -34,10 +34,13 @@ pub mod report;
 pub mod vliw;
 
 pub use array::{ArrayGeometry, Placement, TileCoord};
+pub use cgsim_lint::VerifyPolicy;
 pub use cgsim_trace;
 pub use config::{IoInterface, SimConfig, Variant};
 pub use cost::{KernelCostProfile, PortTraffic};
-pub use deploy::{run_manifest, DeployManifest};
+#[allow(deprecated)]
+pub use deploy::run_manifest;
+pub use deploy::{deploy as deploy_manifest, DeployManifest, DeployOptions};
 pub use engine::{NodeKind, Sim, SimTrace, TraceEntry};
 pub use graphsim::{simulate_graph, simulate_graph_traced, GraphTrace, WorkloadSpec};
 pub use report::{KernelReport, SimReport};

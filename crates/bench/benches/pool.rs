@@ -1,0 +1,49 @@
+//! Criterion suite for the `cgsim-pool` batch engine: the 4-paper-graph
+//! batch at 1/2/4/8 workers, for both the pure-cpu and the
+//! ingress-overlap (`service`) suites.
+//!
+//! Run with `cargo bench --bench pool`; the machine-readable summary with
+//! determinism checks comes from the `pool-report` binary instead
+//! (`cargo run --release -p bench --bin pool-report`).
+
+use bench::pool::{run_batch, BatchConfig, CPU_BATCH};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_cpu_batch(c: &mut Criterion) {
+    let config = CPU_BATCH;
+    let jobs = (config.replicas * 4) as u64;
+    let mut g = c.benchmark_group("pool/cpu_batch");
+    g.throughput(Throughput::Elements(jobs));
+    for workers in WORKER_COUNTS {
+        g.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| black_box(run_batch(&config, workers)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_service_batch(c: &mut Criterion) {
+    // Criterion iterates each measurement many times; keep the simulated
+    // ingress short so the suite stays seconds, not minutes.
+    let config = BatchConfig {
+        replicas: 4,
+        blocks: 2,
+        ingress: Duration::from_millis(2),
+    };
+    let jobs = (config.replicas * 4) as u64;
+    let mut g = c.benchmark_group("pool/service_batch");
+    g.throughput(Throughput::Elements(jobs));
+    for workers in WORKER_COUNTS {
+        g.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| black_box(run_batch(&config, workers)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_batch, bench_service_batch);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! aiesim substitute (cycle-stepped cycle-approximate).
 
 use aie_sim::{simulate_graph, SimConfig};
-use cgsim_graphs::{all_apps, Runtime};
+use cgsim_graphs::{all_apps, Backend, RunSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -25,11 +25,13 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
     for app in all_apps() {
         let blocks = blocks_for(app.name());
+        let coop_spec = RunSpec::for_graph(app.name());
+        let thr_spec = RunSpec::for_graph(app.name()).backend(Backend::Threaded);
         g.bench_with_input(BenchmarkId::new("cgsim", app.name()), &blocks, |b, &n| {
-            b.iter(|| black_box(app.run_functional(Runtime::Cooperative, n).unwrap()))
+            b.iter(|| black_box(app.run_spec(&coop_spec, n).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("x86sim", app.name()), &blocks, |b, &n| {
-            b.iter(|| black_box(app.run_functional(Runtime::Threaded, n).unwrap()))
+            b.iter(|| black_box(app.run_spec(&thr_spec, n).unwrap()))
         });
         let graph = app.graph();
         let profiles = app.profiles();

@@ -1,0 +1,131 @@
+//! `pool-report` — machine-readable batch-throughput summary of the
+//! `cgsim-pool` engine (`BENCH_PR5.json`).
+//!
+//! Runs the 4-paper-graph batch (8 replicas each, 32 jobs) at 1/2/4/8
+//! workers, twice:
+//!
+//! * suite `cpu` — pure simulation; scales with physical cores, so the
+//!   recorded `host_cpus` is the honest ceiling;
+//! * suite `service` — each job pays a fixed ingress wait before
+//!   computing; waits overlap across workers, so throughput scales with
+//!   the worker count on any host. The headline `speedup_8v1` and the
+//!   ≥3× acceptance gate are stated over this suite.
+//!
+//! Each suite also asserts the pool's determinism guarantee: the per-job
+//! checksum vector is bit-identical at every worker count, and every
+//! job's output-element count is conserved.
+//!
+//! Usage: `cargo run --release -p bench --bin pool-report [-- --out PATH]`
+
+use bench::pool::{run_batch, BatchConfig, BatchRun, CPU_BATCH, SERVICE_BATCH};
+use serde_json::{json, Value};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_json(run: &BatchRun) -> Value {
+    json!({
+        "wall_ns": run.wall.as_nanos() as u64,
+        "jobs": run.completed,
+        "jobs_per_sec": run.jobs_per_sec(),
+        "elements": run.elements,
+        "steals": run.report.counter("pool_steals"),
+    })
+}
+
+fn suite(name: &str, config: &BatchConfig) -> (Value, f64) {
+    eprintln!(
+        "suite {name}: {} jobs ({} blocks each, ingress {:?})",
+        config.replicas * 4,
+        config.blocks,
+        config.ingress
+    );
+    let mut runs: Vec<(String, Value)> = Vec::new();
+    let mut reference: Option<&BatchRun> = None;
+    let mut baseline_jps = 0.0;
+    let mut speedup_8v1 = 0.0;
+    let results: Vec<(usize, BatchRun)> = WORKER_COUNTS
+        .iter()
+        .map(|&w| (w, run_batch(config, w)))
+        .collect();
+    for (workers, run) in &results {
+        // Determinism gate: per-job checksums identical at every worker
+        // count, output volume conserved.
+        match reference {
+            None => reference = Some(run),
+            Some(r) => {
+                assert_eq!(
+                    r.checksums, run.checksums,
+                    "suite {name}: {workers}-worker batch diverged"
+                );
+                assert_eq!(r.elements, run.elements);
+            }
+        }
+        let jps = run.jobs_per_sec();
+        if *workers == 1 {
+            baseline_jps = jps;
+        }
+        if *workers == 8 {
+            speedup_8v1 = jps / baseline_jps.max(1e-12);
+        }
+        eprintln!(
+            "  workers {workers}: {:>8.2} jobs/s  ({:.3?} wall, {} steals)",
+            jps,
+            run.wall,
+            run.report.counter("pool_steals"),
+        );
+        runs.push((format!("workers{workers}"), run_json(run)));
+    }
+    eprintln!("  speedup 8v1: {speedup_8v1:.2}x, determinism: ok");
+    (
+        json!({
+            "blocks_per_job": config.blocks,
+            "replicas_per_app": config.replicas,
+            "ingress_ns": config.ingress.as_nanos() as u64,
+            "determinism": "ok",
+            "speedup_8v1": speedup_8v1,
+            "runs": Value::Object(runs),
+        }),
+        speedup_8v1,
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: pool-report [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let (cpu, _) = suite("cpu", &CPU_BATCH);
+    let (service, service_speedup) = suite("service", &SERVICE_BATCH);
+    // The acceptance gate: batching must overlap at least 3× of the
+    // serial per-job latency at 8 workers.
+    assert!(
+        service_speedup >= 3.0,
+        "service-suite speedup {service_speedup:.2}x below the 3x gate"
+    );
+
+    let report = json!({
+        "schema": "cgsim-pool-report/1",
+        "suite": "pool",
+        "host_cpus": host_cpus,
+        "worker_counts": Value::Array(WORKER_COUNTS.iter().map(|&w| json!(w)).collect()),
+        "cpu": cpu,
+        "service": service,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -11,8 +11,8 @@
 //! The same workloads back both the Criterion suite (`benches/hotloop.rs`)
 //! and the `bench-report` binary that emits `BENCH_PR4.json`.
 
-use cgsim_graphs::{EvalApp, Runtime};
-use cgsim_runtime::{Channel, ChannelMode, Executor, Profiling};
+use cgsim_graphs::EvalApp;
+use cgsim_runtime::{Channel, ChannelMode, Executor, Profiling, RunSpec};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -206,13 +206,15 @@ pub fn pipeline(leg: &LegConfig, stages: usize, capacity: usize, elements: u64) 
 /// configuration. The kernels' own I/O idiom is part of the app, so `batch`
 /// is not applied here; the leg only selects channel mode + profiling.
 pub fn paper_graph(app: &dyn EvalApp, leg: &LegConfig, blocks: u64) -> Measured {
-    let runtime = if leg.mode == ChannelMode::Shared {
-        Runtime::CooperativeBaseline
-    } else {
-        Runtime::CooperativeProfiled(leg.profiling)
-    };
+    let spec = RunSpec::for_graph(app.name()).channels(leg.mode).profiling(
+        if leg.mode == ChannelMode::Shared {
+            Profiling::Full
+        } else {
+            leg.profiling
+        },
+    );
     let run = app
-        .run_functional(runtime, blocks)
+        .run_spec(&spec, blocks)
         .unwrap_or_else(|e| panic!("{} under {}: {e}", app.name(), leg.name));
     Measured {
         elements: run.out_elems as u64,

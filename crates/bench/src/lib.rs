@@ -11,6 +11,9 @@
 //!   (fast-path channels, sampled profiling, batched window I/O), shared by
 //!   the `hotloop` Criterion suite and the `bench-report` binary that
 //!   emits `BENCH_PR4.json`;
+//! * [`pool`] — paper-graph batch workloads for the `cgsim-pool` engine,
+//!   shared by the `pool` Criterion suite and the `pool-report` binary
+//!   that emits `BENCH_PR5.json` (batch throughput at 1/2/4/8 workers);
 //! * the `repro-table1` / `repro-table2` binaries print the same rows the
 //!   paper reports, side by side with the paper's published numbers;
 //! * `benches/` carries Criterion micro-benchmarks and the ablation studies
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod hotloop;
+pub mod pool;
 pub mod table1;
 pub mod table2;
 

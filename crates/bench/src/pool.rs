@@ -1,0 +1,149 @@
+//! Batch-throughput workloads for the `cgsim-pool` engine (the PR-5
+//! ledger): the four paper evaluation graphs, replicated into a batch of
+//! independent jobs, executed at several worker counts.
+//!
+//! Two suites, because batch speedup has two regimes:
+//!
+//! * **cpu** — jobs are pure simulation. Scaling tracks the number of
+//!   *physical* cores: on a single-core host the pool can only interleave,
+//!   so the honest expectation is ~1×.
+//! * **service** — each job first waits out a fixed ingress latency
+//!   (standing in for the arrival/DMA/IO gap in front of every real batch
+//!   member) and then simulates. Waits overlap across workers regardless
+//!   of core count, so throughput scales with the worker count until the
+//!   compute fraction saturates the cores.
+//!
+//! `BENCH_PR5.json` (see `pool-report`) records both, plus the host's CPU
+//! count so a reader can interpret the `cpu` suite's ceiling.
+
+use cgsim_graphs::all_apps;
+use cgsim_pool::{Job, JobOutput, Pool, PoolConfig, PoolReport};
+use cgsim_runtime::RunSpec;
+use std::time::{Duration, Instant};
+
+/// One pool-batch configuration: the paper graphs × `replicas` jobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Jobs per evaluation graph (batch size = 4 × replicas).
+    pub replicas: usize,
+    /// Input blocks each job simulates.
+    pub blocks: u64,
+    /// Simulated ingress latency paid by each job before it computes
+    /// (`Duration::ZERO` for the pure-cpu suite).
+    pub ingress: Duration,
+}
+
+/// The `cpu` suite: pure simulation, no ingress wait.
+pub const CPU_BATCH: BatchConfig = BatchConfig {
+    replicas: 8,
+    blocks: 4,
+    ingress: Duration::ZERO,
+};
+
+/// The `service` suite: each job waits out a 10 ms ingress gap first.
+pub const SERVICE_BATCH: BatchConfig = BatchConfig {
+    replicas: 8,
+    blocks: 4,
+    ingress: Duration::from_millis(10),
+};
+
+/// Outcome of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchRun {
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Jobs completed (must equal the batch size).
+    pub completed: usize,
+    /// Per-job checksums in submission order — the determinism witness.
+    pub checksums: Vec<u64>,
+    /// Total output elements across jobs.
+    pub elements: u64,
+    /// The pool's own report (metrics, traces).
+    pub report: PoolReport,
+}
+
+impl BatchRun {
+    /// Completed jobs per second of batch wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Build the batch's jobs: `replicas` copies of each paper graph, every
+/// job running through the public `EvalApp::run_spec` entry point under
+/// the job's deadline-adjusted spec.
+fn batch_jobs(config: &BatchConfig) -> Vec<Job> {
+    let app_count = all_apps().len();
+    let ingress = config.ingress;
+    let blocks = config.blocks;
+    (0..config.replicas * app_count)
+        .map(|j| {
+            let app_index = j % app_count;
+            let label = format!("{}#{}", all_apps()[app_index].name(), j / app_count);
+            Job::new(RunSpec::for_graph(label), move |ctx| {
+                if !ingress.is_zero() {
+                    std::thread::sleep(ingress);
+                }
+                let apps = all_apps();
+                let run = apps[app_index]
+                    .run_spec(&ctx.effective_spec(), blocks)
+                    .map_err(|e| e.to_string())?;
+                Ok(JobOutput::new(run.checksum).elements(run.out_elems as u64))
+            })
+        })
+        .collect()
+}
+
+/// Run one batch on a pool of `workers` workers.
+pub fn run_batch(config: &BatchConfig, workers: usize) -> BatchRun {
+    let jobs = batch_jobs(config);
+    let size = jobs.len();
+    let started = Instant::now();
+    let (outcomes, report) = Pool::run_batch(
+        PoolConfig::default()
+            .with_workers(workers)
+            .with_trace(false),
+        jobs,
+    );
+    let wall = started.elapsed();
+    let checksums: Vec<u64> = outcomes
+        .iter()
+        .map(|o| o.checksum().expect("batch job completed"))
+        .collect();
+    let elements = outcomes
+        .iter()
+        .filter_map(|o| o.result())
+        .map(|r| r.output.elements)
+        .sum();
+    BatchRun {
+        wall,
+        completed: checksums.len().min(size),
+        checksums,
+        elements,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_covers_all_apps_and_is_deterministic_across_workers() {
+        let small = BatchConfig {
+            replicas: 2,
+            blocks: 2,
+            ingress: Duration::ZERO,
+        };
+        let one = run_batch(&small, 1);
+        assert_eq!(one.completed, 8);
+        assert!(one.elements > 0);
+        assert!(one.jobs_per_sec() > 0.0);
+        let four = run_batch(&small, 4);
+        assert_eq!(
+            one.checksums, four.checksums,
+            "worker count changed batch results"
+        );
+        assert_eq!(four.report.counter("pool_jobs_completed"), 8);
+    }
+}

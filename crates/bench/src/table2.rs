@@ -9,7 +9,7 @@
 //! aiesim is orders slower — is the reproduction target).
 
 use aie_sim::{simulate_graph, SimConfig};
-use cgsim_graphs::{all_apps, EvalApp, Profiling, Runtime};
+use cgsim_graphs::{all_apps, Backend, EvalApp, Profiling, RunSpec};
 use std::time::Duration;
 
 /// One reproduced Table 2 row.
@@ -54,10 +54,16 @@ pub fn measure_app(app: &dyn EvalApp, scale: u64) -> Table2Row {
     // profiling methodology (the runtime's default `Profiling::Sampled`
     // extrapolates and is too noisy for batch-heavy polls to assert on).
     let coop = app
-        .run_functional(Runtime::CooperativeProfiled(Profiling::Full), blocks)
+        .run_spec(
+            &RunSpec::for_graph(app.name()).profiling(Profiling::Full),
+            blocks,
+        )
         .expect("cooperative run verifies");
     let threaded = app
-        .run_functional(Runtime::Threaded, blocks)
+        .run_spec(
+            &RunSpec::for_graph(app.name()).backend(Backend::Threaded),
+            blocks,
+        )
         .expect("threaded run verifies");
 
     // Cycle-approximate (cycle-stepped) run of the same workload.

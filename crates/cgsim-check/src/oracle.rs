@@ -26,7 +26,7 @@ use aie_intrinsics::OpCounts;
 use aie_sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
 use cgsim_core::{ConnectorId, PortKind};
 use cgsim_runtime::{
-    ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RuntimeConfig, RuntimeContext,
+    ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RunSpec, RuntimeContext,
     Schedule,
 };
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
@@ -111,8 +111,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
     let Some(reference) = run_cooperative(
         case,
         &lib,
-        "coop-fifo",
-        coop_cfg(cfg, Schedule::Fifo),
+        &coop_spec(cfg, "coop-fifo", Schedule::Fifo),
         None,
         &mut failures,
     ) else {
@@ -138,8 +137,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         if let Some(got) = run_cooperative(
             case,
             &lib,
-            "coop-lifo",
-            coop_cfg(cfg, Schedule::Lifo),
+            &coop_spec(cfg, "coop-lifo", Schedule::Lifo),
             None,
             &mut failures,
         ) {
@@ -152,33 +150,15 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         // Same FIFO schedule as the reference, varying only the hot-loop
         // configuration axes: channel storage policy and profiling mode.
         // All three must be bit-identical to the reference leg.
-        let backend_cfgs = [
-            (
-                "coop-mutex",
-                RuntimeConfig {
-                    channels: ChannelMode::Shared,
-                    ..coop_cfg(cfg, Schedule::Fifo)
-                },
-            ),
-            (
-                "coop-prof-off",
-                RuntimeConfig {
-                    profiling: Profiling::Off,
-                    ..coop_cfg(cfg, Schedule::Fifo)
-                },
-            ),
-            (
-                "coop-prof-full",
-                RuntimeConfig {
-                    profiling: Profiling::Full,
-                    ..coop_cfg(cfg, Schedule::Fifo)
-                },
-            ),
+        let backend_specs = [
+            coop_spec(cfg, "coop-mutex", Schedule::Fifo).channels(ChannelMode::Shared),
+            coop_spec(cfg, "coop-prof-off", Schedule::Fifo).profiling(Profiling::Off),
+            coop_spec(cfg, "coop-prof-full", Schedule::Fifo).profiling(Profiling::Full),
         ];
-        for (label, rt_cfg) in backend_cfgs {
-            if let Some(got) = run_cooperative(case, &lib, label, rt_cfg, None, &mut failures) {
+        for spec in &backend_specs {
+            if let Some(got) = run_cooperative(case, &lib, spec, None, &mut failures) {
                 legs += 1;
-                compare_outputs(label, &got, &reference, case, &mut failures);
+                compare_outputs(spec.label(), &got, &reference, case, &mut failures);
             }
         }
     }
@@ -189,8 +169,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         if let Some(got) = run_cooperative(
             case,
             &lib,
-            &label,
-            coop_cfg(cfg, Schedule::Seeded(s)),
+            &coop_spec(cfg, label.clone(), Schedule::Seeded(s)),
             None,
             &mut failures,
         ) {
@@ -205,11 +184,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         if let Some(got) = run_cooperative(
             case,
             &lib,
-            &label,
-            RuntimeConfig {
-                faults: Some(FaultPlan::new(s, 35)),
-                ..coop_cfg(cfg, Schedule::Seeded(s))
-            },
+            &coop_spec(cfg, label.clone(), Schedule::Seeded(s)).faults(FaultPlan::new(s, 35)),
             None,
             &mut failures,
         ) {
@@ -226,8 +201,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         if let Some(got) = run_cooperative(
             case,
             &lib,
-            label,
-            coop_cfg(cfg, Schedule::Fifo),
+            &coop_spec(cfg, label, Schedule::Fifo),
             Some(limit),
             &mut failures,
         ) {
@@ -356,16 +330,14 @@ fn check_conservation(
     }
 }
 
-/// Build the cooperative runtime configuration for one oracle leg: default
-/// fast-path channels and sampled profiling under the given schedule, with
-/// the oracle's poll budget applied. Legs that vary the channel backend or
-/// profiling mode override the relevant field on the returned value.
-fn coop_cfg(cfg: &OracleConfig, schedule: Schedule) -> RuntimeConfig {
-    RuntimeConfig {
-        max_polls: Some(cfg.max_polls),
-        schedule,
-        ..RuntimeConfig::default()
-    }
+/// Build the launch spec for one cooperative oracle leg: default fast-path
+/// channels and sampled profiling under the given schedule, with the
+/// oracle's poll budget applied. Legs that vary the channel backend or
+/// profiling mode chain the relevant builder call onto the returned spec.
+fn coop_spec(cfg: &OracleConfig, label: impl Into<String>, schedule: Schedule) -> RunSpec {
+    RunSpec::for_graph(label)
+        .max_polls(cfg.max_polls)
+        .schedule(schedule)
 }
 
 /// One cooperative-executor leg. Returns the collected sink outputs, or
@@ -373,16 +345,16 @@ fn coop_cfg(cfg: &OracleConfig, schedule: Schedule) -> RuntimeConfig {
 fn run_cooperative(
     case: &GeneratedCase,
     lib: &KernelLibrary,
-    label: &str,
-    rt_cfg: RuntimeConfig,
+    spec: &RunSpec,
     bound_limit: Option<usize>,
     failures: &mut Vec<String>,
 ) -> Option<Vec<Vec<i64>>> {
+    let label = spec.label();
     // Tracer::enabled() degrades to a no-op in untraced builds; the
     // invariant pass below then sees an empty snapshot and checks nothing,
     // while the channel-counter conservation law still applies.
     let tracer = Tracer::enabled();
-    let mut ctx = match RuntimeContext::with_tracer(&case.graph, lib, rt_cfg, tracer) {
+    let mut ctx = match RuntimeContext::from_spec_with_tracer(&case.graph, lib, spec, tracer) {
         Ok(ctx) => ctx,
         Err(e) => {
             failures.push(format!("{label}: context construction failed: {e}"));

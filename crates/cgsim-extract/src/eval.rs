@@ -6,7 +6,7 @@
 //! well-tested constexpr interpreter". Without Clang, this module plays
 //! that role for the DSL subset: it evaluates a parsed [`GraphDef`] against
 //! the kernel metadata recovered from the same file and produces exactly
-//! the same [`FlatGraph`] the runtime macro would have built — the
+//! the same [`FlatGraph`](cgsim_core::FlatGraph) the runtime macro would have built — the
 //! flattened structure everything downstream consumes.
 
 use crate::parse::{AttrLit, GraphDef, GraphStmt, KernelDef, PortDecl, PortDirSyntax};
@@ -175,7 +175,7 @@ fn port_sig(p: &PortDecl, types: &TypeTable) -> Result<PortSig, EvalError> {
     })
 }
 
-/// Evaluate a graph definition to a validated [`FlatGraph`] — the output of
+/// Evaluate a graph definition to a validated [`FlatGraph`](cgsim_core::FlatGraph) — the output of
 /// the paper's "graph ingestion" stage.
 pub fn eval_graph(
     def: &GraphDef,

@@ -8,32 +8,68 @@
 
 use aie_sim::{KernelCostProfile, WorkloadSpec};
 use cgsim_core::FlatGraph;
-use cgsim_runtime::{KernelLibrary, Profiling};
+use cgsim_runtime::{Backend, ChannelMode, KernelLibrary, Profiling, RunSpec, Schedule};
 use std::collections::HashMap;
 use std::time::Duration;
 
 /// Which functional runtime executed a run.
+///
+/// Superseded by [`RunSpec`]: the ad-hoc configuration variants below were
+/// one-off points in the schedule × channel-mode × profiling matrix, and
+/// every new axis forced another variant. `Runtime` now survives only as a
+/// thin conversion shim — `RunSpec::from(runtime)` — so existing call sites
+/// keep compiling; the plain backend selectors (`Cooperative`, `Threaded`)
+/// remain undeprecated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Runtime {
     /// Cooperative single-threaded simulator (`cgsim`) in its default
     /// configuration: single-thread fast-path channels and sampled
     /// profiling.
     Cooperative,
-    /// Cooperative simulator with a seeded ready-list permutation — same
-    /// semantics, different (but replayable) task interleaving. Used by the
-    /// conformance tests to show results are schedule-independent.
+    /// Cooperative simulator with a seeded ready-list permutation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use RunSpec::for_graph(..).schedule(Schedule::Seeded(seed)) instead"
+    )]
     CooperativeSeeded(u64),
     /// Cooperative simulator in its pre-optimisation configuration:
-    /// mutex-guarded (`Shared`) channels and full per-poll timing. The
-    /// bench harness uses this as the baseline leg of before/after
-    /// comparisons.
+    /// mutex-guarded (`Shared`) channels and full per-poll timing.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use RunSpec::for_graph(..).channels(ChannelMode::Shared).profiling(Profiling::Full) instead"
+    )]
     CooperativeBaseline,
     /// Cooperative simulator with an explicit [`Profiling`] mode on the
-    /// default fast-path channels. `Profiling::Full` reproduces the §5.2
-    /// kernel-fraction methodology exactly (every poll timed).
+    /// default fast-path channels.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use RunSpec::for_graph(..).profiling(..) instead"
+    )]
     CooperativeProfiled(Profiling),
     /// Thread-per-kernel simulator (`x86sim` substitute).
     Threaded,
+}
+
+impl From<Runtime> for RunSpec {
+    /// Lower a legacy `Runtime` selector to the equivalent [`RunSpec`] —
+    /// the deprecation shim that keeps pre-`RunSpec` call sites compiling
+    /// with identical behaviour.
+    #[allow(deprecated)]
+    fn from(runtime: Runtime) -> RunSpec {
+        match runtime {
+            Runtime::Cooperative => RunSpec::for_graph("cooperative"),
+            Runtime::CooperativeSeeded(seed) => {
+                RunSpec::for_graph("cooperative-seeded").schedule(Schedule::Seeded(seed))
+            }
+            Runtime::CooperativeBaseline => RunSpec::for_graph("cooperative-baseline")
+                .channels(ChannelMode::Shared)
+                .profiling(Profiling::Full),
+            Runtime::CooperativeProfiled(profiling) => {
+                RunSpec::for_graph("cooperative-profiled").profiling(profiling)
+            }
+            Runtime::Threaded => RunSpec::for_graph("threaded").backend(Backend::Threaded),
+        }
+    }
 }
 
 /// Outcome of one functional simulation run.
@@ -52,7 +88,11 @@ pub struct AppRun {
 }
 
 /// One ported evaluation application.
-pub trait EvalApp {
+///
+/// `Send + Sync` so boxed apps can be moved into `cgsim-pool` batch jobs
+/// and shared across bench worker threads (every implementation is a unit
+/// struct, so the bound is free).
+pub trait EvalApp: Send + Sync {
     /// Short name matching the paper's Table 1 ("bitonic", "farrow", "IIR",
     /// "bilinear").
     fn name(&self) -> &'static str;
@@ -72,9 +112,22 @@ pub trait EvalApp {
     /// Workload spec for `blocks` input blocks (for the cycle simulator).
     fn workload(&self, blocks: u64) -> WorkloadSpec;
 
-    /// Run `blocks` blocks on the given functional runtime and verify the
-    /// output against the scalar reference; returns run metrics.
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String>;
+    /// Run `blocks` blocks under `spec` and verify the output against the
+    /// scalar reference; returns run metrics. This is the [`RunSpec`]-native
+    /// entry point every harness (bench, conformance, pool) launches
+    /// through.
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String>;
+
+    /// Run `blocks` blocks on the given functional runtime — the legacy
+    /// entry point, now a shim over [`EvalApp::run_spec`] via
+    /// `RunSpec::from(runtime)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a RunSpec (RunSpec::for_graph(..) or RunSpec::from(runtime)) and call run_spec"
+    )]
+    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
+        self.run_spec(&RunSpec::from(runtime), blocks)
+    }
 }
 
 /// FNV-1a over a byte stream.
@@ -123,6 +176,22 @@ mod tests {
     fn checksums_are_order_sensitive() {
         assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
         assert_ne!(checksum_i16(&[1, 2]), checksum_i16(&[2, 1]));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn runtime_shim_lowers_to_equivalent_specs() {
+        let c = RunSpec::from(Runtime::Cooperative);
+        assert_eq!(c.target(), Backend::Cooperative);
+        let s = RunSpec::from(Runtime::CooperativeSeeded(9));
+        assert_eq!(s.config().schedule, Schedule::Seeded(9));
+        let b = RunSpec::from(Runtime::CooperativeBaseline);
+        assert_eq!(b.config().channels, ChannelMode::Shared);
+        assert_eq!(b.config().profiling, Profiling::Full);
+        let p = RunSpec::from(Runtime::CooperativeProfiled(Profiling::Off));
+        assert_eq!(p.config().profiling, Profiling::Off);
+        let t = RunSpec::from(Runtime::Threaded);
+        assert_eq!(t.target(), Backend::Threaded);
     }
 
     #[test]

@@ -10,13 +10,13 @@
 //!   interpolated pixels per block; the kernel processes 8 quads per
 //!   vector iteration.
 
-use crate::apps::{checksum_f32, AppRun, EvalApp, Runtime};
+use crate::apps::{checksum_f32, AppRun, EvalApp};
 use crate::support::{measure, run_simple};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::{AccF32, Vector};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
 use cgsim_core::{FlatGraph, PortKind};
-use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary};
+use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary, RunSpec};
 use std::collections::HashMap;
 
 /// SIMD lanes per iteration.
@@ -191,12 +191,12 @@ impl EvalApp for BilinearApp {
         }
     }
 
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, runtime, input)?;
+        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, spec, input)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(
@@ -217,14 +217,23 @@ impl EvalApp for BilinearApp {
 mod tests {
     use super::*;
 
+    use cgsim_runtime::Backend;
+
     #[test]
     fn kernel_matches_reference_cooperative() {
-        BilinearApp.run_functional(Runtime::Cooperative, 4).unwrap();
+        BilinearApp
+            .run_spec(&RunSpec::for_graph("bilinear"), 4)
+            .unwrap();
     }
 
     #[test]
     fn kernel_matches_reference_threaded() {
-        BilinearApp.run_functional(Runtime::Threaded, 4).unwrap();
+        BilinearApp
+            .run_spec(
+                &RunSpec::for_graph("bilinear").backend(Backend::Threaded),
+                4,
+            )
+            .unwrap();
     }
 
     #[test]

@@ -9,14 +9,14 @@
 //! * Algorithm: in-register bitonic network of shuffle/min/max/select
 //!   stages ([`aie_intrinsics::ops::bitonic_sort16`]).
 
-use crate::apps::{checksum_f32, AppRun, EvalApp, Runtime};
+use crate::apps::{checksum_f32, AppRun, EvalApp};
 use crate::support::{measure, run_one_in_one_out_f32};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::ops::bitonic_sort16;
 use aie_intrinsics::Vector;
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
 use cgsim_core::{FlatGraph, PortKind};
-use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary};
+use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary, RunSpec};
 use std::collections::HashMap;
 
 /// Elements per kernel iteration (one vector register).
@@ -132,12 +132,12 @@ impl EvalApp for BitonicApp {
         }
     }
 
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run) = run_one_in_one_out_f32(&graph, &lib, runtime, input)?;
+        let (got, run) = run_one_in_one_out_f32(&graph, &lib, spec, input)?;
         if got != expect {
             return Err(format!(
                 "bitonic output mismatch: {} vs {} elements, first diff at {:?}",
@@ -158,20 +158,31 @@ impl EvalApp for BitonicApp {
 mod tests {
     use super::*;
 
+    use cgsim_runtime::Backend;
+
     #[test]
     fn kernel_matches_reference_cooperative() {
-        BitonicApp.run_functional(Runtime::Cooperative, 32).unwrap();
+        BitonicApp
+            .run_spec(&RunSpec::for_graph("bitonic"), 32)
+            .unwrap();
     }
 
     #[test]
     fn kernel_matches_reference_threaded() {
-        BitonicApp.run_functional(Runtime::Threaded, 32).unwrap();
+        BitonicApp
+            .run_spec(
+                &RunSpec::for_graph("bitonic").backend(Backend::Threaded),
+                32,
+            )
+            .unwrap();
     }
 
     #[test]
     fn both_runtimes_agree_bit_exactly() {
-        let a = BitonicApp.run_functional(Runtime::Cooperative, 16).unwrap();
-        let b = BitonicApp.run_functional(Runtime::Threaded, 16).unwrap();
+        let coop = RunSpec::for_graph("bitonic");
+        let thr = RunSpec::for_graph("bitonic").backend(Backend::Threaded);
+        let a = BitonicApp.run_spec(&coop, 16).unwrap();
+        let b = BitonicApp.run_spec(&thr, 16).unwrap();
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.out_elems, b.out_elems);
     }

@@ -18,14 +18,14 @@
 //!
 //! * Block size (Table 1): **4096 bytes** = 2048 × i16 samples.
 
-use crate::apps::{checksum_i16, AppRun, EvalApp, Runtime};
+use crate::apps::{checksum_i16, AppRun, EvalApp};
 use crate::support::{measure, run_with_param};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::fixed::{quantize_q15, srs};
 use aie_intrinsics::{AccI48, Vector};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
 use cgsim_core::{FlatGraph, PortKind, PortSettings};
-use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary};
+use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary, RunSpec};
 use std::collections::HashMap;
 
 /// Vector width of the fixed-point datapath.
@@ -292,13 +292,13 @@ impl EvalApp for FarrowApp {
         }
     }
 
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let mu = default_mu();
         let expect = reference(&input, mu);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<i16>, AppRun) = run_with_param(&graph, &lib, runtime, input, mu)?;
+        let (got, run): (Vec<i16>, AppRun) = run_with_param(&graph, &lib, spec, input, mu)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(
@@ -319,20 +319,30 @@ impl EvalApp for FarrowApp {
 mod tests {
     use super::*;
 
+    use cgsim_runtime::Backend;
+
     #[test]
     fn kernels_match_reference_cooperative() {
-        FarrowApp.run_functional(Runtime::Cooperative, 2).unwrap();
+        FarrowApp
+            .run_spec(&RunSpec::for_graph("farrow"), 2)
+            .unwrap();
     }
 
     #[test]
     fn kernels_match_reference_threaded() {
-        FarrowApp.run_functional(Runtime::Threaded, 2).unwrap();
+        FarrowApp
+            .run_spec(&RunSpec::for_graph("farrow").backend(Backend::Threaded), 2)
+            .unwrap();
     }
 
     #[test]
     fn runtimes_agree() {
-        let a = FarrowApp.run_functional(Runtime::Cooperative, 1).unwrap();
-        let b = FarrowApp.run_functional(Runtime::Threaded, 1).unwrap();
+        let a = FarrowApp
+            .run_spec(&RunSpec::for_graph("farrow"), 1)
+            .unwrap();
+        let b = FarrowApp
+            .run_spec(&RunSpec::for_graph("farrow").backend(Backend::Threaded), 1)
+            .unwrap();
         assert_eq!(a.checksum, b.checksum);
     }
 

@@ -11,13 +11,13 @@
 //! * Block size (Table 1): **8192 bytes** = 2048 × f32 per kernel
 //!   iteration (one full window).
 
-use crate::apps::{checksum_f32, AppRun, EvalApp, Runtime};
+use crate::apps::{checksum_f32, AppRun, EvalApp};
 use crate::support::{measure, run_simple};
 use aie_intrinsics::counter::{metered, record};
 use aie_intrinsics::{AccF32, OpKind};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
 use cgsim_core::{FlatGraph, PortKind, PortSettings};
-use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary};
+use cgsim_runtime::{compute_graph, compute_kernel, KernelLibrary, RunSpec};
 use std::collections::HashMap;
 
 /// SIMD lanes of the float datapath.
@@ -29,8 +29,8 @@ pub const BLOCK_BYTES: u64 = 8192;
 /// Samples per block/window.
 pub const BLOCK_SAMPLES: usize = (BLOCK_BYTES / 4) as usize;
 
-/// One biquad section: y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2]
-///                            − a1·y[n-1] − a2·y[n-2].
+/// One biquad section: y\[n\] = b0·x\[n\] + b1·x\[n-1\] + b2·x\[n-2\]
+///                            − a1·y\[n-1\] − a2·y\[n-2\].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Biquad {
     /// Feed-forward coefficients.
@@ -243,12 +243,12 @@ impl EvalApp for IirApp {
         }
     }
 
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, runtime, input)?;
+        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, spec, input)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(
@@ -269,14 +269,18 @@ impl EvalApp for IirApp {
 mod tests {
     use super::*;
 
+    use cgsim_runtime::Backend;
+
     #[test]
     fn kernel_matches_reference_cooperative() {
-        IirApp.run_functional(Runtime::Cooperative, 2).unwrap();
+        IirApp.run_spec(&RunSpec::for_graph("iir"), 2).unwrap();
     }
 
     #[test]
     fn kernel_matches_reference_threaded() {
-        IirApp.run_functional(Runtime::Threaded, 2).unwrap();
+        IirApp
+            .run_spec(&RunSpec::for_graph("iir").backend(Backend::Threaded), 2)
+            .unwrap();
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Shared plumbing for the evaluation applications: generic run helpers
 //! over both functional runtimes, and profile bookkeeping.
 
-use crate::apps::{AppRun, Runtime};
+use crate::apps::AppRun;
 use aie_sim::KernelCostProfile;
 use cgsim_core::{FlatGraph, StreamData};
-use cgsim_runtime::{KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim_runtime::{Backend, Interrupt, KernelLibrary, RunSpec, RuntimeContext};
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -24,20 +24,15 @@ pub mod measure {
     }
 }
 
-/// Run a one-input/one-output graph on the chosen runtime; returns outputs
-/// and raw metrics (checksum/out_elems left for the caller to fill).
+/// Run a one-input/one-output graph under `spec`; returns outputs and raw
+/// metrics (checksum/out_elems left for the caller to fill).
 pub fn run_simple<TIn: StreamData, TOut: StreamData>(
     graph: &FlatGraph,
     lib: &KernelLibrary,
-    runtime: Runtime,
+    spec: &RunSpec,
     input: Vec<TIn>,
 ) -> Result<(Vec<TOut>, AppRun), String> {
-    run_with_inputs::<TOut>(
-        graph,
-        lib,
-        runtime,
-        vec![Box::new(move |f| f.feed(0, input))],
-    )
+    run_with_inputs::<TOut>(graph, lib, spec, vec![Box::new(move |f| f.feed(0, input))])
 }
 
 /// Run a graph whose input 0 is a data stream and input 1 a runtime
@@ -45,14 +40,14 @@ pub fn run_simple<TIn: StreamData, TOut: StreamData>(
 pub fn run_with_param<TIn: StreamData, P: StreamData, TOut: StreamData>(
     graph: &FlatGraph,
     lib: &KernelLibrary,
-    runtime: Runtime,
+    spec: &RunSpec,
     input: Vec<TIn>,
     param: P,
 ) -> Result<(Vec<TOut>, AppRun), String> {
     run_with_inputs::<TOut>(
         graph,
         lib,
-        runtime,
+        spec,
         vec![
             Box::new(move |f| f.feed(0, input)),
             Box::new(move |f| f.feed_param(1, param)),
@@ -160,30 +155,12 @@ feeder_impl!(ThreadFeeder);
 fn run_with_inputs<TOut: StreamData>(
     graph: &FlatGraph,
     lib: &KernelLibrary,
-    runtime: Runtime,
+    spec: &RunSpec,
     feeds: Vec<FeedFn>,
 ) -> Result<(Vec<TOut>, AppRun), String> {
-    match runtime {
-        Runtime::Cooperative
-        | Runtime::CooperativeSeeded(_)
-        | Runtime::CooperativeBaseline
-        | Runtime::CooperativeProfiled(_) => {
-            let config = match runtime {
-                Runtime::CooperativeSeeded(seed) => {
-                    RuntimeConfig::scheduled(cgsim_runtime::Schedule::Seeded(seed))
-                }
-                Runtime::CooperativeBaseline => RuntimeConfig {
-                    channels: cgsim_runtime::ChannelMode::Shared,
-                    profiling: cgsim_runtime::Profiling::Full,
-                    ..RuntimeConfig::default()
-                },
-                Runtime::CooperativeProfiled(profiling) => RuntimeConfig {
-                    profiling,
-                    ..RuntimeConfig::default()
-                },
-                _ => RuntimeConfig::default(),
-            };
-            let mut ctx = RuntimeContext::new(graph, lib, config).map_err(|e| e.to_string())?;
+    match spec.target() {
+        Backend::Cooperative => {
+            let mut ctx = RuntimeContext::from_spec(graph, lib, spec).map_err(|e| e.to_string())?;
             for f in feeds {
                 f(&mut CoopFeeder(&mut ctx)).map_err(|e| e.to_string())?;
             }
@@ -191,6 +168,17 @@ fn run_with_inputs<TOut: StreamData>(
             let start = Instant::now();
             let report = ctx.run().map_err(|e| e.to_string())?;
             let wall_time = start.elapsed();
+            match report.interrupted() {
+                Some(Interrupt::Deadline) => {
+                    return Err(format!(
+                        "deadline exceeded after {:?} ({} polls)",
+                        spec.deadline_budget().unwrap_or_default(),
+                        report.exec.polls
+                    ))
+                }
+                Some(Interrupt::Cancelled) => return Err("run cancelled".into()),
+                None => {}
+            }
             if !report.drained() {
                 return Err(format!("graph stalled: {:?}", report.stalled));
             }
@@ -204,9 +192,14 @@ fn run_with_inputs<TOut: StreamData>(
                 },
             ))
         }
-        Runtime::Threaded => {
-            let mut ctx = ThreadedContext::new(graph, lib, ThreadedConfig::default())
-                .map_err(|e| e.to_string())?;
+        Backend::Threaded => {
+            // Only `default_depth` carries over: schedule, faults, profiling
+            // and deadline are cooperative-engine concepts (see
+            // `Backend::Threaded` docs).
+            let config = ThreadedConfig {
+                default_depth: spec.config().default_depth,
+            };
+            let mut ctx = ThreadedContext::new(graph, lib, config).map_err(|e| e.to_string())?;
             for f in feeds {
                 f(&mut ThreadFeeder(&mut ctx)).map_err(|e| e.to_string())?;
             }
@@ -231,8 +224,8 @@ fn run_with_inputs<TOut: StreamData>(
 pub fn run_one_in_one_out_f32(
     graph: &FlatGraph,
     lib: &KernelLibrary,
-    runtime: Runtime,
+    spec: &RunSpec,
     input: Vec<f32>,
 ) -> Result<(Vec<f32>, AppRun), String> {
-    run_simple::<f32, f32>(graph, lib, runtime, input)
+    run_simple::<f32, f32>(graph, lib, spec, input)
 }

@@ -42,6 +42,25 @@ pub use style::dot_style;
 
 use cgsim_core::FlatGraph;
 
+/// What to do with Error-severity lint findings before running or deploying
+/// a graph.
+///
+/// This is the policy knob shared by every lint gate in the workspace: the
+/// runtime's ahead-of-run verification (`cgsim-runtime`), the deployment
+/// gate (`aie-sim`), and the `RunSpec` launch API all consume it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyPolicy {
+    /// Refuse to proceed (`cgsim_core::GraphError::LintRejected`, code
+    /// `CG012`). The default: a graph the verifier can prove broken —
+    /// deadlocked, rate-imbalanced, over budget — should not burn a run.
+    #[default]
+    Deny,
+    /// Print the report to stderr and proceed anyway.
+    Warn,
+    /// Skip the ahead-of-run verification entirely.
+    Off,
+}
+
 /// Run every lint pass over `graph` and collect the findings.
 ///
 /// Passes run in order: structural integrity (`CG00x`), reachability

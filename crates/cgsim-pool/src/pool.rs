@@ -1,0 +1,381 @@
+//! The worker pool: bounded admission, per-worker deques with stealing,
+//! and the job-execution protocol (deadline / cancellation / panic
+//! containment) every worker follows.
+
+use crate::job::{
+    Admission, HandleState, Job, JobCtx, JobHandle, JobOutcome, JobResult, PoolConfig, SubmitError,
+};
+use crate::report::{JobTrace, PoolReport};
+use cgsim_runtime::CancelToken;
+use cgsim_trace::{MetricsRegistry, Tracer};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A job that has passed admission and waits in a worker's deque.
+struct QueuedJob {
+    job: Job,
+    index: u64,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    handle: Arc<HandleState>,
+}
+
+/// Admission bookkeeping under the central lock.
+struct State {
+    /// Jobs sitting in deques, not yet claimed by a worker.
+    queued: usize,
+    /// Admission slots in use (admitted, not yet dequeued).
+    slots: usize,
+    /// No new submissions; workers drain and exit.
+    shutdown: bool,
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or shutdown begins.
+    work_cv: Condvar,
+    /// Signalled when an admission slot frees (or on shutdown), waking
+    /// blocked submitters.
+    slot_cv: Condvar,
+    deques: Vec<Mutex<VecDeque<QueuedJob>>>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) traces: Mutex<Vec<JobTrace>>,
+    pub(crate) epoch: Instant,
+    capacity: usize,
+    admission: Admission,
+    trace_jobs: bool,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Work-stealing pool of graph-simulation workers. See the crate docs for
+/// the execution model; construct with [`Pool::new`], submit [`Job`]s, and
+/// finish with [`Pool::shutdown`] (or use the one-shot
+/// [`Pool::run_batch`]).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Round-robin injection cursor.
+    next: AtomicUsize,
+    submitted: AtomicU64,
+}
+
+impl Pool {
+    /// Spawn the pool's worker threads.
+    pub fn new(config: PoolConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queued: 0,
+                slots: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            slot_cv: Condvar::new(),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            metrics: MetricsRegistry::new(),
+            traces: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            capacity: config.queue_capacity.max(1),
+            admission: config.admission,
+            trace_jobs: config.trace,
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cgsim-pool-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+            next: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Submit one job. Blocks or rejects on a full queue according to the
+    /// pool's [`Admission`] policy; the job's deadline budget (if any)
+    /// starts counting *now*, so time blocked here and queued is spent
+    /// from it.
+    pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
+        let submitted = Instant::now();
+        let deadline = job.spec.deadline_budget().map(|budget| submitted + budget);
+        {
+            let mut st = self.shared.lock_state();
+            loop {
+                if st.shutdown {
+                    return Err(SubmitError::ShuttingDown);
+                }
+                if st.slots < self.shared.capacity {
+                    st.slots += 1;
+                    break;
+                }
+                match self.shared.admission {
+                    Admission::Reject => return Err(SubmitError::QueueFull),
+                    Admission::Block => {
+                        st = self
+                            .shared
+                            .slot_cv
+                            .wait(st)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+
+        let index = self.submitted.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let handle = JobHandle {
+            index,
+            label: job.spec.label().to_string(),
+            cancel: cancel.clone(),
+            state: HandleState::new(),
+        };
+        let queued = QueuedJob {
+            job,
+            index,
+            submitted,
+            deadline,
+            cancel,
+            handle: Arc::clone(&handle.state),
+        };
+
+        // Publish the job before making it visible through `queued`, so any
+        // worker whose claim this submission satisfies finds it in a deque.
+        let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        self.shared.deques[target]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(queued);
+        self.shared.lock_state().queued += 1;
+        self.shared.work_cv.notify_one();
+        self.shared
+            .metrics
+            .counter("pool_jobs_submitted", &[])
+            .inc();
+        Ok(handle)
+    }
+
+    /// Signal shutdown, drain every queued job, join the workers and
+    /// return the pool-level report.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.finish();
+        let jobs = self.submitted.load(Ordering::Relaxed);
+        let workers = self.workers();
+        let shared = &self.shared;
+        PoolReport {
+            workers,
+            jobs,
+            metrics: shared.metrics.snapshot(),
+            traces: std::mem::take(&mut shared.traces.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Run `jobs` to completion on a fresh pool and return `(outcomes,
+    /// report)`, outcomes in submission order. Admission is forced to
+    /// [`Admission::Block`] so every job is accepted.
+    pub fn run_batch(config: PoolConfig, jobs: Vec<Job>) -> (Vec<JobOutcome>, PoolReport) {
+        let pool = Pool::new(config.with_admission(Admission::Block));
+        let handles: Vec<JobHandle> = jobs
+            .into_iter()
+            .map(|job| pool.submit(job).expect("fresh pool accepts submissions"))
+            .collect();
+        let outcomes = handles.iter().map(JobHandle::wait).collect();
+        (outcomes, pool.shutdown())
+    }
+
+    fn finish(&mut self) {
+        self.shared.lock_state().shutdown = true;
+        self.shared.work_cv.notify_all();
+        self.shared.slot_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        // Claim one unit of queued work (or exit once drained + shutdown).
+        {
+            let mut st = shared.lock_state();
+            loop {
+                if st.queued > 0 {
+                    st.queued -= 1;
+                    st.slots -= 1;
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // The claim freed an admission slot: wake one blocked submitter.
+        shared.slot_cv.notify_one();
+        let job = take_job(shared, me);
+        run_job(shared, me, job);
+    }
+}
+
+/// Fetch the queued job backing a successful claim: own deque from the
+/// front (FIFO), then steal from the back of the others. A claim
+/// guarantees at least as many deque entries as outstanding claims, so
+/// the scan terminates.
+fn take_job(shared: &Shared, me: usize) -> QueuedJob {
+    loop {
+        if let Some(job) = shared.deques[me]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return job;
+        }
+        for (other, deque) in shared.deques.iter().enumerate() {
+            if other == me {
+                continue;
+            }
+            if let Some(job) = deque.lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+                shared.metrics.counter("pool_steals", &[]).inc();
+                return job;
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_job(shared: &Shared, me: usize, queued: QueuedJob) {
+    let QueuedJob {
+        job,
+        index,
+        submitted,
+        deadline,
+        cancel,
+        handle,
+    } = queued;
+    let label = job.spec.label().to_string();
+    let queue_wait = submitted.elapsed();
+    shared
+        .metrics
+        .histogram("pool_queue_wait_ns", &[])
+        .observe(queue_wait.as_nanos() as u64);
+
+    let outcome = if cancel.is_cancelled() {
+        JobOutcome::Cancelled
+    } else if deadline.is_some_and(|at| Instant::now() >= at) {
+        // Expired while queued: don't waste the worker on it.
+        JobOutcome::TimedOut
+    } else {
+        let tracer = if shared.trace_jobs {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let ctx = JobCtx {
+            worker: me,
+            index,
+            spec: job.spec,
+            tracer: tracer.clone(),
+            cancel: cancel.clone(),
+            deadline,
+            trace_slot: Mutex::new(None),
+        };
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx)));
+        let wall = started.elapsed();
+        // Prefer the snapshot the closure explicitly kept (a finished
+        // run's drained trace); fall back to whatever is still in the
+        // job tracer's ring.
+        let kept = ctx
+            .trace_slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match result {
+            Err(payload) => JobOutcome::Failed(format!(
+                "job '{label}' panicked: {}",
+                panic_message(payload)
+            )),
+            // An Err from the closure is re-attributed to the stronger
+            // signal when one fired: a cancelled or over-deadline
+            // cooperative run surfaces as an error string from the entry
+            // point, but the *outcome* is the interrupt, not the message.
+            Ok(Err(message)) => {
+                if cancel.is_cancelled() {
+                    JobOutcome::Cancelled
+                } else if deadline.is_some_and(|at| Instant::now() >= at) {
+                    JobOutcome::TimedOut
+                } else {
+                    JobOutcome::Failed(message)
+                }
+            }
+            Ok(Ok(output)) => {
+                shared
+                    .metrics
+                    .histogram("pool_job_wall_ns", &[])
+                    .observe(wall.as_nanos() as u64);
+                let trace = Arc::new(kept.unwrap_or_else(|| tracer.snapshot()));
+                shared
+                    .traces
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(JobTrace {
+                        label: label.clone(),
+                        worker: me,
+                        start_offset_ns: started.duration_since(shared.epoch).as_nanos() as u64,
+                        snapshot: Arc::clone(&trace),
+                    });
+                JobOutcome::Completed(JobResult {
+                    label,
+                    worker: me,
+                    output,
+                    wall,
+                    queue_wait,
+                    trace,
+                })
+            }
+        }
+    };
+
+    let bucket = match &outcome {
+        JobOutcome::Completed(_) => "pool_jobs_completed",
+        JobOutcome::TimedOut => "pool_jobs_timed_out",
+        JobOutcome::Cancelled => "pool_jobs_cancelled",
+        JobOutcome::Failed(_) => "pool_jobs_failed",
+    };
+    shared.metrics.counter(bucket, &[]).inc();
+    handle.publish(outcome);
+}

@@ -9,29 +9,29 @@
 //! a [`RunReport`].
 
 use crate::channel::{Channel, ChannelMode, ChannelStats};
-use crate::executor::{ExecStats, Executor, FaultPlan, Profiling, Schedule};
+use crate::executor::{
+    CancelToken, ExecStats, Executor, FaultPlan, Interrupt, Profiling, Schedule,
+};
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
+use crate::spec::RunSpec;
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
 use cgsim_trace::{TraceSnapshot, Tracer};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-/// What to do with Error-severity `cgsim-lint` findings before running a
-/// graph.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum VerifyPolicy {
-    /// Refuse to instantiate the graph ([`cgsim_core::GraphError::LintRejected`],
-    /// code `CG012`). The default: a graph the verifier can prove broken —
-    /// deadlocked, rate-imbalanced, over budget — should not burn a run.
-    #[default]
-    Deny,
-    /// Print the report to stderr and run anyway.
-    Warn,
-    /// Skip the ahead-of-run verification entirely.
-    Off,
-}
+// The lint-gate policy lives in `cgsim-lint` (it is shared with `aie-sim`'s
+// deployment gate); re-exported here so existing
+// `cgsim_runtime::VerifyPolicy` paths keep working.
+pub use cgsim_lint::VerifyPolicy;
 
 /// Tunables for a simulation run.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`RuntimeConfig::default`]
+/// (or the higher-level [`RunSpec`] builder) and
+/// adjust fields through the `with_*` setters, so new tunables stop being
+/// breaking changes for downstream crates.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct RuntimeConfig {
     /// Channel capacity (elements) for connectors that do not specify an
     /// explicit `depth` in their merged settings.
@@ -76,10 +76,50 @@ impl Default for RuntimeConfig {
 impl RuntimeConfig {
     /// The default configuration running under `schedule`.
     pub fn scheduled(schedule: Schedule) -> Self {
-        RuntimeConfig {
-            schedule,
-            ..RuntimeConfig::default()
-        }
+        RuntimeConfig::default().with_schedule(schedule)
+    }
+
+    /// Set the default channel capacity (elements) for connectors without an
+    /// explicit `depth`.
+    pub fn with_default_depth(mut self, depth: usize) -> Self {
+        self.default_depth = depth;
+        self
+    }
+
+    /// Bound total scheduler polls (safety valve against busy-yield loops).
+    pub fn with_max_polls(mut self, budget: u64) -> Self {
+        self.max_polls = Some(budget);
+        self
+    }
+
+    /// Set the ready-list schedule policy.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enable seeded fault injection.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Set the ahead-of-run lint-gate policy.
+    pub fn with_verify(mut self, policy: VerifyPolicy) -> Self {
+        self.verify = policy;
+        self
+    }
+
+    /// Set the channel storage policy.
+    pub fn with_channels(mut self, mode: ChannelMode) -> Self {
+        self.channels = mode;
+        self
+    }
+
+    /// Set the per-poll timing mode.
+    pub fn with_profiling(mut self, profiling: Profiling) -> Self {
+        self.profiling = profiling;
+        self
     }
 }
 
@@ -153,6 +193,11 @@ impl RunReport {
         self.stalled.is_empty()
     }
 
+    /// Why the run stopped early (deadline / cancellation), if it did.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.exec.interrupted
+    }
+
     /// Busy time of one task by label, if present.
     pub fn busy_of(&self, label: &str) -> Option<std::time::Duration> {
         self.tasks.iter().find(|t| t.label == label).map(|t| t.busy)
@@ -207,6 +252,47 @@ impl<'g> RuntimeContext<'g> {
         config: RuntimeConfig,
     ) -> Result<Self, GraphError> {
         Self::with_tracer(graph, library, config, Tracer::default())
+    }
+
+    /// Instantiate from a [`RunSpec`] — the unified launch API. Applies the
+    /// spec's runtime configuration and, when the spec carries a deadline
+    /// budget, arms it from this instant.
+    ///
+    /// The spec's backend tag is not dispatched here: `RuntimeContext` *is*
+    /// the cooperative backend. Callers that honour
+    /// [`Backend::Threaded`](crate::spec::Backend) dispatch before reaching
+    /// this constructor (see `cgsim-graphs::support` and `cgsim-pool`).
+    pub fn from_spec(
+        graph: &'g FlatGraph,
+        library: &'g KernelLibrary,
+        spec: &RunSpec,
+    ) -> Result<Self, GraphError> {
+        Self::from_spec_with_tracer(graph, library, spec, Tracer::default())
+    }
+
+    /// [`RuntimeContext::from_spec`] with an attached tracer.
+    pub fn from_spec_with_tracer(
+        graph: &'g FlatGraph,
+        library: &'g KernelLibrary,
+        spec: &RunSpec,
+        tracer: Tracer,
+    ) -> Result<Self, GraphError> {
+        let mut ctx = Self::with_tracer(graph, library, *spec.config(), tracer)?;
+        if let Some(budget) = spec.deadline_budget() {
+            ctx.set_deadline(Instant::now() + budget);
+        }
+        Ok(ctx)
+    }
+
+    /// Arm a wall-clock deadline on the embedded scheduler; past it the run
+    /// stops with [`Interrupt::Deadline`] in the report.
+    pub fn set_deadline(&mut self, at: Instant) {
+        self.executor.set_deadline(at);
+    }
+
+    /// Attach a cancellation token to the embedded scheduler.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.executor.set_cancel(token);
     }
 
     /// Like [`RuntimeContext::new`], but wires every channel and the

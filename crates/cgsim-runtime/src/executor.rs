@@ -158,6 +158,51 @@ impl FaultPlan {
     }
 }
 
+/// Cooperative cancellation token: a cheap, cloneable flag shared between a
+/// run and whoever may need to stop it (another thread, a pool supervisor, a
+/// signal handler). Cancelling is advisory — the executor notices at its
+/// next interrupt checkpoint (every [`INTERRUPT_CHECK_EVERY`] polls) and
+/// stops the loop, reporting [`Interrupt::Cancelled`] in [`ExecStats`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a run loop stopped before quiescence (deadline or cancellation).
+/// Distinct from a poll-budget stop, which reports no interrupt — budget
+/// exhaustion is a diagnostic safety valve, these are control-plane events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The wall-clock deadline installed with [`Executor::with_deadline`]
+    /// passed.
+    Deadline,
+    /// The [`CancelToken`] installed with [`Executor::with_cancel`] fired.
+    Cancelled,
+}
+
+/// How often (in polls) the run loop checks the deadline and cancel token.
+/// A power of two keeps the check one AND + branch on the hot path; the
+/// checkpoint never perturbs schedule order, so interruptible runs stay
+/// bit-deterministic right up to the interrupt.
+pub const INTERRUPT_CHECK_EVERY: u64 = 64;
+
 /// How much per-poll wall-clock timing the run loop performs (§5.2).
 ///
 /// The paper's perf methodology samples the running simulator rather than
@@ -212,6 +257,10 @@ pub struct ExecStats {
     pub kernel_time: Duration,
     /// Total wall-clock time of the run loop.
     pub total_time: Duration,
+    /// Set when the loop stopped on a deadline or cancellation instead of
+    /// reaching quiescence; `None` for a run that drained (or exhausted its
+    /// poll budget).
+    pub interrupted: Option<Interrupt>,
 }
 
 impl ExecStats {
@@ -330,6 +379,8 @@ pub struct Executor {
     faults: Option<(SplitMix64, u8)>,
     profiling: Profiling,
     tracer: Tracer,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Executor {
@@ -352,6 +403,8 @@ impl Executor {
             faults: None,
             profiling: Profiling::default(),
             tracer: Tracer::default(),
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -404,6 +457,33 @@ impl Executor {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some((SplitMix64(plan.seed), plan.stall_pct.min(90)));
         self
+    }
+
+    /// Install a wall-clock deadline: the run loop stops at its next
+    /// interrupt checkpoint once `at` has passed, reporting
+    /// [`Interrupt::Deadline`] and leaving unfinished tasks in the stalled
+    /// list.
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.set_deadline(at);
+        self
+    }
+
+    /// Non-consuming form of [`Executor::with_deadline`], for contexts that
+    /// already own the executor.
+    pub fn set_deadline(&mut self, at: Instant) {
+        self.deadline = Some(at);
+    }
+
+    /// Install a cancellation token: when `token` fires, the run loop stops
+    /// at its next interrupt checkpoint, reporting [`Interrupt::Cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.set_cancel(token);
+        self
+    }
+
+    /// Non-consuming form of [`Executor::with_cancel`].
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     fn ready(&self) -> &Arc<ReadyQueue> {
@@ -478,6 +558,7 @@ impl Executor {
             self.tracer
                 .histogram("poll_ns", &[("sample_every", &sample_every.to_string())])
         });
+        let interruptible = self.deadline.is_some() || self.cancel.is_some();
         loop {
             let next = if self.fifo {
                 ready.pop_front()
@@ -487,6 +568,20 @@ impl Executor {
             let Some(id) = next else { break };
             if self.poll_budget.is_some_and(|b| stats.polls >= b) {
                 break; // budget exhausted: remaining tasks report as stalled
+            }
+            // Interrupt checkpoint: amortised over INTERRUPT_CHECK_EVERY
+            // polls so the deadline's `Instant::now()` stays off the hot
+            // path. The popped task simply does not run — its `scheduled`
+            // flag stays set, exactly like a budget-exhaustion break.
+            if interruptible && stats.polls.is_multiple_of(INTERRUPT_CHECK_EVERY) {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    stats.interrupted = Some(Interrupt::Cancelled);
+                    break;
+                }
+                if self.deadline.is_some_and(|at| Instant::now() >= at) {
+                    stats.interrupted = Some(Interrupt::Deadline);
+                    break;
+                }
             }
             if let Some((rng, pct)) = self.faults.as_mut() {
                 // Forced stall: skip this task's turn and send it to the
@@ -839,6 +934,76 @@ mod tests {
         assert!(stalled.contains(&"spinner".to_string()));
         // The well-behaved task may or may not have completed depending on
         // interleaving, but the run terminated — that is the guarantee.
+    }
+
+    /// Busy-yields forever — reused by the interrupt tests below.
+    struct Spinner2;
+    impl Future for Spinner2 {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_a_spinning_run() {
+        let mut ex = Executor::new().with_deadline(Instant::now() + Duration::from_millis(5));
+        ex.spawn("spinner", Box::pin(Spinner2));
+        let (stats, stalled) = ex.run();
+        assert_eq!(stats.interrupted, Some(Interrupt::Deadline));
+        assert_eq!(stalled, vec!["spinner".to_string()]);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_a_spinning_run() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ex = Executor::new().with_cancel(token);
+        ex.spawn("spinner", Box::pin(Spinner2));
+        let (stats, stalled) = ex.run();
+        assert_eq!(stats.interrupted, Some(Interrupt::Cancelled));
+        assert_eq!(stalled, vec!["spinner".to_string()]);
+    }
+
+    #[test]
+    fn uninterrupted_run_reports_no_interrupt() {
+        let token = CancelToken::new();
+        let mut ex = Executor::new()
+            .with_cancel(token.clone())
+            .with_deadline(Instant::now() + Duration::from_secs(3600));
+        ex.spawn(
+            "t",
+            Box::pin(async {
+                YieldN { remaining: 3 }.await;
+            }),
+        );
+        let (stats, stalled) = ex.run();
+        assert_eq!(stats.interrupted, None);
+        assert!(stalled.is_empty());
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn interrupt_checkpoint_preserves_schedule_determinism() {
+        // Installing a far-future deadline must not change the poll order.
+        let without = interleaving_of(Schedule::Fifo);
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex = Executor::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            ex.spawn(
+                name,
+                Box::pin(async move {
+                    for i in 0..3 {
+                        log.borrow_mut().push(format!("{name}{i}"));
+                        YieldN { remaining: 1 }.await;
+                    }
+                }),
+            );
+        }
+        ex.run();
+        assert_eq!(without, *log.borrow());
     }
 
     #[cfg(feature = "trace")]

@@ -51,6 +51,7 @@ pub mod library;
 #[macro_use]
 pub mod macros;
 pub mod port;
+pub mod spec;
 
 // Re-exported so `compute_kernel!` expansions can reach core types through
 // `$crate`.
@@ -60,8 +61,9 @@ pub use cgsim_trace;
 pub use channel::{Channel, ChannelAdmin, ChannelMode, ChannelStats, Consumer, Producer};
 pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle, VerifyPolicy};
 pub use executor::{
-    block_on, ExecStats, Executor, FaultPlan, FifoPolicy, LifoPolicy, LocalBoxFuture, Profiling,
-    Schedule, SchedulePolicy, SeededPolicy, TaskProfile,
+    block_on, CancelToken, ExecStats, Executor, FaultPlan, FifoPolicy, Interrupt, LifoPolicy,
+    LocalBoxFuture, Profiling, Schedule, SchedulePolicy, SeededPolicy, TaskProfile,
 };
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};
 pub use port::{KernelReadPort, KernelWritePort};
+pub use spec::{Backend, RunSpec};

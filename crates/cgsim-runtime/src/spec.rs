@@ -1,0 +1,217 @@
+//! `RunSpec` — the unified launch API.
+//!
+//! Before this module existed every entry point grew its own launch matrix:
+//! `cgsim-graphs` dispatched on an ad-hoc `Runtime` enum, the conformance
+//! oracle assembled `RuntimeConfig` literals per leg, the bench harness
+//! hard-coded channel/profiling pairs, and `aie-sim` split deployment into
+//! checked/unchecked functions. [`RunSpec`] subsumes all of them: one
+//! chainable builder naming the run, choosing the backend, and carrying the
+//! full [`RuntimeConfig`] plus an optional wall-clock deadline budget.
+//!
+//! ```
+//! use cgsim_runtime::{Profiling, RunSpec, Schedule, VerifyPolicy};
+//! use std::time::Duration;
+//!
+//! let spec = RunSpec::for_graph("bitonic")
+//!     .schedule(Schedule::Seeded(42))
+//!     .profiling(Profiling::Full)
+//!     .verify(VerifyPolicy::Warn)
+//!     .deadline(Duration::from_secs(2));
+//! assert_eq!(spec.label(), "bitonic");
+//! assert_eq!(spec.config().schedule, Schedule::Seeded(42));
+//! ```
+//!
+//! [`RuntimeContext::from_spec`](crate::RuntimeContext::from_spec) launches
+//! a cooperative run directly from a spec; `cgsim-graphs::support` adds the
+//! [`Backend::Threaded`] dispatch; `cgsim-pool` executes whole batches of
+//! specs on a worker pool.
+
+use crate::channel::ChannelMode;
+use crate::context::{RuntimeConfig, VerifyPolicy};
+use crate::executor::{FaultPlan, Profiling, Schedule};
+use std::time::Duration;
+
+/// Which execution engine a [`RunSpec`] targets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The cooperative single-threaded simulator (`cgsim`, the paper's
+    /// primary engine).
+    #[default]
+    Cooperative,
+    /// The thread-per-kernel functional simulator (`cgsim-threads`, the
+    /// paper's x86sim comparison point). Only `default_depth` of the
+    /// runtime configuration applies; schedule, faults, profiling and
+    /// deadline are cooperative-engine concepts.
+    Threaded,
+}
+
+/// A complete, self-contained description of one simulation run: label,
+/// backend, runtime configuration and deadline budget.
+///
+/// Cheap to clone and `Send`, so one spec can parameterise many instances
+/// (the `cgsim-pool` batch engine submits one job per spec).
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    label: String,
+    backend: Backend,
+    config: RuntimeConfig,
+    deadline: Option<Duration>,
+}
+
+impl Default for RunSpec {
+    /// An unnamed cooperative run under the default configuration.
+    fn default() -> Self {
+        RunSpec::for_graph("run")
+    }
+}
+
+impl RunSpec {
+    /// Start a spec for the graph (or workload) called `label`. The label
+    /// names the run in pool reports, trace lanes and diagnostics; it does
+    /// not have to match the graph's own name.
+    pub fn for_graph(label: impl Into<String>) -> Self {
+        RunSpec {
+            label: label.into(),
+            backend: Backend::Cooperative,
+            config: RuntimeConfig::default(),
+            deadline: None,
+        }
+    }
+
+    /// Select the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the scheduler's ready-list policy.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config = self.config.with_schedule(schedule);
+        self
+    }
+
+    /// Set the channel storage policy.
+    pub fn channels(mut self, mode: ChannelMode) -> Self {
+        self.config = self.config.with_channels(mode);
+        self
+    }
+
+    /// Set the per-poll timing mode.
+    pub fn profiling(mut self, profiling: Profiling) -> Self {
+        self.config = self.config.with_profiling(profiling);
+        self
+    }
+
+    /// Set the ahead-of-run lint-gate policy.
+    pub fn verify(mut self, policy: VerifyPolicy) -> Self {
+        self.config = self.config.with_verify(policy);
+        self
+    }
+
+    /// Enable seeded fault injection.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config = self.config.with_faults(plan);
+        self
+    }
+
+    /// Give the run a wall-clock budget. The clock starts when the run (not
+    /// the spec) is created; under `cgsim-pool` it starts at job submission,
+    /// so time spent queued counts against the budget.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bound total scheduler polls (safety valve against busy-yield loops).
+    pub fn max_polls(mut self, budget: u64) -> Self {
+        self.config = self.config.with_max_polls(budget);
+        self
+    }
+
+    /// Set the default channel capacity for connectors without an explicit
+    /// `depth`.
+    pub fn default_depth(mut self, depth: usize) -> Self {
+        self.config = self.config.with_default_depth(depth);
+        self
+    }
+
+    /// Replace the embedded runtime configuration wholesale — the bridge
+    /// for callers that already hold a [`RuntimeConfig`].
+    pub fn with_config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The run's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The backend this spec targets (set with [`RunSpec::backend`]).
+    pub fn target(&self) -> Backend {
+        self.backend
+    }
+
+    /// The embedded runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The wall-clock budget, if one was set with [`RunSpec::deadline`].
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_covers_every_axis() {
+        let spec = RunSpec::for_graph("g")
+            .backend(Backend::Threaded)
+            .schedule(Schedule::Lifo)
+            .channels(ChannelMode::Shared)
+            .profiling(Profiling::Off)
+            .verify(VerifyPolicy::Off)
+            .faults(FaultPlan::new(7, 25))
+            .deadline(Duration::from_millis(250))
+            .max_polls(1_000)
+            .default_depth(8);
+        assert_eq!(spec.label(), "g");
+        assert_eq!(spec.target(), Backend::Threaded);
+        let cfg = spec.config();
+        assert_eq!(cfg.schedule, Schedule::Lifo);
+        assert_eq!(cfg.channels, ChannelMode::Shared);
+        assert_eq!(cfg.profiling, Profiling::Off);
+        assert_eq!(cfg.verify, VerifyPolicy::Off);
+        assert_eq!(cfg.faults, Some(FaultPlan::new(7, 25)));
+        assert_eq!(cfg.max_polls, Some(1_000));
+        assert_eq!(cfg.default_depth, 8);
+        assert_eq!(spec.deadline_budget(), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn default_spec_matches_default_config() {
+        let spec = RunSpec::default();
+        assert_eq!(spec.target(), Backend::Cooperative);
+        assert_eq!(spec.deadline_budget(), None);
+        let d = RuntimeConfig::default();
+        let c = spec.config();
+        assert_eq!(c.schedule, d.schedule);
+        assert_eq!(c.channels, d.channels);
+        assert_eq!(c.verify, d.verify);
+        assert_eq!(c.default_depth, d.default_depth);
+    }
+
+    #[test]
+    fn with_config_replaces_wholesale() {
+        let cfg = RuntimeConfig::default()
+            .with_max_polls(99)
+            .with_schedule(Schedule::Seeded(3));
+        let spec = RunSpec::for_graph("x").with_config(cfg);
+        assert_eq!(spec.config().max_polls, Some(99));
+        assert_eq!(spec.config().schedule, Schedule::Seeded(3));
+    }
+}

@@ -23,8 +23,56 @@ fn side_name(side: BlockSide) -> &'static str {
     }
 }
 
-/// Build the `traceEvents` array for a snapshot.
+/// Where one snapshot's events land inside a (possibly multi-process)
+/// Chrome-trace document. The single-run exporters use the default
+/// placement: process 1, bare kernel-name tracks, timestamps as recorded.
+/// `cgsim-pool` gives each worker its own `pid` lane, prefixes tracks with
+/// the job label, and shifts each job onto the pool's shared clock.
+#[derive(Clone, Debug)]
+pub struct TrackPlacement {
+    /// Chrome-trace process id (one lane per worker in pool exports).
+    pub pid: u64,
+    /// Optional prefix for every track (`tid`) name, rendered `prefix/tid`.
+    pub lane: Option<String>,
+    /// Added to every record timestamp, mapping a per-run epoch onto a
+    /// shared trace clock (nanoseconds).
+    pub ts_offset_ns: u64,
+}
+
+impl Default for TrackPlacement {
+    fn default() -> Self {
+        TrackPlacement {
+            pid: 1,
+            lane: None,
+            ts_offset_ns: 0,
+        }
+    }
+}
+
+impl TrackPlacement {
+    fn tid(&self, name: String) -> String {
+        match &self.lane {
+            Some(prefix) => format!("{prefix}/{name}"),
+            None => name,
+        }
+    }
+}
+
+/// Build the `traceEvents` array for a snapshot under the default
+/// placement.
 pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
+    chrome_trace_events_placed(snapshot, &TrackPlacement::default())
+}
+
+/// Build the `traceEvents` array for a snapshot placed at `place` — the
+/// building block for merging many runs (pool jobs, oracle legs) into one
+/// document.
+pub fn chrome_trace_events_placed(
+    snapshot: &TraceSnapshot,
+    place: &TrackPlacement,
+) -> Vec<serde_json::Value> {
+    let pid = place.pid;
+    let off = place.ts_offset_ns;
     let mut events = Vec::new();
     // Open polls, keyed by kernel: PollBegin timestamp awaiting its PollEnd.
     let mut open_polls: HashMap<u32, u64> = HashMap::new();
@@ -40,10 +88,10 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "name": format!("iter {iteration}"),
                     "cat": "kernel",
                     "ph": "X",
-                    "ts": us(start_ns),
+                    "ts": us(start_ns + off),
                     "dur": us(ts.saturating_sub(start_ns)),
-                    "pid": 1,
-                    "tid": snapshot.kernel_name(kernel),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.kernel_name(kernel)),
                 }));
             }
             TraceEvent::PollBegin { kernel } => {
@@ -57,10 +105,10 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "name": "poll",
                     "cat": "runtime",
                     "ph": "X",
-                    "ts": us(begin),
+                    "ts": us(begin + off),
                     "dur": us(ts.saturating_sub(begin)),
-                    "pid": 1,
-                    "tid": snapshot.kernel_name(kernel),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.kernel_name(kernel)),
                     "args": serde_json::json!({ "pending": pending }),
                 }));
             }
@@ -70,9 +118,9 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "cat": "sched",
                     "ph": "i",
                     "s": "t",
-                    "ts": us(ts),
-                    "pid": 1,
-                    "tid": snapshot.kernel_name(kernel),
+                    "ts": us(ts + off),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.kernel_name(kernel)),
                 }));
             }
             TraceEvent::ChannelPush { channel, occupancy }
@@ -81,8 +129,8 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "name": format!("occupancy {}", snapshot.channel_name(channel)),
                     "cat": "channel",
                     "ph": "C",
-                    "ts": us(ts),
-                    "pid": 1,
+                    "ts": us(ts + off),
+                    "pid": pid,
                     "args": serde_json::json!({ "elements": occupancy }),
                 }));
             }
@@ -92,9 +140,9 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "cat": "channel",
                     "ph": "b",
                     "id": channel.0 as u64 * 2 + matches!(side, BlockSide::Read) as u64,
-                    "ts": us(ts),
-                    "pid": 1,
-                    "tid": snapshot.channel_name(channel),
+                    "ts": us(ts + off),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.channel_name(channel)),
                 }));
             }
             TraceEvent::ChannelUnblock { channel, side } => {
@@ -103,9 +151,9 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "cat": "channel",
                     "ph": "e",
                     "id": channel.0 as u64 * 2 + matches!(side, BlockSide::Read) as u64,
-                    "ts": us(ts),
-                    "pid": 1,
-                    "tid": snapshot.channel_name(channel),
+                    "ts": us(ts + off),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.channel_name(channel)),
                 }));
             }
             TraceEvent::Stall { kernel } => {
@@ -114,9 +162,9 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "cat": "stall",
                     "ph": "i",
                     "s": "t",
-                    "ts": us(ts),
-                    "pid": 1,
-                    "tid": snapshot.kernel_name(kernel),
+                    "ts": us(ts + off),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.kernel_name(kernel)),
                 }));
             }
             TraceEvent::SourceIo { kernel, elements } | TraceEvent::SinkIo { kernel, elements } => {
@@ -125,9 +173,9 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
                     "cat": "io",
                     "ph": "i",
                     "s": "t",
-                    "ts": us(ts),
-                    "pid": 1,
-                    "tid": snapshot.kernel_name(kernel),
+                    "ts": us(ts + off),
+                    "pid": pid,
+                    "tid": place.tid(snapshot.kernel_name(kernel)),
                     "args": serde_json::json!({ "elements": elements }),
                 }));
             }
@@ -142,6 +190,28 @@ pub fn chrome_trace_events(snapshot: &TraceSnapshot) -> Vec<serde_json::Value> {
 /// Render a snapshot as a complete Chrome-trace JSON document.
 pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
     let events = chrome_trace_events(snapshot);
+    serde_json::to_string_pretty(&serde_json::json!({
+        "traceEvents": serde_json::Value::Array(events),
+        "displayTimeUnit": "ns",
+    }))
+    .expect("chrome trace serializes")
+}
+
+/// Merge many placed snapshots into one Chrome-trace document. Each part
+/// contributes a named process lane (`process_name` metadata + its events
+/// under the part's placement) — how the pool renders worker lanes as
+/// parallel tracks of one trace.
+pub fn chrome_trace_json_multi(parts: &[(String, TrackPlacement, &TraceSnapshot)]) -> String {
+    let mut events = Vec::new();
+    for (name, place, snapshot) in parts {
+        events.push(serde_json::json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": place.pid,
+            "args": serde_json::json!({ "name": name.as_str() }),
+        }));
+        events.extend(chrome_trace_events_placed(snapshot, place));
+    }
     serde_json::to_string_pretty(&serde_json::json!({
         "traceEvents": serde_json::Value::Array(events),
         "displayTimeUnit": "ns",
@@ -221,6 +291,44 @@ mod tests {
         assert_eq!(iter["name"], "iter 0");
         assert_eq!(iter["tid"], "mac_1");
         assert_eq!(iter["dur"], 0.3);
+    }
+
+    #[test]
+    fn placement_shifts_lanes_and_clock() {
+        let place = TrackPlacement {
+            pid: 7,
+            lane: Some("job3".into()),
+            ts_offset_ns: 1_000_000,
+        };
+        let events = chrome_trace_events_placed(&snapshot(), &place);
+        let poll = &events[0];
+        assert_eq!(poll["pid"], 7);
+        assert_eq!(poll["tid"], "job3/mac_0");
+        // 100 ns + 1 ms offset, in microseconds.
+        assert_eq!(poll["ts"], 1000.1);
+    }
+
+    #[test]
+    fn multi_document_names_process_lanes() {
+        let snap = snapshot();
+        let parts = vec![
+            ("worker-0".to_string(), TrackPlacement::default(), &snap),
+            (
+                "worker-1".to_string(),
+                TrackPlacement {
+                    pid: 2,
+                    ..TrackPlacement::default()
+                },
+                &snap,
+            ),
+        ];
+        let doc = chrome_trace_json_multi(&parts);
+        let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 2 × (1 metadata + 3 events).
+        assert_eq!(events.len(), 8);
+        assert_eq!(events[0]["ph"], "M");
+        assert_eq!(events[0]["args"]["name"], "worker-0");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! Chrome trace (open in `chrome://tracing` or `ui.perfetto.dev`).
 
 use cgsim::graphs::bitonic::{build_graph, make_input, reference, BitonicApp, SORT_WIDTH};
-use cgsim::graphs::{EvalApp, Runtime};
+use cgsim::graphs::{Backend, EvalApp, RunSpec};
 use cgsim::sim::{simulate_graph, simulate_graph_traced, SimConfig};
 use cgsim::trace::Tracer;
 
@@ -35,10 +35,13 @@ fn main() {
 
     // Functional check against the scalar reference, on both runtimes.
     let coop = BitonicApp
-        .run_functional(Runtime::Cooperative, blocks)
+        .run_spec(&RunSpec::for_graph("bitonic"), blocks)
         .expect("cooperative run matches reference");
     let threaded = BitonicApp
-        .run_functional(Runtime::Threaded, blocks)
+        .run_spec(
+            &RunSpec::for_graph("bitonic").backend(Backend::Threaded),
+            blocks,
+        )
         .expect("threaded run matches reference");
     println!("\nfunctional simulation (both verified against scalar reference):");
     println!(

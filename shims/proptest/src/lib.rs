@@ -305,7 +305,7 @@ impl Strategy for &str {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         pub min: usize,

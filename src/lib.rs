@@ -3,14 +3,15 @@
 //! Re-exports the whole framework. See the README for a tour; the individual
 //! crates carry the detailed documentation:
 //!
-//! * [`core`](cgsim_core) — graph IR, builder DSL, flattening, partitioning
-//! * [`runtime`](cgsim_runtime) — cooperative simulator (`compute_kernel!`)
-//! * [`threads`](cgsim_threads) — thread-per-kernel functional simulator
-//! * [`intrinsics`](aie_intrinsics) — AIE vector API emulation
-//! * [`sim`](aie_sim) — cycle-approximate AIE array simulator
-//! * [`extract`](cgsim_extract) — source-to-source graph extractor
-//! * [`graphs`](cgsim_graphs) — the four ported evaluation applications
-//! * [`lint`](cgsim_lint) — ahead-of-run static graph verifier
+//! * [`core`] — graph IR, builder DSL, flattening, partitioning
+//! * [`runtime`] — cooperative simulator (`compute_kernel!`)
+//! * [`threads`] — thread-per-kernel functional simulator
+//! * [`intrinsics`] — AIE vector API emulation
+//! * [`sim`] — cycle-approximate AIE array simulator
+//! * [`extract`] — source-to-source graph extractor
+//! * [`graphs`] — the four ported evaluation applications
+//! * [`lint`] — ahead-of-run static graph verifier
+//! * [`pool`] — parallel multi-instance batch engine
 
 #![warn(missing_docs)]
 
@@ -20,6 +21,7 @@ pub use cgsim_core as core;
 pub use cgsim_extract as extract;
 pub use cgsim_graphs as graphs;
 pub use cgsim_lint as lint;
+pub use cgsim_pool as pool;
 pub use cgsim_runtime as runtime;
 pub use cgsim_threads as threads;
 pub use cgsim_trace as trace;

@@ -5,7 +5,8 @@
 //! evaluation-app counterpart of the random-graph `conform` harness
 //! (`cargo run -p cgsim-check --bin conform -- --seed S --cases N`).
 
-use cgsim::graphs::{all_apps, Profiling, Runtime};
+use cgsim::graphs::{all_apps, Backend, Profiling, RunSpec, Runtime, Schedule};
+use cgsim::runtime::ChannelMode;
 
 /// ≥ 8 per the conformance harness design; spread out so neighbouring seeds
 /// don't share low bits.
@@ -20,22 +21,26 @@ const SCHEDULE_SEEDS: [u64; 8] = [
     u64::MAX,
 ];
 
+fn seeded(seed: u64) -> RunSpec {
+    RunSpec::for_graph("fuzz-seeded").schedule(Schedule::Seeded(seed))
+}
+
 #[test]
 fn paper_graphs_agree_under_seeded_schedule_permutations() {
     for app in all_apps() {
         let reference = app
-            .run_functional(Runtime::Cooperative, 4)
+            .run_spec(&RunSpec::for_graph("fuzz-ref"), 4)
             .unwrap_or_else(|e| panic!("{} reference: {e}", app.name()));
         assert!(reference.out_elems > 0, "{}: empty reference", app.name());
         for seed in SCHEDULE_SEEDS {
             let run = app
-                .run_functional(Runtime::CooperativeSeeded(seed), 4)
+                .run_spec(&seeded(seed), 4)
                 .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", app.name()));
             assert_eq!(
                 run.checksum,
                 reference.checksum,
                 "{}: schedule permutation (seed {seed}) changed the output; \
-                 replay with Runtime::CooperativeSeeded({seed})",
+                 replay with Schedule::Seeded({seed})",
                 app.name()
             );
             assert_eq!(run.out_elems, reference.out_elems, "{}", app.name());
@@ -47,12 +52,15 @@ fn paper_graphs_agree_under_seeded_schedule_permutations() {
 fn paper_graphs_agree_between_seeded_cooperative_and_threaded() {
     for app in all_apps() {
         let threaded = app
-            .run_functional(Runtime::Threaded, 4)
+            .run_spec(
+                &RunSpec::for_graph("fuzz-thr").backend(Backend::Threaded),
+                4,
+            )
             .unwrap_or_else(|e| panic!("{} threaded: {e}", app.name()));
         // One seeded permutation against the threaded runtime closes the
         // triangle: FIFO == seeded (above) and seeded == threaded (here).
         let seeded = app
-            .run_functional(Runtime::CooperativeSeeded(0x5EED), 4)
+            .run_spec(&seeded(0x5EED), 4)
             .unwrap_or_else(|e| panic!("{} seeded: {e}", app.name()));
         assert_eq!(
             seeded.checksum,
@@ -71,26 +79,31 @@ fn paper_graphs_agree_across_channel_backends_and_profiling_modes() {
     // pure observers: bit-identical output on every paper graph.
     for app in all_apps() {
         let reference = app
-            .run_functional(Runtime::Cooperative, 4)
+            .run_spec(&RunSpec::for_graph("fuzz-ref"), 4)
             .unwrap_or_else(|e| panic!("{} reference: {e}", app.name()));
-        let legs: [(&str, Runtime); 4] = [
-            ("mutex channels + full timing", Runtime::CooperativeBaseline),
+        let legs: [(&str, RunSpec); 4] = [
+            (
+                "mutex channels + full timing",
+                RunSpec::for_graph("fuzz-mutex")
+                    .channels(ChannelMode::Shared)
+                    .profiling(Profiling::Full),
+            ),
             (
                 "profiling off",
-                Runtime::CooperativeProfiled(Profiling::Off),
+                RunSpec::for_graph("fuzz-prof-off").profiling(Profiling::Off),
             ),
             (
                 "profiling sampled(7)",
-                Runtime::CooperativeProfiled(Profiling::Sampled(7)),
+                RunSpec::for_graph("fuzz-prof-sampled").profiling(Profiling::Sampled(7)),
             ),
             (
                 "profiling full",
-                Runtime::CooperativeProfiled(Profiling::Full),
+                RunSpec::for_graph("fuzz-prof-full").profiling(Profiling::Full),
             ),
         ];
-        for (what, runtime) in legs {
+        for (what, spec) in &legs {
             let run = app
-                .run_functional(runtime, 4)
+                .run_spec(spec, 4)
                 .unwrap_or_else(|e| panic!("{} {what}: {e}", app.name()));
             assert_eq!(
                 run.checksum,
@@ -106,13 +119,24 @@ fn paper_graphs_agree_across_channel_backends_and_profiling_modes() {
 #[test]
 fn same_schedule_seed_is_replayable() {
     for app in all_apps() {
-        let a = app
-            .run_functional(Runtime::CooperativeSeeded(7), 2)
-            .unwrap();
-        let b = app
-            .run_functional(Runtime::CooperativeSeeded(7), 2)
-            .unwrap();
+        let a = app.run_spec(&seeded(7), 2).unwrap();
+        let b = app.run_spec(&seeded(7), 2).unwrap();
         assert_eq!(a.checksum, b.checksum, "{}", app.name());
         assert_eq!(a.out_elems, b.out_elems);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_runtime_selectors_still_run_through_the_shim() {
+    // The deprecated `Runtime` variants must stay behaviourally identical to
+    // their RunSpec lowerings until removal.
+    for app in all_apps() {
+        let via_shim = app
+            .run_functional(Runtime::CooperativeSeeded(7), 2)
+            .unwrap();
+        let via_spec = app.run_spec(&seeded(7), 2).unwrap();
+        assert_eq!(via_shim.checksum, via_spec.checksum, "{}", app.name());
+        assert_eq!(via_shim.out_elems, via_spec.out_elems);
     }
 }

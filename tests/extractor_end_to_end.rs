@@ -8,7 +8,8 @@ use cgsim::core::{FlatGraph, PortKind, Realm};
 use cgsim::extract::{ExtractError, Extractor};
 use cgsim::runtime::{compute_graph, compute_kernel};
 use cgsim::sim::{
-    run_manifest, DeployManifest, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec,
+    deploy_manifest, DeployManifest, DeployOptions, KernelCostProfile, PortTraffic, SimConfig,
+    WorkloadSpec,
 };
 
 const PROTOTYPE: &str = r#"
@@ -197,7 +198,7 @@ fn graph_json_deploys_onto_cycle_simulator() {
     );
     // Full JSON roundtrip, then run.
     let manifest = DeployManifest::from_json(&manifest.to_json()).unwrap();
-    let trace = run_manifest(&manifest).unwrap();
+    let trace = deploy_manifest(&manifest, &DeployOptions::new()).unwrap();
     assert_eq!(trace.trace.block_times.len(), 16);
     assert!(trace.ns_per_block().unwrap() > 0.0);
 }

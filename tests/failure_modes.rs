@@ -73,10 +73,7 @@ fn unprimed_feedback_loop_is_reported_not_hung() {
 
     // With verification disabled, the dynamic quiescence diagnosis still
     // works: the run terminates and names the stuck kernel.
-    let cfg = RuntimeConfig {
-        verify: VerifyPolicy::Off,
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::default().with_verify(VerifyPolicy::Off);
     let mut ctx = RuntimeContext::new(&graph, &lib, cfg).unwrap();
     ctx.feed(0, vec![1, 2, 3]).unwrap();
     let out = ctx.collect::<i32>(0).unwrap();

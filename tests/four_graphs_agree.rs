@@ -4,17 +4,20 @@
 //! golden reference — and simulates cleanly on the cycle-approximate
 //! simulator under both code-generation variants.
 
-use cgsim::graphs::{all_apps, Runtime};
+use cgsim::graphs::{all_apps, Backend, RunSpec};
 use cgsim::sim::{simulate_graph, SimConfig};
 
 #[test]
 fn all_apps_verify_on_both_runtimes_and_agree() {
     for app in all_apps() {
         let coop = app
-            .run_functional(Runtime::Cooperative, 4)
+            .run_spec(&RunSpec::for_graph(app.name()), 4)
             .unwrap_or_else(|e| panic!("{} cooperative: {e}", app.name()));
         let threaded = app
-            .run_functional(Runtime::Threaded, 4)
+            .run_spec(
+                &RunSpec::for_graph(app.name()).backend(Backend::Threaded),
+                4,
+            )
             .unwrap_or_else(|e| panic!("{} threaded: {e}", app.name()));
         assert_eq!(
             coop.checksum,
