@@ -101,6 +101,7 @@ impl SimReport {
             total_ns: self.total_ns,
             blocks: self.blocks,
             ns_per_block: self.ns_per_block,
+            ..Default::default()
         }
     }
 

@@ -8,10 +8,14 @@
 //! each bench to `elements_per_sec` / `ns_per_poll` per leg plus the
 //! fast-path speedup.
 //!
-//! Usage: `cargo run --release -p bench --bin bench-report [-- --out PATH]`
+//! Usage: `cargo run --release -p bench --bin bench-report [-- --out PATH]
+//! [--folded PATH]` — `--folded` additionally runs the traced pipeline
+//! workload and writes flamegraph folded stacks (one `frames count` line
+//! per stack; feed to `inferno-flamegraph` or `flamegraph.pl`).
 
 use bench::hotloop::{
-    broadcast, channel_throughput, paper_graph, pipeline, LegConfig, Measured, BASELINE, FASTPATH,
+    broadcast, channel_throughput, paper_graph, pipeline, traced_pipeline, LegConfig, Measured,
+    BASELINE, FASTPATH,
 };
 use cgsim_graphs::all_apps;
 use serde_json::{json, Value};
@@ -62,15 +66,27 @@ fn compare(name: &str, mut run: impl FnMut(&LegConfig) -> Measured) -> (String, 
 
 fn main() {
     let mut out_path = String::from("BENCH_PR4.json");
+    let mut folded_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--folded" => folded_path = Some(args.next().expect("--folded needs a path")),
             other => {
-                eprintln!("unknown argument {other}; usage: bench-report [--out PATH]");
+                eprintln!(
+                    "unknown argument {other}; usage: bench-report [--out PATH] [--folded PATH]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = &folded_path {
+        use cgsim_runtime::cgsim_trace::export::folded::folded_stacks;
+        let snapshot = traced_pipeline(4, 4, ELEMENTS);
+        let stacks = folded_stacks(&snapshot, "pipeline_d4");
+        std::fs::write(path, &stacks).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} ({} stack lines)", stacks.lines().count());
     }
 
     let mut benches: Vec<(String, Value)> = Vec::new();

@@ -202,6 +202,48 @@ pub fn pipeline(leg: &LegConfig, stages: usize, capacity: usize, elements: u64) 
     run_and_measure(ex, elements)
 }
 
+/// Run the deep-pipeline workload with an active tracer under full
+/// profiling and return the drained trace — the feeder for the
+/// folded-stacks (flamegraph) export in `bench-report --folded`.
+pub fn traced_pipeline(
+    stages: usize,
+    capacity: usize,
+    elements: u64,
+) -> cgsim_runtime::cgsim_trace::TraceSnapshot {
+    use cgsim_runtime::cgsim_trace::Tracer;
+    let leg = LegConfig {
+        name: "traced",
+        profiling: Profiling::Full,
+        ..FASTPATH
+    };
+    let tracer = Tracer::enabled();
+    // The tracer must be attached before spawning: tasks register their
+    // kernel refs at spawn time.
+    let mut ex = Executor::new()
+        .with_tracer(tracer.clone())
+        .with_profiling(leg.profiling);
+    let chans: Vec<Arc<Channel<u64>>> = (0..=stages)
+        .map(|_| Channel::with_mode(capacity, leg.mode))
+        .collect();
+    spawn_producer(&mut ex, &chans[0], &leg, elements);
+    for s in 0..stages {
+        let mut rx = chans[s].add_consumer();
+        let mut tx = chans[s + 1].add_producer();
+        ex.spawn(
+            format!("stage{s}"),
+            Box::pin(async move {
+                while let Some(chunk) = rx.pop_chunk(64).await {
+                    tx.push_slice(chunk).await;
+                }
+            }),
+        );
+    }
+    spawn_consumer(&mut ex, &chans[stages], &leg);
+    let (_, stalled) = ex.run();
+    assert!(stalled.is_empty(), "traced workload stalled: {stalled:?}");
+    tracer.snapshot()
+}
+
 /// Run one paper evaluation graph end-to-end under the leg's runtime
 /// configuration. The kernels' own I/O idiom is part of the app, so `batch`
 /// is not applied here; the leg only selects channel mode + profiling.

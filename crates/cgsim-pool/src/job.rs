@@ -2,8 +2,9 @@
 //! job while it runs ([`JobCtx`]), and what comes back ([`JobOutcome`],
 //! awaited through a [`JobHandle`]).
 
+use crate::observer::ObserverConfig;
 use cgsim_core::{FlatGraph, GraphError};
-use cgsim_runtime::{CancelToken, KernelLibrary, RunSpec, RuntimeContext};
+use cgsim_runtime::{CancelToken, ExecProbe, KernelLibrary, RunSpec, RuntimeContext};
 use cgsim_trace::{TraceSnapshot, Tracer};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -40,6 +41,10 @@ pub struct PoolConfig {
     /// Give every job its own active [`Tracer`]. Snapshots feed the
     /// pool-level Chrome trace; disable for instrumentation-free batches.
     pub trace: bool,
+    /// Run a background observer thread sampling queue depth and per-job
+    /// executor progress (see [`ObserverConfig`]). `None` (the default)
+    /// spawns no thread and arms no probes — jobs run exactly as before.
+    pub observer: Option<ObserverConfig>,
 }
 
 impl Default for PoolConfig {
@@ -53,6 +58,7 @@ impl Default for PoolConfig {
             queue_capacity: 64,
             admission: Admission::Block,
             trace: true,
+            observer: None,
         }
     }
 }
@@ -79,6 +85,12 @@ impl PoolConfig {
     /// Enable or disable per-job tracing.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enable the pool observer thread with the given sampling config.
+    pub fn with_observer(mut self, observer: ObserverConfig) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -175,6 +187,9 @@ pub struct JobCtx {
     pub(crate) tracer: Tracer,
     pub(crate) cancel: CancelToken,
     pub(crate) deadline: Option<Instant>,
+    /// Armed on the embedded scheduler by [`JobCtx::instantiate`] when the
+    /// pool runs an observer; the observer thread samples it.
+    pub(crate) probe: Option<Arc<ExecProbe>>,
     pub(crate) trace_slot: Mutex<Option<TraceSnapshot>>,
 }
 
@@ -208,6 +223,14 @@ impl JobCtx {
     /// carries no budget.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The executor probe the pool observer samples; `None` when the pool
+    /// runs without an observer. [`JobCtx::instantiate`] arms it on the
+    /// embedded scheduler automatically — closures that drive a raw
+    /// [`Executor`](cgsim_runtime::Executor) can arm it themselves.
+    pub fn probe(&self) -> Option<&Arc<ExecProbe>> {
+        self.probe.as_ref()
     }
 
     /// The submitted spec with its deadline rewritten to the budget
@@ -250,6 +273,9 @@ impl JobCtx {
             ctx.set_deadline(at);
         }
         ctx.set_cancel(self.cancel.clone());
+        if let Some(probe) = &self.probe {
+            ctx.set_probe(Arc::clone(probe));
+        }
         Ok(ctx)
     }
 }

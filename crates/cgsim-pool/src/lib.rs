@@ -25,7 +25,12 @@
 //!   [`Tracer`](cgsim_trace::Tracer); snapshots aggregate into one
 //!   pool-level [`MetricsRegistry`](cgsim_trace::MetricsRegistry) and one
 //!   Chrome trace where every worker is a process lane and every job a
-//!   named track ([`PoolReport::chrome_trace`]).
+//!   named track ([`PoolReport::chrome_trace`]). Pool metrics render as
+//!   Prometheus text exposition ([`PoolReport::prometheus`]), and an
+//!   opt-in observer thread ([`PoolConfig::with_observer`]) samples live
+//!   queue depth and per-job executor progress into a bounded timeline
+//!   with a stall watchdog that captures waits-for deadlock diagnostics
+//!   ([`StallDiagnostic`]) from wedged jobs.
 //!
 //! ```
 //! use cgsim_pool::{Job, JobOutput, Pool, PoolConfig};
@@ -47,11 +52,13 @@
 #![warn(missing_docs)]
 
 mod job;
+mod observer;
 mod pool;
 mod report;
 
 pub use job::{
     Admission, Job, JobCtx, JobHandle, JobOutcome, JobOutput, JobResult, PoolConfig, SubmitError,
 };
+pub use observer::{JobProgress, ObsSample, ObsTimeline, ObserverConfig, StallDiagnostic};
 pub use pool::Pool;
 pub use report::{JobTrace, PoolReport};

@@ -5,10 +5,11 @@
 use crate::job::{
     Admission, HandleState, Job, JobCtx, JobHandle, JobOutcome, JobResult, PoolConfig, SubmitError,
 };
+use crate::observer::{ActiveJob, PoolObserver};
 use crate::report::{JobTrace, PoolReport};
-use cgsim_runtime::CancelToken;
+use cgsim_runtime::{CancelToken, ExecProbe};
 use cgsim_trace::{MetricsRegistry, Tracer};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -48,11 +49,22 @@ pub(crate) struct Shared {
     capacity: usize,
     admission: Admission,
     trace_jobs: bool,
+    /// Whether workers arm an [`ExecProbe`] on each job and register it in
+    /// `active` for the observer thread to sample.
+    observe_jobs: bool,
+    /// Currently executing jobs, keyed by submission index. Empty (and
+    /// never locked on the job path) when no observer is configured.
+    pub(crate) active: Mutex<HashMap<u64, ActiveJob>>,
 }
 
 impl Shared {
     fn lock_state(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Jobs admitted but not yet claimed by a worker (observer-side read).
+    pub(crate) fn queued_count(&self) -> usize {
+        self.lock_state().queued
     }
 }
 
@@ -63,6 +75,7 @@ impl Shared {
 pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    observer: Option<PoolObserver>,
     /// Round-robin injection cursor.
     next: AtomicUsize,
     submitted: AtomicU64,
@@ -87,7 +100,12 @@ impl Pool {
             capacity: config.queue_capacity.max(1),
             admission: config.admission,
             trace_jobs: config.trace,
+            observe_jobs: config.observer.is_some(),
+            active: Mutex::new(HashMap::new()),
         });
+        let observer = config
+            .observer
+            .map(|obs| PoolObserver::spawn(Arc::clone(&shared), obs));
         let handles = (0..workers)
             .map(|me| {
                 let shared = Arc::clone(&shared);
@@ -100,6 +118,7 @@ impl Pool {
         Pool {
             shared,
             workers: handles,
+            observer,
             next: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
         }
@@ -173,10 +192,11 @@ impl Pool {
         Ok(handle)
     }
 
-    /// Signal shutdown, drain every queued job, join the workers and
-    /// return the pool-level report.
+    /// Signal shutdown, drain every queued job, join the workers (and the
+    /// observer thread, when one is configured) and return the pool-level
+    /// report.
     pub fn shutdown(mut self) -> PoolReport {
-        self.finish();
+        let observer = self.finish();
         let jobs = self.submitted.load(Ordering::Relaxed);
         let workers = self.workers();
         let shared = &self.shared;
@@ -185,6 +205,7 @@ impl Pool {
             jobs,
             metrics: shared.metrics.snapshot(),
             traces: std::mem::take(&mut shared.traces.lock().unwrap_or_else(|e| e.into_inner())),
+            observer,
         }
     }
 
@@ -201,19 +222,22 @@ impl Pool {
         (outcomes, pool.shutdown())
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self) -> Option<crate::observer::ObsTimeline> {
         self.shared.lock_state().shutdown = true;
         self.shared.work_cv.notify_all();
         self.shared.slot_cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Stop the observer only after the workers are done so the timeline
+        // covers the drain.
+        self.observer.take().map(PoolObserver::finish)
     }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.finish();
+        let _ = self.finish();
     }
 }
 
@@ -304,6 +328,24 @@ fn run_job(shared: &Shared, me: usize, queued: QueuedJob) {
         } else {
             Tracer::disabled()
         };
+        // With an observer configured, arm a probe and register the job so
+        // the sampling thread sees its executor progress; otherwise skip
+        // both (no probe → the executor hot loop keeps its fast path).
+        let probe = shared.observe_jobs.then(ExecProbe::new);
+        if let Some(probe) = &probe {
+            shared
+                .active
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(
+                    index,
+                    ActiveJob {
+                        label: label.clone(),
+                        worker: me,
+                        probe: Arc::clone(probe),
+                    },
+                );
+        }
         let ctx = JobCtx {
             worker: me,
             index,
@@ -311,11 +353,19 @@ fn run_job(shared: &Shared, me: usize, queued: QueuedJob) {
             tracer: tracer.clone(),
             cancel: cancel.clone(),
             deadline,
+            probe,
             trace_slot: Mutex::new(None),
         };
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx)));
         let wall = started.elapsed();
+        if shared.observe_jobs {
+            shared
+                .active
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&index);
+        }
         // Prefer the snapshot the closure explicitly kept (a finished
         // run's drained trace); fall back to whatever is still in the
         // job tracer's ring.

@@ -2,7 +2,9 @@
 //! trace, merged into one Chrome-trace document with a process lane per
 //! worker.
 
+use crate::observer::ObsTimeline;
 use cgsim_trace::export::chrome::{chrome_trace_json_multi, TrackPlacement};
+use cgsim_trace::export::prometheus;
 use cgsim_trace::{MetricsSnapshot, TraceSnapshot};
 use std::sync::Arc;
 
@@ -33,6 +35,9 @@ pub struct PoolReport {
     pub metrics: MetricsSnapshot,
     /// Per-job traces of every *completed* job, in completion order.
     pub traces: Vec<JobTrace>,
+    /// The observer thread's timeline and stall diagnostics; `None` when
+    /// the pool ran without an observer.
+    pub observer: Option<ObsTimeline>,
 }
 
 impl PoolReport {
@@ -40,6 +45,19 @@ impl PoolReport {
     /// counter never fired.
     pub fn counter(&self, name: &str) -> u64 {
         self.metrics.counter_value(name).unwrap_or(0)
+    }
+
+    /// The pool-level metrics in Prometheus text exposition format —
+    /// what a `/metrics` endpoint would serve for this pool.
+    pub fn prometheus(&self) -> String {
+        prometheus::render(&self.metrics)
+    }
+
+    /// The observer timeline as JSON; `"null"` when no observer ran.
+    pub fn observer_json(&self) -> String {
+        self.observer
+            .as_ref()
+            .map_or_else(|| "null".to_string(), ObsTimeline::to_json)
     }
 
     /// Merge every job trace into one Chrome-trace JSON document: each

@@ -384,6 +384,11 @@ impl<T: Clone> Channel<T> {
         self.store.with(|inner| inner.buf.len())
     }
 
+    /// Buffer capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.store.with(|inner| inner.capacity)
+    }
+
     /// Whether no elements are currently buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -560,6 +565,8 @@ pub trait ChannelAdmin: Send + Sync {
     fn total_pushed(&self) -> u64;
     /// See [`Channel::len`].
     fn occupancy(&self) -> usize;
+    /// See [`Channel::capacity`].
+    fn capacity(&self) -> usize;
 }
 
 impl<T: cgsim_core::StreamData> ChannelAdmin for Channel<T> {
@@ -574,6 +581,9 @@ impl<T: cgsim_core::StreamData> ChannelAdmin for Channel<T> {
     }
     fn occupancy(&self) -> usize {
         Channel::len(self)
+    }
+    fn capacity(&self) -> usize {
+        Channel::capacity(self)
     }
 }
 

@@ -13,8 +13,9 @@ use crate::executor::{
     CancelToken, ExecStats, Executor, FaultPlan, Interrupt, Profiling, Schedule,
 };
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
+use crate::probe::{ExecProbe, Introspector};
 use crate::spec::RunSpec;
-use cgsim_core::{ConnectorId, FlatGraph, GraphError, StreamData};
+use cgsim_core::{ConnectorId, FlatGraph, GraphError, PortDir, StreamData};
 use cgsim_trace::{TraceSnapshot, Tracer};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -231,6 +232,10 @@ pub struct RuntimeContext<'g> {
     bound_outputs: Vec<bool>,
     channel_mode: ChannelMode,
     tracer: Tracer,
+    probe: Option<Arc<ExecProbe>>,
+    /// Source/sink coroutine I/O for the introspector: `(task id, connector
+    /// index, writes)`. Kernel I/O comes from the graph topology instead.
+    io_tasks: Vec<(usize, usize, bool)>,
 }
 
 /// Display name for connector `ci`: the graph-builder name when one was
@@ -293,6 +298,15 @@ impl<'g> RuntimeContext<'g> {
     /// Attach a cancellation token to the embedded scheduler.
     pub fn set_cancel(&mut self, token: CancelToken) {
         self.executor.set_cancel(token);
+    }
+
+    /// Arm a live-introspection probe (see [`ExecProbe`]): during
+    /// [`RuntimeContext::run`] the scheduler publishes its progress counter
+    /// into `probe` and services debug-snapshot requests, reporting channel
+    /// occupancies and blocked-kernel waits-for edges under the graph's
+    /// connector names. Without a probe the run loop is unchanged.
+    pub fn set_probe(&mut self, probe: Arc<ExecProbe>) {
+        self.probe = Some(probe);
     }
 
     /// Like [`RuntimeContext::new`], but wires every channel and the
@@ -375,6 +389,8 @@ impl<'g> RuntimeContext<'g> {
             bound_outputs: vec![false; graph.outputs.len()],
             channel_mode: config.channels,
             tracer,
+            probe: None,
+            io_tasks: Vec::new(),
         };
 
         // Passthrough connectors get a placeholder that `feed`/`collect`
@@ -457,7 +473,7 @@ impl<'g> RuntimeContext<'g> {
         let chan = self.typed_channel::<T>(connector)?;
         let mut tx = chan.add_producer();
         self.fed_inputs[index] = true;
-        self.executor.spawn(
+        let id = self.executor.spawn(
             format!("source_{index}"),
             Box::pin(async move {
                 for v in data {
@@ -465,6 +481,7 @@ impl<'g> RuntimeContext<'g> {
                 }
             }),
         );
+        self.io_tasks.push((id, connector.index(), true));
         Ok(())
     }
 
@@ -500,7 +517,7 @@ impl<'g> RuntimeContext<'g> {
         self.bound_outputs[index] = true;
         let data = Arc::new(Mutex::new(Vec::new()));
         let sink_data = Arc::clone(&data);
-        self.executor.spawn(
+        let id = self.executor.spawn(
             format!("sink_{index}"),
             Box::pin(async move {
                 while let Some(v) = rx.recv().await {
@@ -508,6 +525,7 @@ impl<'g> RuntimeContext<'g> {
                 }
             }),
         );
+        self.io_tasks.push((id, connector.index(), false));
         Ok(SinkHandle { data })
     }
 
@@ -533,7 +551,7 @@ impl<'g> RuntimeContext<'g> {
         self.bound_outputs[index] = true;
         let data = Arc::new(Mutex::new(Vec::new()));
         let sink_data = Arc::clone(&data);
-        self.executor.spawn(
+        let id = self.executor.spawn(
             format!("sink_{index}"),
             Box::pin(async move {
                 while sink_data.lock().unwrap().len() < limit {
@@ -544,6 +562,7 @@ impl<'g> RuntimeContext<'g> {
                 // ends.
             }),
         );
+        self.io_tasks.push((id, connector.index(), false));
         Ok(SinkHandle { data })
     }
 
@@ -564,6 +583,44 @@ impl<'g> RuntimeContext<'g> {
                 expected: self.graph.outputs.len(),
                 actual: missing,
             });
+        }
+        // Arm the probe last: by now every placeholder channel has been
+        // replaced by feed/collect, so the introspector captures the real
+        // admin handles and the full source/sink topology.
+        if let Some(probe) = self.probe.take() {
+            let mut intro = Introspector::new();
+            let mut slots: Vec<Option<usize>> = vec![None; self.channels.len()];
+            for (ci, ch) in self.channels.iter().enumerate() {
+                if let Some(admin) = ch.admin() {
+                    slots[ci] = Some(intro.add_channel(
+                        connector_name(self.graph, ci),
+                        admin.capacity(),
+                        Arc::clone(admin),
+                    ));
+                }
+            }
+            // Kernel coroutines were spawned in graph order: task id == ki.
+            for (ki, k) in self.graph.kernels.iter().enumerate() {
+                for p in &k.ports {
+                    if let Some(idx) = slots[p.connector.index()] {
+                        match p.dir {
+                            PortDir::In => intro.add_reader(ki, idx),
+                            PortDir::Out => intro.add_writer(ki, idx),
+                        }
+                    }
+                }
+            }
+            for &(task, ci, writes) in &self.io_tasks {
+                if let Some(idx) = slots[ci] {
+                    if writes {
+                        intro.add_writer(task, idx);
+                    } else {
+                        intro.add_reader(task, idx);
+                    }
+                }
+            }
+            self.executor.set_introspector(intro);
+            self.executor.set_probe(probe);
         }
         let (exec, tasks) = self.executor.run_profiled();
         let stalled = tasks

@@ -15,6 +15,7 @@
 //! FIFO order, which makes simulation deterministic for a fixed graph and
 //! input.
 
+use crate::probe::{DebugSnapshot, ExecProbe, Introspector, WaitKind, WaitsForEdge};
 use cgsim_trace::{KernelRef, TraceEvent, Tracer};
 use std::future::Future;
 use std::pin::Pin;
@@ -329,6 +330,11 @@ impl ReadyQueue {
     fn defer(&self, id: usize) {
         self.queue.lock().unwrap().push_back(id);
     }
+
+    /// Snapshot of the queued task ids, front first (introspection only).
+    fn ids(&self) -> Vec<usize> {
+        self.queue.lock().unwrap().iter().copied().collect()
+    }
 }
 
 struct TaskWaker {
@@ -381,6 +387,8 @@ pub struct Executor {
     tracer: Tracer,
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
+    probe: Option<Arc<ExecProbe>>,
+    introspector: Option<Introspector>,
 }
 
 impl Default for Executor {
@@ -405,6 +413,8 @@ impl Executor {
             tracer: Tracer::default(),
             deadline: None,
             cancel: None,
+            probe: None,
+            introspector: None,
         }
     }
 
@@ -486,6 +496,124 @@ impl Executor {
         self.cancel = Some(token);
     }
 
+    /// Arm a live-introspection probe: the run loop publishes its progress
+    /// counter into `probe` at every interrupt checkpoint and services
+    /// snapshot requests there. With no probe armed the hot loop is
+    /// unchanged (one hoisted boolean, zero added atomics).
+    pub fn set_probe(&mut self, probe: Arc<ExecProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Builder form of [`Executor::set_probe`].
+    pub fn with_probe(mut self, probe: Arc<ExecProbe>) -> Self {
+        self.set_probe(probe);
+        self
+    }
+
+    /// Attach channel topology so [`Executor::debug_snapshot`] (and probe
+    /// snapshots) can report channel occupancy and waits-for edges.
+    pub fn set_introspector(&mut self, introspector: Introspector) {
+        self.introspector = Some(introspector);
+    }
+
+    /// The progress counter's current value: completed tasks plus elements
+    /// pushed through introspected channels. Monotone over a run.
+    fn progress_value(&self, completed: usize) -> u64 {
+        let pushed = self
+            .introspector
+            .as_ref()
+            .map_or(0, Introspector::total_pushed);
+        completed as u64 + pushed
+    }
+
+    /// Build a [`DebugSnapshot`] of the current scheduler state: ready and
+    /// blocked task labels, channel occupancies, and waits-for edges
+    /// (blocked reader of an empty channel waits for its live writers; a
+    /// blocked writer of a full channel waits for its live readers).
+    ///
+    /// Must run on the executor's thread — channel occupancy goes through
+    /// thread-affine state in the single-thread channel mode. The run loop
+    /// calls this at its interrupt checkpoint on a probe's request; tests
+    /// and post-mortem diagnostics can call it directly between runs.
+    pub fn debug_snapshot(&self) -> DebugSnapshot {
+        let completed = self.tasks.iter().filter(|t| t.is_none()).count();
+        let polls = self.tasks.iter().flatten().map(|t| t.polls).sum::<u64>();
+        self.build_debug_snapshot(polls, self.progress_value(completed), None)
+    }
+
+    fn build_debug_snapshot(
+        &self,
+        polls: u64,
+        progress: u64,
+        current: Option<usize>,
+    ) -> DebugSnapshot {
+        let label_of = |id: usize| -> Option<String> {
+            self.tasks
+                .get(id)
+                .and_then(Option::as_ref)
+                .map(|t| t.label.clone())
+        };
+        // Ready = queued ids plus the id popped for this poll round (its
+        // `scheduled` flag is still set, it is simply in the loop's hand).
+        let mut ready_ids = self.ready().ids();
+        if let Some(id) = current {
+            ready_ids.insert(0, id);
+        }
+        let ready: Vec<String> = ready_ids.iter().copied().filter_map(label_of).collect();
+        let mut blocked = Vec::new();
+        let mut blocked_ids = Vec::new();
+        for (id, slot) in self.tasks.iter().enumerate() {
+            let Some(task) = slot else { continue };
+            if !task.scheduled.load(Ordering::Acquire) {
+                blocked.push(task.label.clone());
+                blocked_ids.push(id);
+            }
+        }
+        let mut channels = Vec::new();
+        let mut waits_for = Vec::new();
+        if let Some(intro) = &self.introspector {
+            channels = intro.occupancies();
+            let live_peers = |ids: &[usize], this: usize| -> Vec<String> {
+                ids.iter()
+                    .copied()
+                    .filter(|&p| p != this)
+                    .filter_map(label_of)
+                    .collect()
+            };
+            for &id in &blocked_ids {
+                for &ci in intro.reads_of(id) {
+                    if channels[ci].occupancy == 0 {
+                        waits_for.push(WaitsForEdge {
+                            task: label_of(id).unwrap_or_default(),
+                            channel: intro.channel_name(ci).to_string(),
+                            kind: WaitKind::Empty,
+                            peers: live_peers(intro.writers_of(ci), id),
+                        });
+                    }
+                }
+                for &ci in intro.writes_of(id) {
+                    if channels[ci].capacity > 0 && channels[ci].occupancy >= channels[ci].capacity
+                    {
+                        waits_for.push(WaitsForEdge {
+                            task: label_of(id).unwrap_or_default(),
+                            channel: intro.channel_name(ci).to_string(),
+                            kind: WaitKind::Full,
+                            peers: live_peers(intro.readers_of(ci), id),
+                        });
+                    }
+                }
+            }
+        }
+        DebugSnapshot {
+            polls,
+            progress,
+            ready,
+            blocked,
+            channels,
+            waits_for,
+        }
+    }
+
     fn ready(&self) -> &Arc<ReadyQueue> {
         self.ready.as_ref().expect("executor initialized")
     }
@@ -559,6 +687,10 @@ impl Executor {
                 .histogram("poll_ns", &[("sample_every", &sample_every.to_string())])
         });
         let interruptible = self.deadline.is_some() || self.cancel.is_some();
+        // Hoisted so an un-probed run pays one predictable branch per
+        // checkpoint window and touches no new atomics.
+        let probe = self.probe.clone();
+        let probe_on = probe.is_some();
         loop {
             let next = if self.fifo {
                 ready.pop_front()
@@ -573,14 +705,30 @@ impl Executor {
             // polls so the deadline's `Instant::now()` stays off the hot
             // path. The popped task simply does not run — its `scheduled`
             // flag stays set, exactly like a budget-exhaustion break.
-            if interruptible && stats.polls.is_multiple_of(INTERRUPT_CHECK_EVERY) {
-                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                    stats.interrupted = Some(Interrupt::Cancelled);
-                    break;
+            if (interruptible || probe_on) && stats.polls.is_multiple_of(INTERRUPT_CHECK_EVERY) {
+                if interruptible {
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        stats.interrupted = Some(Interrupt::Cancelled);
+                        break;
+                    }
+                    if self.deadline.is_some_and(|at| Instant::now() >= at) {
+                        stats.interrupted = Some(Interrupt::Deadline);
+                        break;
+                    }
                 }
-                if self.deadline.is_some_and(|at| Instant::now() >= at) {
-                    stats.interrupted = Some(Interrupt::Deadline);
-                    break;
+                // Probe service point: publish progress and, on request,
+                // build the debug snapshot here on the executor's own
+                // thread (channel occupancy is thread-affine).
+                if let Some(p) = &probe {
+                    let progress = self.progress_value(stats.completed);
+                    p.publish(stats.polls, progress);
+                    if p.clear_request() {
+                        p.publish_snapshot(self.build_debug_snapshot(
+                            stats.polls,
+                            progress,
+                            Some(id),
+                        ));
+                    }
                 }
             }
             if let Some((rng, pct)) = self.faults.as_mut() {
@@ -644,6 +792,16 @@ impl Executor {
                 Poll::Pending => {
                     stats.suspensions += 1;
                 }
+            }
+        }
+        // Final probe publish (and snapshot service) before the remaining
+        // coroutines are torn down, so a watcher that sampled mid-run sees
+        // the terminal progress value instead of a stale checkpoint.
+        if let Some(p) = &probe {
+            let progress = self.progress_value(stats.completed);
+            p.publish(stats.polls, progress);
+            if p.clear_request() {
+                p.publish_snapshot(self.build_debug_snapshot(stats.polls, progress, None));
             }
         }
         // Quiescence: terminate all remaining kernel coroutines and release
@@ -1177,6 +1335,151 @@ mod tests {
         ex.spawn("t", Box::pin(async {}));
         let (stats, _) = ex.run();
         assert_eq!(stats.timed_polls, stats.polls);
+    }
+
+    #[test]
+    fn probe_publishes_progress_and_serves_snapshot_requests() {
+        let probe = ExecProbe::new();
+        let mut ex = Executor::new()
+            .with_probe(Arc::clone(&probe))
+            .with_poll_budget(500);
+        ex.spawn("spinner", Box::pin(Spinner2));
+        ex.spawn(
+            "worker",
+            Box::pin(async {
+                YieldN { remaining: 3 }.await;
+            }),
+        );
+        // Requested before the run: the loop's first checkpoint (poll 0)
+        // services it on the executor thread.
+        probe.request_snapshot();
+        let (stats, _) = ex.run();
+        assert!(stats.polls > 0);
+        assert_eq!(probe.polls(), stats.polls);
+        // Progress = completed tasks (no channels introspected here).
+        assert_eq!(probe.progress(), stats.completed as u64);
+        let snap = probe.take_snapshot().unwrap();
+        // At poll 0 both tasks were pre-queued: ready, none blocked.
+        assert!(snap.ready.contains(&"spinner".to_string()));
+        assert!(snap.ready.contains(&"worker".to_string()));
+        assert!(snap.blocked.is_empty());
+    }
+
+    #[test]
+    fn debug_snapshot_names_waits_for_cycle_on_wedged_channel_graph() {
+        use crate::channel::{Channel, ChannelAdmin};
+        use crate::probe::Introspector;
+
+        // Two kernels in an unprimed capacity-1 cycle: a reads w1/writes w2,
+        // b reads w2/writes w1. Neither channel ever holds data, so both
+        // block on their first read — the runtime shape of lint code CG020.
+        let w1 = Channel::<i64>::new(1);
+        let w2 = Channel::<i64>::new(1);
+        let probe = ExecProbe::new();
+        let mut ex = Executor::new().with_probe(Arc::clone(&probe));
+
+        let mut rx1 = w1.add_consumer();
+        let mut tx2 = w2.add_producer();
+        ex.spawn(
+            "a",
+            Box::pin(async move {
+                while let Some(v) = rx1.recv().await {
+                    tx2.send(v).await;
+                }
+            }),
+        );
+        let mut rx2 = w2.add_consumer();
+        let mut tx1 = w1.add_producer();
+        ex.spawn(
+            "b",
+            Box::pin(async move {
+                while let Some(v) = rx2.recv().await {
+                    tx1.send(v).await;
+                }
+            }),
+        );
+        // A third task that requests the snapshot once the cycle tasks have
+        // had time to block, then lets the run quiesce; the executor's final
+        // publish services the request while the wedged tasks still exist.
+        let p2 = Arc::clone(&probe);
+        ex.spawn(
+            "requester",
+            Box::pin(async move {
+                YieldN { remaining: 8 }.await;
+                p2.request_snapshot();
+            }),
+        );
+
+        let mut intro = Introspector::new();
+        let c1 = intro.add_channel("w1", 1, Arc::clone(&w1) as Arc<dyn ChannelAdmin>);
+        let c2 = intro.add_channel("w2", 1, Arc::clone(&w2) as Arc<dyn ChannelAdmin>);
+        intro.add_reader(0, c1);
+        intro.add_writer(0, c2);
+        intro.add_reader(1, c2);
+        intro.add_writer(1, c1);
+        ex.set_introspector(intro);
+
+        let (_, stalled) = ex.run();
+        assert!(stalled.contains(&"a".to_string()));
+        assert!(stalled.contains(&"b".to_string()));
+
+        let snap = probe.take_snapshot().unwrap();
+        assert!(snap.blocked.contains(&"a".to_string()));
+        assert!(snap.blocked.contains(&"b".to_string()));
+        assert_eq!(snap.channels.len(), 2);
+        assert!(snap.channels.iter().all(|c| c.occupancy == 0));
+        // a waits on empty w1 (writer: b); b waits on empty w2 (writer: a).
+        assert!(snap
+            .waits_for
+            .iter()
+            .any(|e| e.task == "a" && e.channel == "w1" && e.peers == vec!["b".to_string()]));
+        let cycle = snap.waits_for_cycle().expect("cycle detected");
+        assert!(cycle.contains(&"a".to_string()) && cycle.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn probe_checkpoint_preserves_schedule_determinism() {
+        // Arming a probe must not change the poll order — the service point
+        // piggybacks on the existing checkpoint and never defers tasks.
+        let without = interleaving_of(Schedule::Fifo);
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut ex = Executor::new().with_probe(ExecProbe::new());
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            ex.spawn(
+                name,
+                Box::pin(async move {
+                    for i in 0..3 {
+                        log.borrow_mut().push(format!("{name}{i}"));
+                        YieldN { remaining: 1 }.await;
+                    }
+                }),
+            );
+        }
+        ex.run();
+        assert_eq!(without, *log.borrow());
+    }
+
+    #[test]
+    fn profiling_off_with_probe_still_does_no_timing() {
+        // The overhead pin: observer plumbing must not re-introduce timing
+        // syscalls or per-poll metrics under Profiling::Off.
+        let probe = ExecProbe::new();
+        let mut ex = Executor::new()
+            .with_profiling(Profiling::Off)
+            .with_probe(Arc::clone(&probe));
+        for _ in 0..4 {
+            ex.spawn(
+                "t",
+                Box::pin(async {
+                    YieldN { remaining: 3 }.await;
+                }),
+            );
+        }
+        let (stats, _) = ex.run();
+        assert_eq!(stats.timed_polls, 0);
+        assert_eq!(stats.kernel_time, Duration::ZERO);
+        assert_eq!(probe.progress(), 4);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod library;
 #[macro_use]
 pub mod macros;
 pub mod port;
+pub mod probe;
 pub mod spec;
 
 // Re-exported so `compute_kernel!` expansions can reach core types through
@@ -66,4 +67,5 @@ pub use executor::{
 };
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};
 pub use port::{KernelReadPort, KernelWritePort};
+pub use probe::{ChannelOccupancy, DebugSnapshot, ExecProbe, Introspector, WaitKind, WaitsForEdge};
 pub use spec::{Backend, RunSpec};

@@ -1,0 +1,108 @@
+//! Flamegraph folded-stacks export: collapse per-kernel busy time from the
+//! trace event stream into the `frame;frame value` text format consumed by
+//! `inferno`, `flamegraph.pl` and speedscope. The same attribution rules as
+//! the summary table apply: `IterationEnd` spans and `PollBegin`/`PollEnd`
+//! slices, kept as separate leaf frames so the flamegraph distinguishes
+//! productive iterations from scheduler polls.
+
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::snapshot::TraceSnapshot;
+
+/// Render folded stacks with `root` as the shared base frame. One line per
+/// kernel and attribution kind (`iteration` / `poll`), zero-valued frames
+/// omitted; values are nanoseconds.
+pub fn folded_stacks(snapshot: &TraceSnapshot, root: &str) -> String {
+    let n = snapshot.kernels.len();
+    let mut iteration_ns = vec![0u64; n];
+    let mut poll_ns = vec![0u64; n];
+    let mut open_polls = vec![None::<u64>; n];
+    for r in &snapshot.records {
+        match r.event {
+            TraceEvent::IterationEnd {
+                kernel, start_ns, ..
+            } => {
+                if let Some(slot) = iteration_ns.get_mut(kernel.0 as usize) {
+                    *slot += r.ts_ns.saturating_sub(start_ns);
+                }
+            }
+            TraceEvent::PollBegin { kernel } => {
+                if let Some(slot) = open_polls.get_mut(kernel.0 as usize) {
+                    *slot = Some(r.ts_ns);
+                }
+            }
+            TraceEvent::PollEnd { kernel, .. } => {
+                let i = kernel.0 as usize;
+                if i >= n {
+                    continue;
+                }
+                if let Some(b) = open_polls[i].take() {
+                    poll_ns[i] += r.ts_ns.saturating_sub(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (i, name) in snapshot.kernels.iter().enumerate() {
+        // Semicolons are frame separators in the folded format; scrub them
+        // out of kernel names so frames stay well-formed.
+        let frame = name.replace(';', "_");
+        if iteration_ns[i] > 0 {
+            let _ = writeln!(out, "{root};{frame};iteration {}", iteration_ns[i]);
+        }
+        if poll_ns[i] > 0 {
+            let _ = writeln!(out, "{root};{frame};poll {}", poll_ns[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{KernelRef, TraceRecord};
+
+    #[test]
+    fn folds_iteration_and_poll_time_per_kernel() {
+        let snapshot = TraceSnapshot {
+            kernels: vec!["mac_0".into(), "idle_0".into()],
+            records: vec![
+                TraceRecord {
+                    ts_ns: 20,
+                    event: TraceEvent::IterationEnd {
+                        kernel: KernelRef(0),
+                        iteration: 0,
+                        start_ns: 5,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 30,
+                    event: TraceEvent::PollBegin {
+                        kernel: KernelRef(0),
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 42,
+                    event: TraceEvent::PollEnd {
+                        kernel: KernelRef(0),
+                        pending: true,
+                    },
+                },
+            ],
+            ..Default::default()
+        };
+        let text = folded_stacks(&snapshot, "run");
+        assert!(text.contains("run;mac_0;iteration 15"));
+        assert!(text.contains("run;mac_0;poll 12"));
+        // Idle kernel contributes no frames at all.
+        assert!(!text.contains("idle_0"));
+        // Every line is `stack space value`.
+        for line in text.lines() {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            assert!(stack.starts_with("run;"));
+            value.parse::<u64>().unwrap();
+        }
+    }
+}

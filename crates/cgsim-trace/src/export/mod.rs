@@ -1,7 +1,10 @@
 //! Exporters over a [`crate::TraceSnapshot`]: Chrome-trace JSON for
-//! `chrome://tracing` / Perfetto, a plain-text summary table, and a
-//! machine-readable JSON snapshot.
+//! `chrome://tracing` / Perfetto, a plain-text summary table, a
+//! machine-readable JSON snapshot, Prometheus text exposition for live
+//! scraping, and flamegraph folded stacks.
 
 pub mod chrome;
+pub mod folded;
 pub mod json;
+pub mod prometheus;
 pub mod summary;

@@ -1,0 +1,404 @@
+//! Prometheus text-exposition (version 0.0.4) rendering of a
+//! [`MetricsSnapshot`]: counters and gauges map directly, log2 histograms
+//! become cumulative `_bucket`/`_sum`/`_count` series plus derived
+//! `_quantile` gauges. This is the feeder for the planned `cgsim-serve`
+//! `/metrics` endpoint, and [`check_exposition`] is the matching in-repo
+//! shape validator used by tests and CI.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, MetricKey, MetricsSnapshot};
+
+/// Quantiles derived for every histogram, rendered as `{name}_quantile`
+/// gauge series labelled `quantile="0.5" | "0.9" | "0.99"`.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
+
+/// Sanitize a metric name into `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitize a label name into `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn sanitize_label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value: backslash, double quote and newline.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",...}` for a key's labels, optionally appending one extra
+/// pair (used for `le` and `quantile`). Empty when there are no labels.
+fn render_labels(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Upper bound (inclusive) of log2 bucket `i`: bucket 0 holds `{0, 1}`,
+/// bucket `i` holds `[2^i, 2^(i+1) - 1]`.
+fn bucket_upper_bound(i: usize) -> u128 {
+    (1u128 << (i + 1)) - 1
+}
+
+fn render_histogram(out: &mut String, name: &str, key: &MetricKey, hist: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = bucket_upper_bound(i).to_string();
+        let labels = render_labels(key, Some(("le", &le)));
+        let _ = writeln!(out, "{name}_bucket{labels} {cumulative}");
+    }
+    let labels = render_labels(key, Some(("le", "+Inf")));
+    let _ = writeln!(out, "{name}_bucket{labels} {}", hist.count);
+    let plain = render_labels(key, None);
+    let _ = writeln!(out, "{name}_sum{plain} {}", hist.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", hist.count);
+}
+
+/// Render the snapshot in Prometheus text-exposition format. Keys arrive
+/// sorted from the registry, so output is deterministic: one `# HELP` /
+/// `# TYPE` block per metric family, samples grouped beneath it.
+pub fn render(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let mut last = String::new();
+    for (key, value) in &metrics.counters {
+        let name = sanitize_name(&key.name);
+        if name != last {
+            write_header(&mut out, &name, "counter", "cgsim counter");
+            last = name.clone();
+        }
+        let _ = writeln!(out, "{name}{} {value}", render_labels(key, None));
+    }
+
+    let mut last = String::new();
+    for (key, value) in &metrics.gauges {
+        let name = sanitize_name(&key.name);
+        if name != last {
+            write_header(&mut out, &name, "gauge", "cgsim gauge");
+            last = name.clone();
+        }
+        let _ = writeln!(out, "{name}{} {value}", render_labels(key, None));
+    }
+
+    // Histograms: one family block per name with every label set's series,
+    // then the derived quantile gauges for the same name group.
+    let mut i = 0;
+    while i < metrics.histograms.len() {
+        let name = sanitize_name(&metrics.histograms[i].0.name);
+        let mut j = i;
+        while j < metrics.histograms.len() && sanitize_name(&metrics.histograms[j].0.name) == name {
+            j += 1;
+        }
+        write_header(&mut out, &name, "histogram", "cgsim log2 histogram");
+        for (key, hist) in &metrics.histograms[i..j] {
+            render_histogram(&mut out, &name, key, hist);
+        }
+        let qname = format!("{name}_quantile");
+        write_header(
+            &mut out,
+            &qname,
+            "gauge",
+            "cgsim histogram quantile estimate",
+        );
+        for (key, hist) in &metrics.histograms[i..j] {
+            for (q, label) in QUANTILES {
+                let labels = render_labels(key, Some(("quantile", label)));
+                let _ = writeln!(out, "{qname}{labels} {}", hist.quantile(q));
+            }
+        }
+        i = j;
+    }
+
+    out
+}
+
+/// Validate the shape of a text exposition: every sample belongs to a
+/// family with exactly one preceding `# TYPE` line, names and values parse,
+/// and histogram `_bucket` series are cumulative-monotone with a final
+/// `+Inf` bucket equal to the family's `_count`. Returns the first problem
+/// found, as a human-readable message.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Per bucket series (name + labels sans `le`): (le, cumulative count).
+    let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().ok_or(format!("line {n}: TYPE missing kind"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown TYPE kind {kind}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        let (series, value) = split_sample(line).ok_or(format!("line {n}: unparsable sample"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: bad value {value:?}"))?;
+        let (name, labels) = split_series(series).ok_or(format!("line {n}: bad series"))?;
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let family = resolve_family(name, &types)
+            .ok_or(format!("line {n}: sample {name} has no preceding TYPE"))?;
+
+        if types.get(&family).map(String::as_str) == Some("histogram") {
+            if name.ends_with("_bucket") {
+                let (le, base) = extract_le(name, labels)
+                    .ok_or(format!("line {n}: _bucket series missing le label"))?;
+                buckets.entry(base).or_default().push((le, value));
+            } else if name.ends_with("_count") {
+                counts.insert(format!("{name}{labels}"), value);
+            }
+        }
+    }
+
+    for (base, series) in &buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_v = f64::NEG_INFINITY;
+        for &(le, v) in series {
+            if le <= prev_le {
+                return Err(format!("{base}: le bounds not increasing"));
+            }
+            if v < prev_v {
+                return Err(format!("{base}: cumulative bucket counts decrease"));
+            }
+            prev_le = le;
+            prev_v = v;
+        }
+        let Some(&(last_le, last_v)) = series.last() else {
+            continue;
+        };
+        if !last_le.is_infinite() {
+            return Err(format!("{base}: missing le=\"+Inf\" bucket"));
+        }
+        let count_key = base.replace("_bucket", "_count");
+        if let Some(&count) = counts.get(&count_key) {
+            if count != last_v {
+                return Err(format!("{base}: +Inf bucket {last_v} != _count {count}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Split a sample line into (series, value) at the last space outside
+/// braces (label values may contain spaces).
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let split_at = match line.rfind('}') {
+        Some(close) => close + 1 + line[close + 1..].find(' ')?,
+        None => line.find(' ')?,
+    };
+    let (series, value) = line.split_at(split_at);
+    Some((series, value.trim_start()))
+}
+
+/// Split a series into (name, labels-with-braces-or-empty).
+fn split_series(series: &str) -> Option<(&str, &str)> {
+    match series.find('{') {
+        Some(open) => {
+            if !series.ends_with('}') {
+                return None;
+            }
+            Some((&series[..open], &series[open..]))
+        }
+        None => Some((series, "")),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Family a sample name belongs to: its own TYPE entry, or the histogram
+/// base name when the sample carries a `_bucket`/`_sum`/`_count` suffix.
+fn resolve_family(name: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Pull the `le` label out of a bucket series, returning its numeric value
+/// and the series identity with `le` removed.
+fn extract_le(name: &str, labels: &str) -> Option<(f64, String)> {
+    let inner = labels.strip_prefix('{')?.strip_suffix('}')?;
+    let mut le = None;
+    let mut rest = Vec::new();
+    for pair in inner.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k == "le" {
+            let v = v.strip_prefix('"')?.strip_suffix('"')?;
+            le = Some(if v == "+Inf" {
+                f64::INFINITY
+            } else {
+                v.parse().ok()?
+            });
+        } else {
+            rest.push(pair);
+        }
+    }
+    let base = if rest.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", rest.join(","))
+    };
+    Some((le?, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("channel_pushes", &[("channel", "c0")]).add(5);
+        reg.counter("channel_pushes", &[("channel", "c1")]).add(9);
+        reg.gauge("channel_occupancy", &[("channel", "c0")]).set(2);
+        let h = reg.histogram("poll_ns", &[("sample_every", "64")]);
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn render_emits_families_with_help_and_type() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE channel_pushes counter"));
+        assert!(text.contains("channel_pushes{channel=\"c0\"} 5"));
+        assert!(text.contains("channel_pushes{channel=\"c1\"} 9"));
+        assert!(text.contains("# TYPE channel_occupancy gauge"));
+        assert!(text.contains("channel_occupancy{channel=\"c0\"} 2"));
+        assert!(text.contains("# TYPE poll_ns histogram"));
+        // Bucket 0 holds {0, 1} so le="1" is cumulative 2.
+        assert!(text.contains("poll_ns_bucket{sample_every=\"64\",le=\"1\"} 2"));
+        assert!(text.contains("poll_ns_bucket{sample_every=\"64\",le=\"+Inf\"} 6"));
+        assert!(text.contains("poll_ns_sum{sample_every=\"64\"} 1106"));
+        assert!(text.contains("poll_ns_count{sample_every=\"64\"} 6"));
+        assert!(text.contains("# TYPE poll_ns_quantile gauge"));
+        assert!(text.contains("poll_ns_quantile{sample_every=\"64\",quantile=\"0.99\"}"));
+        // HELP/TYPE appear exactly once per family.
+        assert_eq!(text.matches("# TYPE channel_pushes counter").count(), 1);
+    }
+
+    #[test]
+    fn rendered_output_passes_the_shape_checker() {
+        let text = render(&sample_snapshot());
+        check_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_untyped_samples_and_broken_buckets() {
+        assert!(check_exposition("orphan 1\n").is_err());
+
+        let non_monotone = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 4
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        assert!(check_exposition(non_monotone)
+            .unwrap_err()
+            .contains("decrease"));
+
+        let missing_inf = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 9
+h_count 5
+";
+        assert!(check_exposition(missing_inf).unwrap_err().contains("+Inf"));
+
+        let count_mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 6
+";
+        assert!(check_exposition(count_mismatch).is_err());
+    }
+
+    #[test]
+    fn names_and_label_values_are_sanitized() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bad name!", &[("bad key", "va\"lue\n")]).inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("bad_name_{bad_key=\"va\\\"lue\\n\"} 1"));
+        check_exposition(&text).unwrap();
+    }
+}

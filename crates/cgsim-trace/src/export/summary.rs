@@ -25,6 +25,23 @@ pub struct KernelRow {
     pub stalls: u64,
 }
 
+/// One histogram's quantile line, rendered under the kernel table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileRow {
+    /// Rendered metric key (e.g. `poll_ns{sample_every=64}`).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Estimated median (see [`crate::metrics::HistogramSnapshot::quantile`]).
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Largest observed value (exact).
+    pub max: u64,
+}
+
 /// The whole table plus run-level footer facts.
 #[derive(Clone, Debug, Default)]
 pub struct SummaryTable {
@@ -37,6 +54,11 @@ pub struct SummaryTable {
     pub blocks: usize,
     /// Steady-state ns per output block, when measurable.
     pub ns_per_block: Option<f64>,
+    /// Quantile estimates for every registered histogram.
+    pub quantiles: Vec<QuantileRow>,
+    /// Trace records the ring-buffer sink had to discard; nonzero means the
+    /// per-kernel figures above undercount.
+    pub dropped: u64,
 }
 
 impl SummaryTable {
@@ -67,6 +89,20 @@ impl SummaryTable {
                 k.stalls,
             );
         }
+        if !self.quantiles.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            );
+            for q in &self.quantiles {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+                    q.name, q.count, q.p50, q.p90, q.p99, q.max
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "total: {:.1} ns, {} blocks{}",
@@ -76,6 +112,13 @@ impl SummaryTable {
                 .map(|v| format!(", {v:.1} ns/block"))
                 .unwrap_or_default(),
         );
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} trace records dropped (ring buffer full); figures above undercount",
+                self.dropped,
+            );
+        }
         out
     }
 }
@@ -161,12 +204,27 @@ pub fn summarize(snapshot: &TraceSnapshot) -> SummaryTable {
             stalls: stalls[i],
         })
         .collect();
+    let quantiles = snapshot
+        .metrics
+        .histograms
+        .iter()
+        .map(|(key, hist)| QuantileRow {
+            name: key.render(),
+            count: hist.count,
+            p50: hist.p50(),
+            p90: hist.p90(),
+            p99: hist.p99(),
+            max: hist.max,
+        })
+        .collect();
     SummaryTable {
         rows,
         busy_label: "busy ns",
         total_ns: (end - begin) as f64,
         blocks: 0,
         ns_per_block: None,
+        quantiles,
+        dropped: snapshot.dropped,
     }
 }
 
@@ -240,6 +298,7 @@ mod tests {
             total_ns: 1280.0,
             blocks: 16,
             ns_per_block: Some(80.0),
+            ..Default::default()
         };
         let text = table.render();
         assert!(text.contains("mac_0"));
@@ -247,5 +306,47 @@ mod tests {
         assert!(text.contains("50.0%"));
         assert!(text.contains("ns/block"));
         assert!(text.contains("16 blocks"));
+        assert!(!text.contains("warning:"));
+    }
+
+    #[test]
+    fn render_warns_about_dropped_records_and_lists_quantiles() {
+        let table = SummaryTable {
+            busy_label: "busy ns",
+            quantiles: vec![QuantileRow {
+                name: "poll_ns{sample_every=64}".into(),
+                count: 128,
+                p50: 90.0,
+                p90: 400.0,
+                p99: 900.0,
+                max: 1024,
+            }],
+            dropped: 7,
+            ..Default::default()
+        };
+        let text = table.render();
+        assert!(text.contains("histogram"));
+        assert!(text.contains("poll_ns{sample_every=64}"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("warning: 7 trace records dropped"));
+    }
+
+    #[test]
+    fn summarize_carries_dropped_count_and_histogram_quantiles() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        let h = reg.histogram("poll_ns", &[]);
+        for v in [4u64, 5, 6, 7] {
+            h.observe(v);
+        }
+        let snapshot = TraceSnapshot {
+            dropped: 3,
+            metrics: reg.snapshot(),
+            ..Default::default()
+        };
+        let table = summarize(&snapshot);
+        assert_eq!(table.dropped, 3);
+        assert_eq!(table.quantiles.len(), 1);
+        assert_eq!(table.quantiles[0].count, 4);
+        assert!(table.render().contains("warning: 3 trace records dropped"));
     }
 }

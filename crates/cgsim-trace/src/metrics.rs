@@ -164,6 +164,54 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the observed values by
+    /// linear interpolation inside the log2 bucket holding the target rank.
+    ///
+    /// Bucket `i` spans `[2^i, 2^(i+1) - 1]` (bucket 0 also holds zero), so
+    /// the estimate is exact for bucket 0 endpoints and within one octave
+    /// otherwise; the top estimate is clamped to the recorded `max`. Returns
+    /// `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let below = cumulative as f64;
+            cumulative += n;
+            if cumulative as f64 >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi_raw = ((1u128 << (i + 1)) - 1).min(u64::MAX as u128) as u64;
+                let hi = hi_raw.min(self.max).max(lo);
+                let frac = ((target - below) / n as f64).clamp(0.0, 1.0);
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
 enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
@@ -266,6 +314,22 @@ impl MetricsSnapshot {
             .find(|(k, _)| k.render() == rendered)
             .map(|(_, v)| *v)
     }
+
+    /// Value of a gauge by rendered key (e.g. `channel_occupancy{channel=c0}`).
+    pub fn gauge_value(&self, rendered: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.render() == rendered)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by rendered key (e.g. `poll_ns{sample_every=64}`).
+    pub fn histogram_snapshot(&self, rendered: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.render() == rendered)
+            .map(|(_, h)| h)
+    }
 }
 
 #[cfg(test)]
@@ -313,12 +377,62 @@ mod tests {
         assert_eq!(h.max(), 1024);
         assert!((h.mean() - 206.0).abs() < 1e-9);
         let snap = reg.snapshot();
-        let (_, hist) = &snap.histograms[0];
+        let hist = snap.histogram_snapshot("poll_ns").unwrap();
         // 0 and 1 land in bucket 0; 2,3 in bucket 1; 1024 in bucket 10.
         assert_eq!(hist.buckets[0], 2);
         assert_eq!(hist.buckets[1], 2);
         assert_eq!(hist.buckets[10], 1);
         assert_eq!(hist.buckets.len(), 11);
+    }
+
+    #[test]
+    fn keyed_lookups_find_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("occupancy", &[("channel", "c0")]).set(3);
+        reg.histogram("lat", &[]).observe(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge_value("occupancy{channel=c0}"), Some(3));
+        assert_eq!(snap.gauge_value("occupancy{channel=c9}"), None);
+        assert_eq!(snap.histogram_snapshot("lat").unwrap().count, 1);
+        assert!(snap.histogram_snapshot("nope").is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        // All mass in bucket 0 ({0, 1}): endpoints are exact.
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 2,
+            max: 1,
+            buckets: vec![4],
+        };
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), 1.0);
+
+        // 100 values of 1000 (bucket 9: [512, 1023]): every quantile lands
+        // inside that octave and p99 never exceeds the recorded max.
+        let mut buckets = vec![0u64; 10];
+        buckets[9] = 100;
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 100_000,
+            max: 1000,
+            buckets,
+        };
+        for q in [0.5, 0.9, 0.99] {
+            let v = h.quantile(q);
+            assert!((512.0..=1000.0).contains(&v), "q{q} = {v}");
+        }
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        assert!(h.p99() <= h.max as f64);
     }
 
     #[test]

@@ -8,8 +8,11 @@
 use std::collections::HashMap;
 
 use cgsim::graphs::all_apps;
-use cgsim::runtime::{compute_graph, compute_kernel, KernelLibrary, RuntimeConfig, RuntimeContext};
+use cgsim::runtime::{
+    compute_graph, compute_kernel, KernelLibrary, Profiling, RuntimeConfig, RuntimeContext,
+};
 use cgsim::sim::{simulate_graph_traced, SimConfig, SimReport};
+use cgsim::trace::export::prometheus;
 use cgsim::trace::Tracer;
 
 compute_kernel! {
@@ -189,6 +192,54 @@ fn simulator_trace_matches_simreport_on_paper_graphs() {
         }
         assert!(rendered.contains("busy cycles"));
     }
+}
+
+/// A paper-graph run's metrics render to Prometheus text exposition that
+/// round-trips the committed golden file byte for byte.
+///
+/// Determinism: the cooperative scheduler is single-threaded FIFO, and
+/// `Profiling::Off` suppresses the only wall-clock-derived metric (the
+/// `poll_ns` histogram), leaving pure counting metrics — channel
+/// pushes/pops, blocked reads/writes, occupancy gauges — that are a pure
+/// function of the graph and workload. Regenerate with
+/// `BLESS=1 cargo test prometheus_export`.
+#[test]
+fn prometheus_export_of_paper_graph_matches_golden_file() {
+    use cgsim::graphs::bitonic;
+    let graph = bitonic::build_graph();
+    let library = KernelLibrary::with(|l| {
+        l.register::<bitonic::bitonic_kernel>();
+    });
+    let mut ctx = RuntimeContext::with_tracer(
+        &graph,
+        &library,
+        RuntimeConfig::default().with_profiling(Profiling::Off),
+        Tracer::enabled(),
+    )
+    .unwrap();
+    ctx.feed(0, bitonic::make_input(8)).unwrap();
+    let out = ctx.collect::<f32>(0).unwrap();
+    let report = ctx.run().unwrap();
+    assert!(report.drained());
+    assert_eq!(out.len(), 8 * 16);
+
+    let text = prometheus::render(&report.trace.metrics);
+    // Structural validity first: the in-repo exposition checker accepts it.
+    prometheus::check_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/prometheus_bitonic.txt"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &text).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).unwrap();
+    assert_eq!(
+        text, golden,
+        "Prometheus export drifted from tests/golden/prometheus_bitonic.txt \
+         (BLESS=1 to regenerate after an intentional change)"
+    );
 }
 
 /// The simulator's Chrome export built from the frozen engine trace equals
