@@ -1,0 +1,119 @@
+//! `compiled-report` — machine-readable comparison of the compiled
+//! static-schedule backend against the cooperative fast-path engine.
+//!
+//! Runs every `bench::compiled` workload under both engines (best-of-N to
+//! shed scheduler noise) and writes `BENCH_PR7.json` mapping each bench to
+//! `elements_per_sec` per leg plus the compiled speedup.
+//!
+//! Usage: `cargo run --release -p bench --bin compiled-report
+//! [-- --out PATH]`.
+
+use bench::compiled::{deep_pipeline_compiled, deep_pipeline_cooperative, paper_graph_backend};
+use bench::hotloop::Measured;
+use cgsim_graphs::all_apps;
+use cgsim_runtime::Backend;
+use serde_json::{json, Value};
+
+const ELEMENTS: u64 = 65_536;
+const ROUNDS: usize = 5;
+
+/// Best (highest-throughput) of `ROUNDS` runs, after one discarded warm-up.
+fn best_of(mut run: impl FnMut() -> Measured) -> Measured {
+    let _ = run();
+    (0..ROUNDS)
+        .map(|_| run())
+        .max_by(|a, b| {
+            a.elements_per_sec()
+                .partial_cmp(&b.elements_per_sec())
+                .unwrap()
+        })
+        .unwrap()
+}
+
+fn leg_json(m: &Measured) -> Value {
+    json!({
+        "elements": m.elements,
+        "wall_ns": m.wall.as_nanos() as u64,
+        "elements_per_sec": m.elements_per_sec(),
+        "polls": m.polls,
+    })
+}
+
+fn compare(
+    name: &str,
+    mut coop: impl FnMut() -> Measured,
+    mut comp: impl FnMut() -> Measured,
+) -> (String, Value) {
+    let cooperative = best_of(&mut coop);
+    let compiled = best_of(&mut comp);
+    let speedup = compiled.elements_per_sec() / cooperative.elements_per_sec().max(1e-12);
+    eprintln!(
+        "{name:<24} cooperative {:>12.0} elem/s   compiled {:>12.0} elem/s   speedup {speedup:.2}x",
+        cooperative.elements_per_sec(),
+        compiled.elements_per_sec(),
+    );
+    (
+        name.to_owned(),
+        json!({
+            "cooperative": leg_json(&cooperative),
+            "compiled": leg_json(&compiled),
+            "speedup": speedup,
+        }),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: compiled-report [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut benches: Vec<(String, Value)> = Vec::new();
+    // Default-depth pipelines: both engines run unconstrained, so this
+    // measures raw sweep-vs-ready-queue overhead (roughly even).
+    for stages in [4usize, 16] {
+        benches.push(compare(
+            &format!("pipeline_d{stages}"),
+            || deep_pipeline_cooperative(stages, None, ELEMENTS),
+            || deep_pipeline_compiled(stages, None, ELEMENTS),
+        ));
+    }
+    // Declared depth-1 pipelines: the cooperative engine must suspend on
+    // every element, while the schedule compiler proves the buffers can be
+    // safely enlarged — the headline compiled-backend win.
+    for stages in [8usize, 16, 32] {
+        benches.push(compare(
+            &format!("tight_pipeline_d{stages}"),
+            || deep_pipeline_cooperative(stages, Some(1), ELEMENTS),
+            || deep_pipeline_compiled(stages, Some(1), ELEMENTS),
+        ));
+    }
+    for app in all_apps() {
+        benches.push(compare(
+            &format!("paper_{}", app.name()),
+            || paper_graph_backend(app.as_ref(), Backend::Cooperative, 8),
+            || paper_graph_backend(app.as_ref(), Backend::Compiled, 8),
+        ));
+    }
+
+    let report = json!({
+        "schema": "cgsim-bench-report/1",
+        "suite": "compiled",
+        "elements_per_microbench": ELEMENTS,
+        "rounds_best_of": ROUNDS,
+        "benches": Value::Object(benches),
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

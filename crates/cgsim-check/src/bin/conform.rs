@@ -60,9 +60,11 @@ fn main() {
     });
 
     println!(
-        "conform: {} cases, {} legs, {} failures (case-list digest {:016x})",
+        "conform: {} cases, {} legs, {} compiled-backend rejects, {} failures \
+         (case-list digest {:016x})",
         cfg.cases,
         report.legs,
+        report.compiled_rejects,
         report.failures.len(),
         report.case_list_digest()
     );

@@ -71,6 +71,9 @@ pub struct SuiteReport {
     pub signatures: Vec<String>,
     /// Total backend/permutation legs run across all cases.
     pub legs: usize,
+    /// Cases the compiled static-schedule backend declined (merge-carrying
+    /// graphs); each reject was cross-checked against the lint verdict.
+    pub compiled_rejects: usize,
     /// Verdicts of the cases that failed (empty = fully conforming).
     pub failures: Vec<CaseVerdict>,
 }
@@ -100,6 +103,7 @@ pub fn run_suite_with(cfg: &SuiteConfig, mut on_case: impl FnMut(&CaseVerdict)) 
     let mut signatures = Vec::with_capacity(cfg.cases as usize);
     let mut failures = Vec::new();
     let mut legs = 0usize;
+    let mut compiled_rejects = 0usize;
     for i in 0..cfg.cases {
         let case_seed = cfg.seed.wrapping_add(i);
         let case = gen::generate(case_seed, &cfg.gen);
@@ -113,6 +117,7 @@ pub fn run_suite_with(cfg: &SuiteConfig, mut on_case: impl FnMut(&CaseVerdict)) 
                 seed: case_seed,
                 signature: case.signature.clone(),
                 legs: 0,
+                compiled_rejected: false,
                 failures: vec![
                     format!(
                         "cgsim-lint rejected the generated graph before any leg ran:\n{}",
@@ -126,6 +131,7 @@ pub fn run_suite_with(cfg: &SuiteConfig, mut on_case: impl FnMut(&CaseVerdict)) 
         };
         signatures.push(verdict.signature.clone());
         legs += verdict.legs;
+        compiled_rejects += usize::from(verdict.compiled_rejected);
         on_case(&verdict);
         if !verdict.ok() {
             failures.push(verdict);
@@ -135,6 +141,7 @@ pub fn run_suite_with(cfg: &SuiteConfig, mut on_case: impl FnMut(&CaseVerdict)) 
         seed: cfg.seed,
         signatures,
         legs,
+        compiled_rejects,
         failures,
     }
 }

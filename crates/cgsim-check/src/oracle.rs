@@ -24,6 +24,7 @@ use crate::gen::GeneratedCase;
 use crate::kernels::{self, PALETTE_SHAPES};
 use aie_intrinsics::OpCounts;
 use aie_sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
+use cgsim_compiled::{compile, CompiledContext, CompiledPlan};
 use cgsim_core::{ConnectorId, PortKind};
 use cgsim_runtime::{
     ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RunSpec, RuntimeContext,
@@ -49,6 +50,12 @@ pub struct OracleConfig {
     pub backend_legs: bool,
     /// Run one round with an early-closing sink on output 0.
     pub early_close: bool,
+    /// Cross-check against the compiled static-schedule backend
+    /// (`cgsim-compiled`): two legs per case, one freshly compiled and one
+    /// re-instantiated from the same plan. Merge-carrying cases are outside
+    /// the statically schedulable class; the oracle then asserts the
+    /// compiler's reject reason matches the lint verdict (CG043) instead.
+    pub check_compiled: bool,
     /// Cross-check against the thread-per-kernel runtime.
     pub check_threaded: bool,
     /// Cross-check structure against the cycle-approximate DES.
@@ -66,6 +73,7 @@ impl Default for OracleConfig {
             lifo: true,
             backend_legs: true,
             early_close: true,
+            check_compiled: true,
             check_threaded: true,
             check_aiesim: true,
             max_polls: 2_000_000,
@@ -82,6 +90,11 @@ pub struct CaseVerdict {
     pub signature: String,
     /// Backend/permutation legs that ran to completion.
     pub legs: usize,
+    /// Whether the compiled static-schedule backend declined this case
+    /// (expected for merge-carrying graphs — the reject reason was
+    /// cross-checked against the lint verdict, so this is a skip, not a
+    /// failure).
+    pub compiled_rejected: bool,
     /// Human-readable disagreement descriptions; empty means conforming.
     pub failures: Vec<String>,
 }
@@ -106,6 +119,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
     let lib = kernels::library();
     let mut failures = Vec::new();
     let mut legs = 0usize;
+    let mut compiled_rejected = false;
 
     // Reference leg: cooperative executor, default FIFO schedule.
     let Some(reference) = run_cooperative(
@@ -119,6 +133,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             seed: case.seed,
             signature: case.signature.clone(),
             legs,
+            compiled_rejected,
             failures,
         };
     };
@@ -159,6 +174,44 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             if let Some(got) = run_cooperative(case, &lib, spec, None, &mut failures) {
                 legs += 1;
                 compare_outputs(spec.label(), &got, &reference, case, &mut failures);
+            }
+        }
+    }
+
+    if cfg.check_compiled {
+        // The compiled static-schedule backend: compile once, then run two
+        // legs from the same plan (a fresh instantiation each) — the second
+        // leg is exactly the plan-reuse path `cgsim-pool` sweeps take.
+        let lint_cfg = cgsim_lint::LintConfig::default();
+        match compile(&case.graph, &lint_cfg) {
+            Ok(plan) => {
+                for label in ["compiled", "compiled-reuse"] {
+                    if let Some(got) =
+                        run_compiled(case, &lib, plan.clone(), cfg, label, &mut failures)
+                    {
+                        legs += 1;
+                        compare_outputs(label, &got, &reference, case, &mut failures);
+                    }
+                }
+            }
+            Err(err) => {
+                compiled_rejected = true;
+                // A reject is only legitimate when the compiler's stated
+                // reason matches the static verifier's independent verdict
+                // on the same graph (merge fan-in ⇒ CG043, imbalance ⇒
+                // CG030, cycle ⇒ CG020).
+                match err.reject_reason().and_then(|r| r.lint_code()) {
+                    Some(code) => {
+                        let lint = cgsim_lint::lint_graph(&case.graph, &lint_cfg);
+                        if !lint.codes().contains(code) {
+                            failures.push(format!(
+                                "compiled: rejected claiming {code}, but lint does not \
+                                 report that code: {err}"
+                            ));
+                        }
+                    }
+                    None => failures.push(format!("compiled: unexplained reject: {err}")),
+                }
             }
         }
     }
@@ -238,6 +291,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         seed: case.seed,
         signature: case.signature.clone(),
         legs,
+        compiled_rejected,
         failures,
     }
 }
@@ -407,6 +461,66 @@ fn run_cooperative(
     Some(sinks.iter().map(|h| h.take()).collect())
 }
 
+/// One compiled-backend leg: instantiate `plan` (possibly shared with the
+/// sibling reuse leg), run to quiescence, and apply every check the
+/// cooperative legs get — plus the compiled engine's own guarantee that its
+/// schedule-derived buffer bound is never exceeded (`blocked_writes == 0`).
+fn run_compiled(
+    case: &GeneratedCase,
+    lib: &KernelLibrary,
+    plan: CompiledPlan,
+    cfg: &OracleConfig,
+    label: &str,
+    failures: &mut Vec<String>,
+) -> Option<Vec<Vec<i64>>> {
+    let spec = coop_spec(cfg, label, Schedule::Fifo);
+    let mut ctx = CompiledContext::with_plan(&case.graph, lib, plan, *spec.config());
+    ctx.set_tracer(Tracer::enabled());
+    for (i, feed) in case.feeds.iter().enumerate() {
+        if let Err(e) = ctx.feed(i, feed.clone()) {
+            failures.push(format!("{label}: feed {i} failed: {e}"));
+            return None;
+        }
+    }
+    let mut sinks = Vec::with_capacity(case.graph.outputs.len());
+    for oi in 0..case.graph.outputs.len() {
+        match ctx.collect::<i64>(oi) {
+            Ok(h) => sinks.push(h),
+            Err(e) => {
+                failures.push(format!("{label}: collect {oi} failed: {e}"));
+                return None;
+            }
+        }
+    }
+    let report = match ctx.run() {
+        Ok(r) => r,
+        Err(e) => {
+            failures.push(format!("{label}: run failed: {e}"));
+            return None;
+        }
+    };
+    if !report.drained() {
+        failures.push(format!(
+            "{label}: not drained after {} polls; stalled: {:?}",
+            report.exec.polls, report.stalled
+        ));
+    }
+    for (name, stats) in &report.channels {
+        if stats.blocked_writes != 0 {
+            failures.push(format!(
+                "{label}: channel {name}: {} blocked writes — the compiled \
+                 capacity bound was exceeded",
+                stats.blocked_writes
+            ));
+        }
+    }
+    check_conservation(case, &report.channels, true, label, failures);
+    for msg in invariants::check(&report.trace) {
+        failures.push(format!("{label}: trace invariant violated: {msg}"));
+    }
+    Some(sinks.iter().map(|h| h.take()).collect())
+}
+
 /// The thread-per-kernel leg (the paper's x86sim counterpart).
 fn run_threaded(
     case: &GeneratedCase,
@@ -533,12 +647,43 @@ mod tests {
         let expected = 1 // fifo
             + 1 // lifo
             + 3 // backend legs: mutex channels, profiling off, profiling full
+            + if verdict.compiled_rejected { 0 } else { 2 } // compiled + compiled-reuse
             + cfg.schedules as usize
             + cfg.fault_rounds as usize
             + 1 // early close
             + 1 // threaded
             + 1; // aie-sim
         assert_eq!(verdict.legs, expected);
+    }
+
+    #[test]
+    fn compiled_rejects_exactly_the_merge_cases() {
+        // The static-schedulability boundary on generated cases: every
+        // graph is a rate-balanced DAG, so the compiled backend must accept
+        // a case iff it is merge-free — and every reject must have been
+        // cross-checked against the lint verdict inside check_case (a
+        // mismatch lands in `failures`).
+        let mut rejects = 0usize;
+        for seed in 0..24u64 {
+            let case = generate(seed, &GenConfig::default());
+            let has_merge = (0..case.graph.connectors.len()).any(|ci| {
+                let cid = ConnectorId::new(ci);
+                case.graph.producers_of(cid).len() + usize::from(case.graph.is_global_input(cid))
+                    > 1
+            });
+            let verdict = check_case(&case, &OracleConfig::default());
+            assert!(verdict.ok(), "seed {seed}: {:#?}", verdict.failures);
+            assert_eq!(
+                verdict.compiled_rejected, has_merge,
+                "seed {seed} ({}): merge presence and compiled reject disagree",
+                verdict.signature
+            );
+            rejects += usize::from(verdict.compiled_rejected);
+        }
+        // The generator's 15% merge probability must actually exercise both
+        // sides of the boundary in this window.
+        assert!(rejects > 0, "no merge case in seeds 0..24");
+        assert!(rejects < 24, "every case was a merge case");
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! # cgsim-compiled — compiled static-schedule backend
+//!
+//! The cooperative engine (`cgsim-runtime`) discovers the execution order at
+//! run time: a ready queue, wake bookkeeping, and a scheduling branch per
+//! poll. For the large class of graphs that are *statically schedulable* —
+//! merge-free, rate-balanced (lint `CG030` clean), acyclic, fault-free —
+//! none of that is necessary: the SDF firing vector fixes a periodic
+//! schedule ahead of any execution, and buffer bounds follow from it.
+//!
+//! This crate splits execution into the two phases that LightningSimV2-style
+//! simulators use:
+//!
+//! 1. **Compile** ([`compile`]): take a lint-clean [`FlatGraph`], reuse the
+//!    firing vector the `cgsim-lint` rate pass already computed
+//!    ([`cgsim_lint::LintReport::firing_vector`]), derive a topological
+//!    firing order and per-connector period token counts, and package them
+//!    as a reusable [`CompiledPlan`]. Graphs outside the static class are
+//!    rejected with [`CompileError::NotStaticallySchedulable`] carrying a
+//!    [`RejectReason`] that names the matching lint verdict.
+//! 2. **Execute** ([`CompiledContext`]): instantiate the plan against a
+//!    concrete workload — channel capacities scale the plan's period bounds
+//!    by the feed length, so in the common case every coroutine runs start
+//!    to finish in a single poll, in precompiled order, with no scheduler
+//!    state at all.
+//!
+//! A plan is compiled once and instantiated many times (parameter sweeps in
+//! `cgsim-pool` reuse one plan per job). The executor produces the same
+//! [`RunReport`] as the cooperative engine, so tracing, conservation checks
+//! and profiling consumers work unchanged — and because statically
+//! schedulable graphs are Kahn-deterministic, its outputs are bit-identical
+//! to the cooperative reference (enforced by the `cgsim-check` conformance
+//! legs `compiled` and `compiled-reuse`).
+
+#![warn(missing_docs)]
+
+mod compiler;
+mod context;
+
+pub use compiler::{compile, CompileError, CompiledPlan, RejectReason};
+pub use context::CompiledContext;
+
+// Re-exported so callers can name the report/graph/lint-config types
+// without adding direct cgsim-runtime / cgsim-lint dependencies.
+pub use cgsim_core::FlatGraph;
+pub use cgsim_lint::LintConfig;
+pub use cgsim_runtime::RunReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgsim_core::GraphBuilder;
+    use cgsim_lint::LintConfig;
+    use cgsim_runtime::executor::FaultPlan;
+    use cgsim_runtime::{compute_kernel, KernelLibrary, RunSpec, RuntimeConfig};
+
+    compute_kernel! {
+        /// Doubles every element.
+        #[realm(aie)]
+        pub fn dbl(input: ReadPort<i64>, out: WritePort<i64>) {
+            while let Some(v) = input.get().await {
+                out.put(v * 2).await;
+            }
+        }
+    }
+
+    compute_kernel! {
+        /// Adds pairs of values from two input streams.
+        #[realm(aie)]
+        pub fn add2(a: ReadPort<i64>, b: ReadPort<i64>, out: WritePort<i64>) {
+            loop {
+                let (Some(x), Some(y)) = (a.get().await, b.get().await) else {
+                    break;
+                };
+                out.put(x + y).await;
+            }
+        }
+    }
+
+    fn lib() -> KernelLibrary {
+        KernelLibrary::with(|l| {
+            l.register::<dbl>();
+            l.register::<add2>();
+        })
+    }
+
+    fn pipeline() -> FlatGraph {
+        GraphBuilder::build("pipe", |g| {
+            let a = g.input::<i64>("a");
+            let mid = g.wire::<i64>();
+            let out = g.wire::<i64>();
+            dbl::invoke(g, &a, &mid)?;
+            dbl::invoke(g, &mid, &out)?;
+            g.output(&out);
+            Ok(())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_compiles_to_unit_schedule() {
+        let g = pipeline();
+        let plan = compile(&g, &LintConfig::default()).unwrap();
+        let s = plan.schedule();
+        assert_eq!(s.graph, "pipe");
+        assert_eq!(s.order.len(), 2);
+        // Topological: dbl_0 (reads the input) fires before dbl_1.
+        assert_eq!(s.order[0].index(), 0);
+        assert_eq!(s.order[1].index(), 1);
+        assert_eq!(s.firings.counts, vec![1, 1]);
+        assert_eq!(s.period_tokens, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn merge_is_rejected_with_cg043() {
+        // Two kernels write the same wire: merge fan-in.
+        let g = GraphBuilder::build("merge", |g| {
+            let a = g.input::<i64>("a");
+            let b = g.input::<i64>("b");
+            let x = g.wire::<i64>();
+            dbl::invoke(g, &a, &x)?;
+            dbl::invoke(g, &b, &x)?;
+            g.output(&x);
+            Ok(())
+        })
+        .unwrap();
+        let err = compile(&g, &LintConfig::default()).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::Merge));
+        assert_eq!(err.reject_reason().unwrap().lint_code(), Some("CG043"));
+    }
+
+    #[test]
+    fn rate_imbalance_is_rejected_with_cg030() {
+        // Both add2 inputs read the same wire, but at different rates (1
+        // vs 2 per firing): the two balance equations for that wire force
+        // contradictory firing ratios.
+        let g = GraphBuilder::build("imbalanced", |g| {
+            let a = g.input::<i64>("a");
+            let x = g.wire::<i64>();
+            let sum = g.wire::<i64>();
+            dbl::invoke(g, &a, &x)?;
+            add2::invoke(g, &x, &x, &sum)?;
+            g.output(&sum);
+            Ok(())
+        })
+        .unwrap();
+        let cfg = LintConfig::default().with_kernel_rates("add2", vec![1, 2, 1]);
+        let err = compile(&g, &cfg).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::RateImbalance));
+        assert_eq!(err.reject_reason().unwrap().lint_code(), Some("CG030"));
+    }
+
+    #[test]
+    fn single_sweep_executes_pipeline() {
+        let g = pipeline();
+        let lib = lib();
+        let mut ctx = CompiledContext::new(&g, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, (0..100i64).collect::<Vec<_>>()).unwrap();
+        let out = ctx.collect::<i64>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained(), "stalled: {:?}", report.stalled);
+        assert_eq!(out.take(), (0..100i64).map(|v| v * 4).collect::<Vec<_>>());
+        // The whole point: one poll per coroutine, no suspensions, no
+        // blocked channel operations.
+        assert_eq!(report.exec.polls, report.exec.tasks as u64);
+        assert_eq!(report.exec.suspensions, 0);
+        for (name, stats) in &report.channels {
+            assert_eq!(stats.blocked_writes, 0, "channel {name}");
+            assert_eq!(stats.blocked_reads, 0, "channel {name}");
+        }
+        assert_eq!(report.elements_moved, 300);
+    }
+
+    #[test]
+    fn zip_graph_and_plan_reuse_are_deterministic() {
+        let g = GraphBuilder::build("zip", |g| {
+            let a = g.input::<i64>("a");
+            let b = g.input::<i64>("b");
+            let sum = g.wire::<i64>();
+            add2::invoke(g, &a, &b, &sum)?;
+            g.output(&sum);
+            Ok(())
+        })
+        .unwrap();
+        let lib = lib();
+        let plan = compile(&g, &LintConfig::default()).unwrap();
+        let run = |plan: CompiledPlan| {
+            let mut ctx = CompiledContext::with_plan(&g, &lib, plan, RuntimeConfig::default());
+            ctx.feed(0, (0..50i64).collect::<Vec<_>>()).unwrap();
+            ctx.feed(1, (0..50i64).map(|v| v * 10).collect::<Vec<_>>())
+                .unwrap();
+            let out = ctx.collect::<i64>(0).unwrap();
+            let report = ctx.run().unwrap();
+            assert!(report.drained());
+            out.take()
+        };
+        let first = run(plan.clone());
+        let second = run(plan);
+        assert_eq!(first, second);
+        assert_eq!(first[3], 33);
+    }
+
+    #[test]
+    fn bounded_sink_closes_early_and_drains() {
+        let g = pipeline();
+        let lib = lib();
+        let mut ctx = CompiledContext::new(&g, &lib, RuntimeConfig::default()).unwrap();
+        ctx.feed(0, (0..100i64).collect::<Vec<_>>()).unwrap();
+        let out = ctx.collect_bounded::<i64>(0, 5).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(report.drained(), "stalled: {:?}", report.stalled);
+        assert_eq!(out.take(), vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn fault_specs_are_rejected() {
+        let g = pipeline();
+        let lib = lib();
+        let spec = RunSpec::for_graph("pipe").faults(FaultPlan::new(7, 25));
+        let Err(err) = CompiledContext::from_spec(&g, &lib, &spec) else {
+            panic!("fault-carrying spec must be rejected");
+        };
+        assert_eq!(err.reject_reason(), Some(RejectReason::FaultPlan));
+    }
+
+    #[test]
+    fn missing_feed_is_an_error() {
+        let g = pipeline();
+        let lib = lib();
+        let ctx = CompiledContext::new(&g, &lib, RuntimeConfig::default()).unwrap();
+        assert!(matches!(
+            ctx.run(),
+            Err(cgsim_core::GraphError::IoArityMismatch { what: "inputs", .. })
+        ));
+    }
+
+    #[test]
+    fn max_polls_budget_stops_the_sweep() {
+        let g = pipeline();
+        let lib = lib();
+        let mut ctx =
+            CompiledContext::new(&g, &lib, RuntimeConfig::default().with_max_polls(1)).unwrap();
+        ctx.feed(0, vec![1i64, 2]).unwrap();
+        let _out = ctx.collect::<i64>(0).unwrap();
+        let report = ctx.run().unwrap();
+        assert!(!report.drained());
+        assert!(report.exec.polls <= 1);
+    }
+}

@@ -34,6 +34,7 @@ pub mod id;
 pub mod kernel;
 pub mod partition;
 pub mod realm;
+pub mod schedule;
 pub mod settings;
 pub mod static_graph;
 
@@ -48,4 +49,5 @@ pub use id::{ConnectorId, KernelId, PortId};
 pub use kernel::{KernelDecl, KernelMeta, PortDir, PortKind, PortSig};
 pub use partition::{BoundaryPort, ConnectorClass, RealmPartition, RealmSubgraph};
 pub use realm::Realm;
+pub use schedule::{FiringVector, Rational, StaticSchedule};
 pub use settings::{PortSettings, SettingsConflict};

@@ -200,4 +200,40 @@ mod tests {
         let names: Vec<_> = apps.iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["bitonic", "farrow", "IIR", "bilinear"]);
     }
+
+    #[test]
+    fn compiled_backend_matches_cooperative_on_every_app() {
+        // The compiled static-schedule engine must be bit-identical to the
+        // cooperative reference on all four paper graphs (checksums are
+        // order-sensitive, so matching checksums mean matching streams).
+        for app in all_apps() {
+            // All four paper graphs are statically schedulable: the
+            // compiled run below must exercise the real compiled engine,
+            // not the cooperative fallback.
+            let graph = app.graph();
+            let lib = app.library();
+            cgsim_compiled::CompiledContext::new(
+                &graph,
+                &lib,
+                *RunSpec::for_graph(app.name()).config(),
+            )
+            .unwrap_or_else(|e| panic!("{} must compile: {e}", app.name()));
+            let coop = app
+                .run_spec(&RunSpec::for_graph(app.name()), 2)
+                .unwrap_or_else(|e| panic!("{} cooperative: {e}", app.name()));
+            let compiled = app
+                .run_spec(
+                    &RunSpec::for_graph(app.name()).backend(Backend::Compiled),
+                    2,
+                )
+                .unwrap_or_else(|e| panic!("{} compiled: {e}", app.name()));
+            assert_eq!(
+                compiled.checksum,
+                coop.checksum,
+                "{} diverged under the compiled backend",
+                app.name()
+            );
+            assert_eq!(compiled.out_elems, coop.out_elems, "{}", app.name());
+        }
+    }
 }

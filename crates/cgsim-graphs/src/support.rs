@@ -3,6 +3,7 @@
 
 use crate::apps::AppRun;
 use aie_sim::KernelCostProfile;
+use cgsim_compiled::{CompileError, CompiledContext};
 use cgsim_core::{FlatGraph, StreamData};
 use cgsim_runtime::{Backend, Interrupt, KernelLibrary, RunSpec, RuntimeContext};
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
@@ -100,6 +101,7 @@ impl FeederExt for dyn Feeder + '_ {
 
 struct CoopFeeder<'a, 'g>(&'a mut RuntimeContext<'g>);
 struct ThreadFeeder<'a, 'g>(&'a mut ThreadedContext<'g>);
+struct CompiledFeeder<'a, 'g>(&'a mut CompiledContext<'g>);
 
 macro_rules! feed_typed {
     ($ctx:expr, $index:expr, $data:expr, [$($t:ty),*]) => {{
@@ -151,6 +153,7 @@ macro_rules! feeder_impl {
 
 feeder_impl!(CoopFeeder);
 feeder_impl!(ThreadFeeder);
+feeder_impl!(CompiledFeeder);
 
 fn run_with_inputs<TOut: StreamData>(
     graph: &FlatGraph,
@@ -163,6 +166,49 @@ fn run_with_inputs<TOut: StreamData>(
             let mut ctx = RuntimeContext::from_spec(graph, lib, spec).map_err(|e| e.to_string())?;
             for f in feeds {
                 f(&mut CoopFeeder(&mut ctx)).map_err(|e| e.to_string())?;
+            }
+            let out = ctx.collect::<TOut>(0).map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            let report = ctx.run().map_err(|e| e.to_string())?;
+            let wall_time = start.elapsed();
+            match report.interrupted() {
+                Some(Interrupt::Deadline) => {
+                    return Err(format!(
+                        "deadline exceeded after {:?} ({} polls)",
+                        spec.deadline_budget().unwrap_or_default(),
+                        report.exec.polls
+                    ))
+                }
+                Some(Interrupt::Cancelled) => return Err("run cancelled".into()),
+                None => {}
+            }
+            if !report.drained() {
+                return Err(format!("graph stalled: {:?}", report.stalled));
+            }
+            Ok((
+                out.take(),
+                AppRun {
+                    wall_time,
+                    out_elems: 0,
+                    checksum: 0,
+                    kernel_fraction: Some(report.exec.kernel_fraction()),
+                },
+            ))
+        }
+        Backend::Compiled => {
+            // Compile the static schedule; graphs outside the statically
+            // schedulable class (merges, rate imbalance, cycles, fault
+            // plans) fall back gracefully to the cooperative engine.
+            let mut ctx = match CompiledContext::from_spec(graph, lib, spec) {
+                Ok(ctx) => ctx,
+                Err(CompileError::NotStaticallySchedulable { .. }) => {
+                    let coop = spec.clone().backend(Backend::Cooperative);
+                    return run_with_inputs::<TOut>(graph, lib, &coop, feeds);
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            for f in feeds {
+                f(&mut CompiledFeeder(&mut ctx)).map_err(|e| e.to_string())?;
             }
             let out = ctx.collect::<TOut>(0).map_err(|e| e.to_string())?;
             let start = Instant::now();

@@ -6,6 +6,7 @@
 //! diagnostics of one graph and renders them for humans (rustc-style lines)
 //! or machines (JSON).
 
+use cgsim_core::schedule::FiringVector;
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, KernelId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -145,6 +146,13 @@ pub struct LintReport {
     pub graph: String,
     /// Findings, in pass order (structural first, budgets last).
     pub diagnostics: Vec<Diagnostic>,
+    /// Minimal integer SDF firing counts per kernel, computed by the
+    /// rate-balance pass. `None` when the pass has not run (structural
+    /// errors aborted linting) or when the balance equations are
+    /// inconsistent (a `CG030` finding is present instead). Read through
+    /// [`LintReport::firing_vector`].
+    #[serde(default)]
+    pub firing: Option<FiringVector>,
 }
 
 impl LintReport {
@@ -153,7 +161,18 @@ impl LintReport {
         LintReport {
             graph: graph.into(),
             diagnostics: Vec::new(),
+            firing: None,
         }
+    }
+
+    /// The graph's SDF firing vector — the minimal integer repetitions per
+    /// kernel that balance every single-producer stream edge — when the
+    /// rate-balance pass ran and found the equations consistent. This is
+    /// the same computation backing the `CG030` check, exposed so the
+    /// schedule compiler (`cgsim-compiled`) shares it instead of
+    /// re-deriving the vector.
+    pub fn firing_vector(&self) -> Option<&FiringVector> {
+        self.firing.as_ref()
     }
 
     /// Append a finding.

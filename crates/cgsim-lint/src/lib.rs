@@ -38,6 +38,7 @@ pub mod style;
 
 pub use config::{LintConfig, RealmBudgets};
 pub use diag::{Anchor, Diagnostic, LintReport, Severity};
+pub use passes::port_rate;
 pub use style::dot_style;
 
 use cgsim_core::FlatGraph;
@@ -271,6 +272,45 @@ mod tests {
         g.kernels[1].ports[0].rate = 3;
         let r = lint_graph(&g, &LintConfig::default());
         assert!(r.codes().contains("CG030"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn firing_vector_exposed_for_balanced_graphs() {
+        // 1:1 pipeline: both kernels fire once per period.
+        let r = lint_graph(&pipeline(), &LintConfig::default());
+        let v = r.firing_vector().expect("balanced graph has a vector");
+        assert_eq!(v.counts, vec![1, 1]);
+
+        // k_0 produces 2/firing, k_1 consumes 3/firing on their only shared
+        // edge: consistent, with minimal integer firings 3 and 2.
+        let mut g = pipeline();
+        g.kernels[0].ports[1].rate = 2;
+        g.kernels[1].ports[0].rate = 3;
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.codes().contains("CG030"), "{}", r.render_human(&g));
+        let v = r.firing_vector().expect("consistent rates have a vector");
+        assert_eq!(v.counts, vec![3, 2]);
+    }
+
+    #[test]
+    fn firing_vector_absent_on_imbalance_and_structural_abort() {
+        // Rate contradiction (same construction as rate_imbalance_is_cg030):
+        // CG030 present, vector withheld.
+        let mut g = pipeline();
+        g.kernels[0].ports.push(port("aux_out", PortDir::Out, 3));
+        g.kernels[1].ports.push(port("aux_in", PortDir::In, 3));
+        g.connectors.push(connector());
+        g.kernels[0].ports[1].rate = 2;
+        g.kernels[1].ports[0].rate = 3;
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.codes().contains("CG030"));
+        assert!(r.firing_vector().is_none());
+
+        // Structural abort: the rate pass never runs, so no vector either.
+        let mut g = pipeline();
+        g.kernels[0].ports[1].connector = ConnectorId::new(99);
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(r.firing_vector().is_none());
     }
 
     #[test]

@@ -16,7 +16,11 @@ use cgsim_core::{ConnectorId, FlatGraph, GraphError, KernelId, PortDir, PortSett
 /// Resolve the SDF rate (elements per firing) of one port: the port's own
 /// declared rate wins, then a `kernel_rates` entry for the kernel kind, then
 /// the SDF default of 1.
-pub(crate) fn port_rate(graph: &FlatGraph, cfg: &LintConfig, kernel: usize, port: usize) -> u32 {
+///
+/// Public because the `cgsim-compiled` schedule compiler must size its
+/// per-connector token bounds with exactly the rates the rate-balance pass
+/// used — one resolution rule, two consumers.
+pub fn port_rate(graph: &FlatGraph, cfg: &LintConfig, kernel: usize, port: usize) -> u32 {
     let k = &graph.kernels[kernel];
     let declared = k.ports[port].rate;
     if declared != 0 {

@@ -9,55 +9,20 @@
 //! already forced by the rest of the graph — the static form of a pipeline
 //! that drifts out of step and eventually starves or floods a channel.
 //!
+//! When the equations are *consistent* the pass normalizes the per-kernel
+//! ratios into minimal integer repetition counts and publishes them as
+//! [`LintReport::firing_vector`], so downstream consumers — most notably
+//! the `cgsim-compiled` schedule compiler — reuse this computation instead
+//! of re-deriving it.
+//!
 //! Merge connectors (several producers) and runtime parameters are excluded:
 //! their token flow is not a single-producer SDF edge.
 
 use crate::config::LintConfig;
 use crate::diag::{Anchor, Diagnostic, LintReport, Severity};
 use crate::passes::port_rate;
+use cgsim_core::schedule::{FiringVector, Rational};
 use cgsim_core::{ConnectorId, FlatGraph, PortKind};
-
-/// A non-negative rational, kept in lowest terms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Ratio {
-    num: u64,
-    den: u64,
-}
-
-impl Ratio {
-    const ONE: Ratio = Ratio { num: 1, den: 1 };
-
-    fn new(num: u64, den: u64) -> Ratio {
-        debug_assert!(den != 0);
-        let g = gcd(num.max(1), den);
-        Ratio {
-            num: num / g,
-            den: den / g,
-        }
-    }
-
-    /// `self * (num/den)`.
-    fn scale(self, num: u64, den: u64) -> Ratio {
-        Ratio::new(self.num * num, self.den * den)
-    }
-}
-
-impl std::fmt::Display for Ratio {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.den == 1 {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
-        }
-    }
-}
-
-fn gcd(mut a: u64, mut b: u64) -> u64 {
-    while b != 0 {
-        (a, b) = (b, a % b);
-    }
-    a.max(1)
-}
 
 /// Run the rate-balance pass.
 pub(crate) fn check(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport) {
@@ -83,13 +48,19 @@ pub(crate) fn check(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport
 
     // Propagate a firing vector per weakly-connected component.
     let nk = graph.kernels.len();
-    let mut firing: Vec<Option<Ratio>> = vec![None; nk];
+    let mut firing: Vec<Option<Rational>> = vec![None; nk];
+    let mut component: Vec<usize> = vec![0; nk];
+    let mut n_components = 0usize;
+    let mut consistent = true;
     let mut reported = std::collections::BTreeSet::new();
     for seed in 0..nk {
         if firing[seed].is_some() {
             continue;
         }
-        firing[seed] = Some(Ratio::ONE);
+        let comp = n_components;
+        n_components += 1;
+        firing[seed] = Some(Rational::ONE);
+        component[seed] = comp;
         let mut queue = vec![seed];
         while let Some(k) = queue.pop() {
             let f_k = firing[k].expect("queued kernels have firing rates");
@@ -107,24 +78,38 @@ pub(crate) fn check(graph: &FlatGraph, cfg: &LintConfig, report: &mut LintReport
                 match firing[unknown] {
                     None => {
                         firing[unknown] = Some(implied);
+                        component[unknown] = comp;
                         queue.push(unknown);
                     }
-                    Some(existing) if existing != implied && reported.insert(c) => {
-                        let (kp, kq) = (&graph.kernels[p], &graph.kernels[q]);
-                        report.push(Diagnostic::new(
-                            "CG030",
-                            Severity::Error,
-                            Anchor::Connector { connector: c },
-                            format!(
-                                "rate imbalance on {c}: `{}` produces {p_rate}/firing and `{}` consumes {q_rate}/firing, which would require firing ratio {} for `{}`, but the rest of the graph fixes it at {}; the pipeline starves or floods this channel",
-                                kp.instance, kq.instance, implied,
-                                graph.kernels[unknown].instance, existing
-                            ),
-                        ));
+                    Some(existing) if existing != implied => {
+                        consistent = false;
+                        if reported.insert(c) {
+                            let (kp, kq) = (&graph.kernels[p], &graph.kernels[q]);
+                            report.push(Diagnostic::new(
+                                "CG030",
+                                Severity::Error,
+                                Anchor::Connector { connector: c },
+                                format!(
+                                    "rate imbalance on {c}: `{}` produces {p_rate}/firing and `{}` consumes {q_rate}/firing, which would require firing ratio {} for `{}`, but the rest of the graph fixes it at {}; the pipeline starves or floods this channel",
+                                    kp.instance, kq.instance, implied,
+                                    graph.kernels[unknown].instance, existing
+                                ),
+                            ));
+                        }
                     }
                     Some(_) => {}
                 }
             }
         }
+    }
+
+    // Publish the normalized vector only when every balance equation held;
+    // an inconsistent system has no meaningful repetition counts.
+    if consistent {
+        let ratios: Vec<Rational> = firing
+            .into_iter()
+            .map(|f| f.expect("every kernel was seeded"))
+            .collect();
+        report.firing = Some(FiringVector::from_components(&ratios, &component));
     }
 }

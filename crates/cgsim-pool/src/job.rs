@@ -3,6 +3,7 @@
 //! awaited through a [`JobHandle`]).
 
 use crate::observer::ObserverConfig;
+use cgsim_compiled::{CompiledContext, CompiledPlan};
 use cgsim_core::{FlatGraph, GraphError};
 use cgsim_runtime::{CancelToken, ExecProbe, KernelLibrary, RunSpec, RuntimeContext};
 use cgsim_trace::{TraceSnapshot, Tracer};
@@ -277,6 +278,28 @@ impl JobCtx {
             ctx.set_probe(Arc::clone(probe));
         }
         Ok(ctx)
+    }
+
+    /// Instantiate a [`CompiledContext`] from a pre-compiled plan under
+    /// this job's spec — the sweep pattern: compile the graph *once* with
+    /// [`cgsim_compiled::compile`], then submit many jobs that each
+    /// instantiate the shared plan against their own parameters. The job's
+    /// tracer, absolute deadline and cancellation token are wired in; the
+    /// executor probe does not apply (the compiled engine has no embedded
+    /// scheduler to sample).
+    pub fn instantiate_compiled<'g>(
+        &self,
+        graph: &'g FlatGraph,
+        library: &'g KernelLibrary,
+        plan: CompiledPlan,
+    ) -> CompiledContext<'g> {
+        let mut ctx = CompiledContext::with_plan(graph, library, plan, *self.spec.config());
+        ctx.set_tracer(self.tracer.clone());
+        if let Some(at) = self.deadline {
+            ctx.set_deadline(at);
+        }
+        ctx.set_cancel(self.cancel.clone());
+        ctx
     }
 }
 

@@ -112,6 +112,53 @@ fn per_job_results_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn compiled_plan_is_reused_across_a_parameter_sweep() {
+    // Compile the static schedule once, then let every sweep job
+    // instantiate from the shared plan — the cgsim-compiled reuse path.
+    // Each job's checksum must match the cooperative reference job.
+    let plan = cgsim_compiled::compile(&pipeline_graph(), &cgsim_compiled::LintConfig::default())
+        .expect("pool pipeline is statically schedulable");
+    let sweep: Vec<Job> = (0..6u64)
+        .map(|ordinal| {
+            let plan = plan.clone();
+            Job::new(
+                RunSpec::for_graph(format!("compiled-pipe#{ordinal}")),
+                move |ctx| {
+                    let graph = pipeline_graph();
+                    let lib = library();
+                    let mut rc = ctx.instantiate_compiled(&graph, &lib, plan);
+                    let input: Vec<f32> = (0..256)
+                        .map(|i| (i as f32) + (ordinal as f32) * 0.5)
+                        .collect();
+                    rc.feed(0, input).map_err(|e| e.to_string())?;
+                    let sink = rc.collect::<f32>(0).map_err(|e| e.to_string())?;
+                    let report = rc.run().map_err(|e| e.to_string())?;
+                    if !report.drained() {
+                        return Err(format!("stalled: {:?}", report.stalled));
+                    }
+                    let out = sink.take();
+                    Ok(JobOutput::new(fnv1a(&out)).elements(out.len() as u64))
+                },
+            )
+        })
+        .collect();
+    let (outcomes, report) = Pool::run_batch(PoolConfig::default().with_workers(4), sweep);
+    assert_eq!(report.counter("pool_jobs_completed"), 6);
+    let reference = batch_digests(1, 6);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let r = match outcome {
+            JobOutcome::Completed(r) => r,
+            other => panic!("compiled sweep job {i} did not complete: {other:?}"),
+        };
+        assert_eq!(
+            r.output.checksum, reference[i].checksum,
+            "compiled job {i} diverged from the cooperative reference"
+        );
+        assert_eq!(r.output.elements, 256);
+    }
+}
+
+#[test]
 fn channel_push_pop_counts_are_conserved() {
     for output in batch_digests(8, 8) {
         assert_eq!(output.elements, 256);

@@ -43,6 +43,14 @@ pub enum Backend {
     /// runtime configuration applies; schedule, faults, profiling and
     /// deadline are cooperative-engine concepts.
     Threaded,
+    /// The compiled static-schedule engine (`cgsim-compiled`): kernels run
+    /// in a precompiled topological order over buffers sized ahead of run
+    /// from the SDF firing vector — no ready queue, no wake bookkeeping.
+    /// Only statically schedulable graphs (merge-free, rate-balanced,
+    /// acyclic, fault-free) compile; dispatchers fall back to
+    /// [`Backend::Cooperative`] for the rest. The schedule policy and
+    /// fault plan of the runtime configuration do not apply.
+    Compiled,
 }
 
 /// A complete, self-contained description of one simulation run: label,

@@ -5,6 +5,7 @@
 //!
 //! * [`core`] — graph IR, builder DSL, flattening, partitioning
 //! * [`runtime`] — cooperative simulator (`compute_kernel!`)
+//! * [`compiled`] — static-schedule compiler and fixed-order executor
 //! * [`threads`] — thread-per-kernel functional simulator
 //! * [`intrinsics`] — AIE vector API emulation
 //! * [`sim`] — cycle-approximate AIE array simulator
@@ -17,6 +18,7 @@
 
 pub use aie_intrinsics as intrinsics;
 pub use aie_sim as sim;
+pub use cgsim_compiled as compiled;
 pub use cgsim_core as core;
 pub use cgsim_extract as extract;
 pub use cgsim_graphs as graphs;

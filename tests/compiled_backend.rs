@@ -1,0 +1,152 @@
+//! Compiled static-schedule backend, end to end: golden firing schedules
+//! for the four paper graphs, and property tests over the conformance
+//! generator's random SDF graphs — compiled outputs must be bit-identical
+//! to the cooperative reference, a plan must replay deterministically, and
+//! the schedule-derived buffer bound must never block a writer.
+
+use cgsim::compiled::{compile, CompiledContext, CompiledPlan, LintConfig};
+use cgsim::graphs::all_apps;
+use cgsim::{RuntimeConfig, RuntimeContext};
+use cgsim_check::gen::{self, GenConfig, GeneratedCase};
+use proptest::prelude::*;
+
+/// Lint configuration matching what `CompiledContext::new` derives from the
+/// default runtime configuration, so the goldens record exactly the plans
+/// the runtime-facing path produces.
+fn lint_cfg() -> LintConfig {
+    LintConfig {
+        default_depth: RuntimeConfig::default().default_depth as u32,
+        ..LintConfig::default()
+    }
+}
+
+/// The compiled firing order and per-connector token bounds of every paper
+/// graph are part of the backend's contract: a schedule change shows up as
+/// a golden diff, not as a silent perf or correctness drift. Regenerate
+/// with `BLESS=1 cargo test --test compiled_backend`.
+#[test]
+fn paper_graph_schedules_match_golden_files() {
+    for app in all_apps() {
+        let graph = app.graph();
+        let plan = compile(&graph, &lint_cfg())
+            .unwrap_or_else(|e| panic!("{} must be statically schedulable: {e}", app.name()));
+        let text = plan.schedule().render(&graph);
+        let path = format!(
+            "{}/tests/golden/schedule_{}.txt",
+            env!("CARGO_MANIFEST_DIR"),
+            app.name().to_lowercase()
+        );
+        if std::env::var_os("BLESS").is_some() {
+            std::fs::write(&path, &text).unwrap();
+        }
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (BLESS=1 to generate)"));
+        assert_eq!(
+            text,
+            golden,
+            "{}: compiled schedule drifted from {path} (BLESS=1 to regenerate \
+             after an intentional change)",
+            app.name()
+        );
+    }
+}
+
+/// Whether any connector has merge fan-in (multiple producers, or a
+/// producer competing with a global input) — the one property that puts a
+/// generated case outside the statically schedulable class.
+fn has_merge(case: &GeneratedCase) -> bool {
+    (0..case.graph.connectors.len()).any(|ci| {
+        let cid = cgsim::core::ConnectorId::new(ci);
+        case.graph.producers_of(cid).len() + usize::from(case.graph.is_global_input(cid)) > 1
+    })
+}
+
+/// Run one generated case on the compiled backend from an existing plan.
+/// Asserts the engine's bound guarantee: the run drains and no write ever
+/// blocks (the realized form of "max fill never exceeds the preallocated
+/// capacity").
+fn run_compiled_case(case: &GeneratedCase, plan: &CompiledPlan) -> Vec<Vec<i64>> {
+    let lib = cgsim_check::kernels::library();
+    let mut ctx =
+        CompiledContext::with_plan(&case.graph, &lib, plan.clone(), RuntimeConfig::default());
+    for (i, feed) in case.feeds.iter().enumerate() {
+        ctx.feed(i, feed.clone()).unwrap();
+    }
+    let sinks: Vec<_> = (0..case.graph.outputs.len())
+        .map(|oi| ctx.collect::<i64>(oi).unwrap())
+        .collect();
+    let report = ctx.run().unwrap();
+    assert!(
+        report.drained(),
+        "seed {}: compiled run stalled: {:?}",
+        case.seed,
+        report.stalled
+    );
+    for (name, stats) in &report.channels {
+        assert_eq!(
+            stats.blocked_writes, 0,
+            "seed {}: channel {name} overflowed its schedule-derived bound",
+            case.seed
+        );
+    }
+    sinks.iter().map(|h| h.take()).collect()
+}
+
+/// The cooperative reference for the same case (default FIFO schedule).
+fn run_cooperative_case(case: &GeneratedCase) -> Vec<Vec<i64>> {
+    let lib = cgsim_check::kernels::library();
+    let mut ctx = RuntimeContext::new(&case.graph, &lib, RuntimeConfig::default()).unwrap();
+    for (i, feed) in case.feeds.iter().enumerate() {
+        ctx.feed(i, feed.clone()).unwrap();
+    }
+    let sinks: Vec<_> = (0..case.graph.outputs.len())
+        .map(|oi| ctx.collect::<i64>(oi).unwrap())
+        .collect();
+    let report = ctx.run().unwrap();
+    assert!(report.drained(), "cooperative reference stalled");
+    sinks.iter().map(|h| h.take()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over random rate-balanced SDF graphs from the conformance
+    /// generator: merge-free cases compile; one plan instantiated twice
+    /// yields bit-identical outputs and never blocks a writer; and the
+    /// compiled outputs equal the cooperative reference. Merge cases are
+    /// rejected with the lint code the static verifier assigns (CG043).
+    #[test]
+    fn compiled_matches_reference_on_generated_cases(seed in 0u64..1u64 << 40) {
+        let case = gen::generate(seed, &GenConfig::default());
+        match compile(&case.graph, &LintConfig::default()) {
+            Ok(plan) => {
+                prop_assert!(
+                    !has_merge(&case),
+                    "seed {seed}: merge case must not compile"
+                );
+                let first = run_compiled_case(&case, &plan);
+                let second = run_compiled_case(&case, &plan);
+                prop_assert!(
+                    first == second,
+                    "seed {seed}: plan replay diverged"
+                );
+                let reference = run_cooperative_case(&case);
+                prop_assert!(
+                    first == reference,
+                    "seed {seed}: compiled diverged from cooperative"
+                );
+            }
+            Err(err) => {
+                prop_assert!(
+                    has_merge(&case),
+                    "seed {seed}: merge-free case rejected: {err}"
+                );
+                let code = err.reject_reason().and_then(|r| r.lint_code());
+                prop_assert!(
+                    code == Some("CG043"),
+                    "seed {seed}: wrong reject reason {code:?}: {err}"
+                );
+            }
+        }
+    }
+}
