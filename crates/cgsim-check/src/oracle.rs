@@ -27,8 +27,8 @@ use aie_sim::{simulate_graph, KernelCostProfile, PortTraffic, SimConfig, Workloa
 use cgsim_compiled::{compile, CompiledContext, CompiledPlan};
 use cgsim_core::{ConnectorId, PortKind};
 use cgsim_runtime::{
-    ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RunSpec, RuntimeContext,
-    Schedule,
+    ChannelMode, ChannelStats, FaultPlan, KernelLibrary, Profiling, RunReport, RunSpec,
+    RuntimeConfig, RuntimeContext, Schedule, SchedulePolicy,
 };
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
 use cgsim_trace::{invariants, Tracer};
@@ -60,6 +60,14 @@ pub struct OracleConfig {
     pub check_threaded: bool,
     /// Cross-check structure against the cycle-approximate DES.
     pub check_aiesim: bool,
+    /// Validate the `CG060` static occupancy bounds against real traces on
+    /// merge-free cases: every cooperative leg runs with the runtime's
+    /// bounds-check mode armed (observed high-water occupancy must stay ≤
+    /// the static bound — soundness), and one extra leg floods the
+    /// highest-bound connector under a consumer-starving schedule and
+    /// asserts the bound is within 2× of the occupancy actually reached
+    /// (tightness).
+    pub check_bounds: bool,
     /// Poll budget per cooperative run — turns a livelock into a reported
     /// failure instead of a hang.
     pub max_polls: u64,
@@ -76,6 +84,7 @@ impl Default for OracleConfig {
             check_compiled: true,
             check_threaded: true,
             check_aiesim: true,
+            check_bounds: true,
             max_polls: 2_000_000,
         }
     }
@@ -106,6 +115,23 @@ impl CaseVerdict {
     }
 }
 
+/// Schedule policy for the bounds flood leg: poll any ready task that is
+/// *not* demoted first; the demoted tasks (the flood target's consumers
+/// and sink) only run when nothing else can — the adversarial schedule the
+/// static occupancy analysis models by freezing those consumers.
+struct DemoteLast {
+    demoted: std::collections::HashSet<usize>,
+}
+
+impl SchedulePolicy for DemoteLast {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        ready
+            .iter()
+            .position(|id| !self.demoted.contains(id))
+            .unwrap_or(0)
+    }
+}
+
 /// Derive the i-th schedule-permutation seed for a case (splitmix-style, so
 /// neighbouring case seeds do not share permutation streams).
 fn perm_seed(seed: u64, i: u64) -> u64 {
@@ -121,12 +147,34 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
     let mut legs = 0usize;
     let mut compiled_rejected = false;
 
+    // Static occupancy bounds for this case's concrete feed lengths —
+    // merge-free cases only, the class the flood analysis is proven sound
+    // for. When present they are armed as runtime bounds checks on every
+    // cooperative leg below (any observed occupancy above its bound is a
+    // soundness failure), and the flood leg validates tightness.
+    let has_merge = (0..case.graph.connectors.len()).any(|ci| {
+        let cid = ConnectorId::new(ci);
+        case.graph.producers_of(cid).len() + usize::from(case.graph.is_global_input(cid)) > 1
+    });
+    let feed_lens: Vec<u64> = case.feeds.iter().map(|f| f.len() as u64).collect();
+    let bounds = (cfg.check_bounds && !has_merge)
+        .then(|| {
+            let lint_cfg = cgsim_lint::LintConfig {
+                default_depth: RuntimeConfig::default().default_depth as u32,
+                ..cgsim_lint::LintConfig::default()
+            };
+            cgsim_lint::occupancy_bounds(&case.graph, &lint_cfg, &feed_lens)
+        })
+        .flatten();
+    let bounds_ref = bounds.as_deref();
+
     // Reference leg: cooperative executor, default FIFO schedule.
     let Some(reference) = run_cooperative(
         case,
         &lib,
         &coop_spec(cfg, "coop-fifo", Schedule::Fifo),
         None,
+        bounds_ref,
         &mut failures,
     ) else {
         return CaseVerdict {
@@ -154,6 +202,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             &lib,
             &coop_spec(cfg, "coop-lifo", Schedule::Lifo),
             None,
+            bounds_ref,
             &mut failures,
         ) {
             legs += 1;
@@ -171,7 +220,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             coop_spec(cfg, "coop-prof-full", Schedule::Fifo).profiling(Profiling::Full),
         ];
         for spec in &backend_specs {
-            if let Some(got) = run_cooperative(case, &lib, spec, None, &mut failures) {
+            if let Some(got) = run_cooperative(case, &lib, spec, None, bounds_ref, &mut failures) {
                 legs += 1;
                 compare_outputs(spec.label(), &got, &reference, case, &mut failures);
             }
@@ -224,6 +273,7 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             &lib,
             &coop_spec(cfg, label.clone(), Schedule::Seeded(s)),
             None,
+            bounds_ref,
             &mut failures,
         ) {
             legs += 1;
@@ -234,10 +284,14 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
     for i in 0..cfg.fault_rounds {
         let s = perm_seed(case.seed, 1_000 + i as u64);
         let label = format!("coop-faulty({s:#018x})");
+        // No bounds check here: fault injection replays sends, so total
+        // pushes — and hence peak occupancy — can exceed the fault-free
+        // workload figure the static bound rests on.
         if let Some(got) = run_cooperative(
             case,
             &lib,
             &coop_spec(cfg, label.clone(), Schedule::Seeded(s)).faults(FaultPlan::new(s, 35)),
+            None,
             None,
             &mut failures,
         ) {
@@ -251,11 +305,16 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
         // every other output must be unaffected.
         let limit = (case.outputs[0].len / 2).max(1) as usize;
         let label = "coop-early-close";
+        // No bounds check here: when the bounded sink closes early, channel
+        // occupancy is measured relative to the remaining open consumers, a
+        // different quantity than the all-consumers-open one the static
+        // analysis bounds.
         if let Some(got) = run_cooperative(
             case,
             &lib,
             &coop_spec(cfg, label, Schedule::Fifo),
             Some(limit),
+            None,
             &mut failures,
         ) {
             legs += 1;
@@ -271,6 +330,96 @@ pub fn check_case(case: &GeneratedCase, cfg: &OracleConfig) -> CaseVerdict {
             }
             for oi in 1..case.outputs.len() {
                 compare_one(label, oi, &got[oi], &reference[oi], case, &mut failures);
+            }
+        }
+    }
+
+    if let Some(bounds) = bounds_ref {
+        // Flood leg: starve the consumers of the highest-bound connector so
+        // it fills to its worst case, then check the static bound from both
+        // sides — never exceeded (soundness, via the armed runtime check on
+        // every channel) and within 2× of the occupancy the flood actually
+        // reached (tightness: a sound-but-useless bound fails here).
+        //
+        // The tightness side is only decidable for a target whose kernel
+        // consumers read nothing but the target: demoting such consumers
+        // cannot wedge any other channel, so upstream delivers the full
+        // workload (capacity permitting) and the flood provably reaches the
+        // bound. A consumer with side inputs couples the flood to its
+        // siblings — a fork feeding a demoted zip wedges the shared
+        // producer — making the achievable peak genuinely lower than the
+        // schedule-independent bound. Prefer an isolated-consumer target
+        // (highest bound among them); otherwise run the leg for its
+        // soundness and schedule perturbation but skip the tightness claim.
+        let graph = &case.graph;
+        let nk = graph.kernels.len();
+        let n_inputs = graph.inputs.len();
+        let isolated = |ci: usize| {
+            graph.consumers_of(ConnectorId::new(ci)).iter().all(|e| {
+                graph.kernels[e.kernel.index()].ports.iter().all(|p| {
+                    p.dir != cgsim_core::PortDir::In
+                        || p.connector.index() == ci
+                        || graph.connectors[p.connector.index()].kind == PortKind::RuntimeParam
+                })
+            })
+        };
+        let candidates: Vec<usize> = (0..graph.connectors.len())
+            .filter(|&ci| graph.connectors[ci].kind == PortKind::Stream)
+            .filter(|&ci| {
+                !graph.consumers_of(ConnectorId::new(ci)).is_empty()
+                    || graph.is_global_output(ConnectorId::new(ci))
+            })
+            .collect();
+        let tight_target = candidates
+            .iter()
+            .copied()
+            .filter(|&ci| isolated(ci))
+            .max_by_key(|&ci| bounds[ci]);
+        let target = tight_target.or_else(|| candidates.into_iter().max_by_key(|&ci| bounds[ci]));
+        if let Some(target) = target {
+            let check_tightness = tight_target == Some(target);
+            let cid = ConnectorId::new(target);
+            // Task-id layout in run_cooperative: kernels spawn first in
+            // graph order (id == ki), then one source per input, then one
+            // sink per output.
+            let mut demoted = std::collections::HashSet::new();
+            for e in graph.consumers_of(cid) {
+                demoted.insert(e.kernel.index());
+            }
+            for (oi, c) in graph.outputs.iter().enumerate() {
+                if c.index() == target {
+                    demoted.insert(nk + n_inputs + oi);
+                }
+            }
+            let label = "coop-flood";
+            if let Some((got, report)) = run_cooperative_report(
+                case,
+                &lib,
+                &coop_spec(cfg, label, Schedule::Fifo),
+                None,
+                Some(bounds),
+                Some(Box::new(DemoteLast { demoted })),
+                &mut failures,
+            ) {
+                legs += 1;
+                compare_outputs(label, &got, &reference, case, &mut failures);
+                if check_tightness {
+                    let name = connector_display_name(graph, target);
+                    match report.channels.iter().find(|(n, _)| n == &name) {
+                        Some((_, stats)) => {
+                            if bounds[target] > stats.max_occupancy.saturating_mul(2) {
+                                failures.push(format!(
+                                    "{label}: channel {name}: static bound {} is more than 2x \
+                                     the flooded occupancy {}",
+                                    bounds[target], stats.max_occupancy
+                                ));
+                            }
+                        }
+                        None => failures.push(format!(
+                            "{label}: flood target channel {name} missing from the report"
+                        )),
+                    }
+                }
             }
         }
     }
@@ -394,15 +543,43 @@ fn coop_spec(cfg: &OracleConfig, label: impl Into<String>, schedule: Schedule) -
         .schedule(schedule)
 }
 
+/// Display name of connector `ci` — the same convention the runtime's
+/// channel reports use.
+fn connector_display_name(graph: &cgsim_core::FlatGraph, ci: usize) -> String {
+    graph.connectors[ci]
+        .attrs
+        .get_str("name")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("c{ci}"))
+}
+
 /// One cooperative-executor leg. Returns the collected sink outputs, or
-/// `None` when the run could not even be set up (already reported).
+/// `None` when the run could not even be set up (already reported). When
+/// `bounds` is given, the runtime's bounds-check mode is armed with it and
+/// any recorded violation is a failure.
 fn run_cooperative(
     case: &GeneratedCase,
     lib: &KernelLibrary,
     spec: &RunSpec,
     bound_limit: Option<usize>,
+    bounds: Option<&[u64]>,
     failures: &mut Vec<String>,
 ) -> Option<Vec<Vec<i64>>> {
+    run_cooperative_report(case, lib, spec, bound_limit, bounds, None, failures)
+        .map(|(outputs, _)| outputs)
+}
+
+/// [`run_cooperative`] returning the full [`RunReport`] too, with an
+/// optional custom schedule policy (the flood leg's demotion schedule).
+fn run_cooperative_report(
+    case: &GeneratedCase,
+    lib: &KernelLibrary,
+    spec: &RunSpec,
+    bound_limit: Option<usize>,
+    bounds: Option<&[u64]>,
+    policy: Option<Box<dyn SchedulePolicy>>,
+    failures: &mut Vec<String>,
+) -> Option<(Vec<Vec<i64>>, RunReport)> {
     let label = spec.label();
     // Tracer::enabled() degrades to a no-op in untraced builds; the
     // invariant pass below then sees an empty snapshot and checks nothing,
@@ -415,6 +592,12 @@ fn run_cooperative(
             return None;
         }
     };
+    if let Some(bounds) = bounds {
+        ctx.set_bounds_check(bounds.to_vec());
+    }
+    if let Some(policy) = policy {
+        ctx.set_schedule_policy(policy);
+    }
     for (i, feed) in case.feeds.iter().enumerate() {
         if let Err(e) = ctx.feed(i, feed.clone()) {
             failures.push(format!("{label}: feed {i} failed: {e}"));
@@ -455,10 +638,16 @@ fn run_cooperative(
         label,
         failures,
     );
+    for v in &report.bounds_violations {
+        failures.push(format!(
+            "{label}: channel {}: observed occupancy {} exceeded the static bound {}",
+            v.channel, v.observed, v.bound
+        ));
+    }
     for msg in invariants::check(&report.trace) {
         failures.push(format!("{label}: trace invariant violated: {msg}"));
     }
-    Some(sinks.iter().map(|h| h.take()).collect())
+    Some((sinks.iter().map(|h| h.take()).collect(), report))
 }
 
 /// One compiled-backend leg: instantiate `plan` (possibly shared with the
@@ -651,6 +840,9 @@ mod tests {
             + cfg.schedules as usize
             + cfg.fault_rounds as usize
             + 1 // early close
+            // bounds flood leg: merge-free cases only — exactly the cases
+            // the compiled backend accepts
+            + if verdict.compiled_rejected { 0 } else { 1 }
             + 1 // threaded
             + 1; // aie-sim
         assert_eq!(verdict.legs, expected);

@@ -335,26 +335,42 @@ impl<'g> CompiledContext<'g> {
             });
         }
 
-        // How many schedule periods this workload spans: the hungriest
-        // global input relative to its per-period token bound.
+        // Channel capacity per connector: the exact workload token traffic
+        // from the `CG060` bounds analysis (total ever pushed through the
+        // connector for these concrete feed lengths), floored by any
+        // declared depth. Sized this way no write can ever block — tighter
+        // than the former `period bound × period count` product, which
+        // over-allocated whenever inputs of different period demands were
+        // fed unequal lengths. Kahn determinism makes capacity changes
+        // output-invariant for this graph class, so either sizing yields
+        // bit-identical streams; the fallback below (cyclic dataflow, which
+        // the compiler rejects anyway) keeps the old formula as a safety
+        // net.
         let sched = plan.schedule();
-        let mut periods = 1u64;
-        for (idx, feed) in feeds.iter().enumerate() {
-            let len = feed.as_ref().expect("checked above").len as u64;
-            let ci = graph.inputs[idx].index();
-            let per = sched.period_tokens.get(ci).copied().unwrap_or(1).max(1);
-            periods = periods.max(len.div_ceil(per));
-        }
-
-        // Channel capacity per connector: the period bound scaled by the
-        // period count (≥ the feed length on every input), floored by any
-        // declared depth. Kahn determinism makes capacity changes
-        // output-invariant for this graph class, so enlarging buffers is
-        // sound — it is exactly what removes all run-time blocking.
+        let feed_lens: Vec<u64> = feeds
+            .iter()
+            .map(|f| f.as_ref().expect("checked above").len as u64)
+            .collect();
+        let lint_cfg = cgsim_lint::LintConfig {
+            default_depth: config.default_depth as u32,
+            ..cgsim_lint::LintConfig::default()
+        };
+        let workload = cgsim_lint::workload_tokens(graph, &lint_cfg, &feed_lens);
         let capacities: Vec<usize> = (0..graph.connectors.len())
             .map(|ci| {
-                let per = sched.period_tokens.get(ci).copied().unwrap_or(1);
-                let need = per.saturating_mul(periods);
+                let need = match &workload {
+                    Some(tokens) => tokens[ci],
+                    None => {
+                        let mut periods = 1u64;
+                        for (idx, &len) in feed_lens.iter().enumerate() {
+                            let ici = graph.inputs[idx].index();
+                            let per = sched.period_tokens.get(ici).copied().unwrap_or(1).max(1);
+                            periods = periods.max(len.div_ceil(per));
+                        }
+                        let per = sched.period_tokens.get(ci).copied().unwrap_or(1);
+                        per.saturating_mul(periods)
+                    }
+                };
                 let declared = graph.connectors[ci].settings.depth as u64;
                 usize::try_from(need.max(declared).max(1)).unwrap_or(usize::MAX)
             })
@@ -572,6 +588,7 @@ impl<'g> CompiledContext<'g> {
             tasks: profiles,
             channels: channel_stats,
             trace: tracer.snapshot(),
+            bounds_violations: Vec::new(),
         })
     }
 }

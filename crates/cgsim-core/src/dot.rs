@@ -23,12 +23,18 @@ pub struct DotStyle {
     /// Edge colour per connector index (applied to every edge of the
     /// connector).
     pub connector_color: HashMap<usize, String>,
+    /// Extra text appended to the edge label of a connector (newline
+    /// separated), e.g. the static occupancy/capacity bounds the lint
+    /// bounds pass annotates edges with.
+    pub connector_label: HashMap<usize, String>,
 }
 
 impl DotStyle {
     /// Whether any override is present.
     pub fn is_empty(&self) -> bool {
-        self.kernel_fill.is_empty() && self.connector_color.is_empty()
+        self.kernel_fill.is_empty()
+            && self.connector_color.is_empty()
+            && self.connector_label.is_empty()
     }
 }
 
@@ -82,7 +88,11 @@ pub fn to_dot_styled(graph: &FlatGraph, style: &DotStyle) -> String {
     for ci in 0..graph.connectors.len() {
         let c = ConnectorId::new(ci);
         let conn = &graph.connectors[ci];
-        let label = format!("c{ci}: {} [{}]", conn.dtype.name, conn.kind);
+        let mut label = format!("c{ci}: {} [{}]", conn.dtype.name, conn.kind);
+        if let Some(extra) = style.connector_label.get(&ci) {
+            label.push_str("\\n");
+            label.push_str(extra);
+        }
         let color = style
             .connector_color
             .get(&ci)
@@ -208,9 +218,11 @@ mod tests {
         let mut style = DotStyle::default();
         style.kernel_fill.insert(0, "red".into());
         style.connector_color.insert(1, "orange".into());
+        style.connector_label.insert(1, "cap 64".into());
         let dot = to_dot_styled(&g, &style);
         assert!(dot.contains("style=filled, fillcolor=\"red\""));
         assert!(dot.contains("color=\"orange\", fontcolor=\"orange\""));
+        assert!(dot.contains("\\ncap 64"));
         // Unstyled export is byte-identical to the default style.
         assert_eq!(to_dot(&g), to_dot_styled(&g, &DotStyle::default()));
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());

@@ -49,5 +49,7 @@ pub use id::{ConnectorId, KernelId, PortId};
 pub use kernel::{KernelDecl, KernelMeta, PortDir, PortKind, PortSig};
 pub use partition::{BoundaryPort, ConnectorClass, RealmPartition, RealmSubgraph};
 pub use realm::Realm;
-pub use schedule::{FiringVector, Rational, StaticSchedule};
+pub use schedule::{
+    ConnectorBounds, CostEstimate, FiringVector, GraphBounds, Rational, StaticSchedule,
+};
 pub use settings::{PortSettings, SettingsConflict};

@@ -207,6 +207,91 @@ impl StaticSchedule {
     }
 }
 
+/// Static bounds for one connector, derived from the firing vector and the
+/// port rate signature by the `cgsim-lint` bounds pass (`CG060`/`CG061`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectorBounds {
+    /// Tokens crossing the connector during one schedule period.
+    pub period_tokens: u64,
+    /// Minimal buffer capacity admitting a deadlock-free periodic schedule:
+    /// the classic SDF single-edge bound `p + c − gcd(p, c)` (production
+    /// rate `p`, consumption rate `c`), taken over the hungriest consumer.
+    pub min_capacity: u64,
+    /// The capacity the runtime will actually allocate: the declared port
+    /// depth when one is set, else the configured default. Also the
+    /// capacity-limited worst-case occupancy — a channel never buffers more
+    /// than its capacity relative to its slowest open consumer.
+    pub effective_capacity: u64,
+}
+
+/// Whole-graph static performance bounds: per-connector occupancy and
+/// capacity figures plus critical-path latency and steady-state throughput,
+/// computed by the `cgsim-lint` bounds pass for every rate-consistent
+/// acyclic graph and carried on the lint report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphBounds {
+    /// Per-connector bounds, indexed by connector position.
+    pub connectors: Vec<ConnectorBounds>,
+    /// Total kernel firings in one schedule period (sum of the firing
+    /// vector), the work a period represents.
+    pub period_firings: u64,
+    /// Kernel firings along the longest dependency chain of one period —
+    /// the critical-path latency bound: no schedule completes a period in
+    /// fewer sequential firings.
+    pub critical_path_firings: u64,
+    /// Steady-state throughput bound: tokens delivered to global outputs
+    /// per period, divided by the critical-path firings — an upper bound on
+    /// sustained tokens-per-sequential-firing.
+    pub throughput: Rational,
+}
+
+impl GraphBounds {
+    /// Render the bounds as stable, diffable text (the golden-file format
+    /// of `tests/golden/bounds_*.txt`): one line per connector, then the
+    /// critical-path and throughput summary.
+    pub fn render(&self, graph: &FlatGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "bounds {}", graph.name);
+        let _ = writeln!(out, "connectors ({}):", self.connectors.len());
+        for (ci, b) in self.connectors.iter().enumerate() {
+            let name = graph
+                .connectors
+                .get(ci)
+                .and_then(|c| c.attrs.get_str("name").map(str::to_owned))
+                .unwrap_or_else(|| format!("c{ci}"));
+            let _ = writeln!(
+                out,
+                "  {name}: {}/period, min capacity {}, capacity {}",
+                b.period_tokens, b.min_capacity, b.effective_capacity
+            );
+        }
+        let _ = writeln!(
+            out,
+            "critical path: {} firings of {} per period",
+            self.critical_path_firings, self.period_firings
+        );
+        let _ = writeln!(out, "throughput: {} tokens/firing", self.throughput);
+        out
+    }
+}
+
+/// Workload-level static cost estimate for one run, derived from the exact
+/// token propagation of the bounds pass: the admission-control input a pool
+/// or service front end uses to refuse jobs that would exceed its budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Total tokens crossing all connectors over the whole workload.
+    pub tokens: u64,
+    /// Total kernel firings over the whole workload.
+    pub firings: u64,
+    /// Heuristic poll-count prediction for the cooperative executor:
+    /// roughly one poll per firing plus the per-token channel traffic and
+    /// per-task setup/teardown. An order-of-magnitude planning figure, not
+    /// a promise.
+    pub polls_hint: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,6 +50,13 @@ pub struct LintConfig {
     /// (e.g. a library of fixed-function kernels). Port rates in the graph
     /// win over entries here.
     pub kernel_rates: HashMap<String, Vec<u32>>,
+    /// Emit the informational `CG06x` bounds diagnostics (per-connector
+    /// occupancy, critical path, throughput). The bounds *data* is always
+    /// computed and attached to the report when derivable; this flag only
+    /// controls the Info-level findings, so clean-graph consumers do not
+    /// see their reports grow chatty by default. `CG061` (declared capacity
+    /// below the minimal deadlock-free bound) is emitted regardless.
+    pub emit_bounds: bool,
 }
 
 impl LintConfig {
@@ -69,6 +76,12 @@ impl LintConfig {
     /// Declare rates for all ports of kernel kind `kind`, in port order.
     pub fn with_kernel_rates(mut self, kind: impl Into<String>, rates: Vec<u32>) -> Self {
         self.kernel_rates.insert(kind.into(), rates);
+        self
+    }
+
+    /// Enable the informational `CG06x` bounds diagnostics.
+    pub fn with_bounds(mut self) -> Self {
+        self.emit_bounds = true;
         self
     }
 }

@@ -6,7 +6,7 @@
 //! diagnostics of one graph and renders them for humans (rustc-style lines)
 //! or machines (JSON).
 
-use cgsim_core::schedule::FiringVector;
+use cgsim_core::schedule::{FiringVector, GraphBounds};
 use cgsim_core::{ConnectorId, FlatGraph, GraphError, KernelId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -153,6 +153,13 @@ pub struct LintReport {
     /// [`LintReport::firing_vector`].
     #[serde(default)]
     pub firing: Option<FiringVector>,
+    /// Static occupancy/capacity/latency bounds computed by the `CG06x`
+    /// bounds pass. `None` when the graph has no firing vector or its
+    /// kernel dataflow is cyclic (a `CG063` finding explains which when
+    /// bounds diagnostics are enabled). Read through
+    /// [`LintReport::bounds`].
+    #[serde(default)]
+    pub bounds: Option<GraphBounds>,
 }
 
 impl LintReport {
@@ -162,6 +169,7 @@ impl LintReport {
             graph: graph.into(),
             diagnostics: Vec::new(),
             firing: None,
+            bounds: None,
         }
     }
 
@@ -173,6 +181,14 @@ impl LintReport {
     /// re-deriving the vector.
     pub fn firing_vector(&self) -> Option<&FiringVector> {
         self.firing.as_ref()
+    }
+
+    /// The static bounds computed by the `CG06x` pass — per-connector
+    /// worst-case occupancy and minimal deadlock-free capacity plus
+    /// critical-path latency and throughput — when the graph is
+    /// rate-consistent and acyclic.
+    pub fn bounds(&self) -> Option<&GraphBounds> {
+        self.bounds.as_ref()
     }
 
     /// Append a finding.
@@ -247,6 +263,25 @@ impl LintReport {
                 d.anchor.render(graph),
                 d.message
             );
+        }
+        // The firing vector rides on the report (and its JSON form) for
+        // machine consumers; surface it for humans too so the two renderers
+        // agree on what the report contains.
+        if let Some(firing) = &self.firing {
+            let counts: Vec<String> = firing
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(ki, &n)| {
+                    let name = graph
+                        .kernels
+                        .get(ki)
+                        .map(|k| k.instance.as_str())
+                        .unwrap_or("?");
+                    format!("{name} x{n}")
+                })
+                .collect();
+            let _ = writeln!(out, "  firing vector: {}", counts.join(", "));
         }
         out
     }

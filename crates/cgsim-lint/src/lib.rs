@@ -23,6 +23,11 @@
 //! | `CG050` | Error | More AIE kernels than device tiles |
 //! | `CG051` | Error | Kernel window buffers exceed per-tile data memory |
 //! | `CG052` | Error | Kernel exceeds per-core stream-port budget |
+//! | `CG060` | Info | Per-connector worst-case occupancy / period-traffic bounds (with [`LintConfig::emit_bounds`]) |
+//! | `CG061` | Warn | Declared channel capacity below the minimal deadlock-free SDF bound |
+//! | `CG062` | Info | Critical-path latency and steady-state throughput bounds (with [`LintConfig::emit_bounds`]) |
+//! | `CG063` | Info | Bounds unavailable: no firing vector or cyclic dataflow (with [`LintConfig::emit_bounds`]) |
+//! | `CG064` | Info | Schedule period too large for cheap period-unrolled analysis (with [`LintConfig::emit_bounds`]) |
 //!
 //! Consumers: the `cgsim-lint` CLI binary (umbrella crate), the
 //! deny-by-default verify hooks in `cgsim-runtime::RuntimeContext` and
@@ -38,8 +43,9 @@ pub mod style;
 
 pub use config::{LintConfig, RealmBudgets};
 pub use diag::{Anchor, Diagnostic, LintReport, Severity};
+pub use passes::bounds::{cost_estimate, occupancy_bounds, workload_tokens};
 pub use passes::port_rate;
-pub use style::dot_style;
+pub use style::{bounds_labels, dot_style};
 
 use cgsim_core::FlatGraph;
 
@@ -66,7 +72,8 @@ pub enum VerifyPolicy {
 ///
 /// Passes run in order: structural integrity (`CG00x`), reachability
 /// (`CG040`/`CG041`), deadlock and capacity (`CG02x`), rate balance
-/// (`CG030`), dataflow shape (`CG042`/`CG043`), realm budgets (`CG05x`).
+/// (`CG030`), dataflow shape (`CG042`/`CG043`), realm budgets (`CG05x`),
+/// static bounds (`CG06x`, which also attaches [`LintReport::bounds`]).
 /// If the descriptor has out-of-range indices the structural findings are
 /// returned alone — the deeper passes cannot index into a corrupt graph.
 pub fn lint_graph(graph: &FlatGraph, config: &LintConfig) -> LintReport {
@@ -79,6 +86,7 @@ pub fn lint_graph(graph: &FlatGraph, config: &LintConfig) -> LintReport {
     passes::rates::check(graph, config, &mut report);
     passes::shape(graph, &reach, &mut report);
     passes::budget::check(graph, config, &mut report);
+    passes::bounds::check(graph, config, &mut report);
     report
 }
 
@@ -474,6 +482,154 @@ mod tests {
     }
 
     #[test]
+    fn bounds_attached_for_rate_consistent_graphs() {
+        use cgsim_core::Rational;
+        let r = lint_graph(&pipeline(), &LintConfig::default());
+        let b = r.bounds().expect("rate-consistent pipeline has bounds");
+        assert_eq!(b.connectors.len(), 3);
+        for c in &b.connectors {
+            assert_eq!(c.period_tokens, 1);
+            assert_eq!(c.min_capacity, 1);
+            assert_eq!(c.effective_capacity, u64::from(LintConfig::FALLBACK_DEPTH));
+        }
+        assert_eq!(b.period_firings, 2);
+        assert_eq!(b.critical_path_firings, 2);
+        assert_eq!(b.throughput, Rational::new(1, 2));
+        // Bounds data rides along silently by default …
+        assert!(r.is_clean(), "{}", r.render_human(&pipeline()));
+        // … and `emit_bounds` surfaces the Info findings.
+        let r = lint_graph(&pipeline(), &LintConfig::default().with_bounds());
+        assert!(
+            r.codes().contains("CG060"),
+            "{}",
+            r.render_human(&pipeline())
+        );
+        assert!(r.codes().contains("CG062"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn capacity_below_sdf_minimum_warns_cg061() {
+        // Rates 2:3 need p + c − gcd = 4 slots; depth 3 satisfies the
+        // single-firing demand (no CG022) but not the SDF minimum.
+        let mut g = pipeline();
+        g.kernels[0].ports[1].rate = 2;
+        g.kernels[1].ports[0].rate = 3;
+        g.connectors[1].settings = PortSettings::new().depth(3);
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.codes().contains("CG022"), "{}", r.render_human(&g));
+        assert!(r.codes().contains("CG061"), "{}", r.render_human(&g));
+        assert!(!r.has_errors());
+        // Depth 4 meets the bound: no warning.
+        g.connectors[1].settings = PortSettings::new().depth(4);
+        let r = lint_graph(&g, &LintConfig::default());
+        assert!(!r.codes().contains("CG061"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn cyclic_graph_reports_cg063_instead_of_bounds() {
+        // Primed feedback loop: rate-consistent but cyclic — no bounds.
+        let g = FlatGraph {
+            name: "primed".into(),
+            kernels: vec![kernel(
+                "k_0",
+                vec![
+                    port("a", PortDir::In, 0),
+                    port("fb", PortDir::In, 2),
+                    port("out", PortDir::Out, 1),
+                    port("fb_out", PortDir::Out, 2),
+                ],
+            )],
+            connectors: vec![connector(), connector(), connector()],
+            inputs: vec![ConnectorId::new(0), ConnectorId::new(2)],
+            outputs: vec![ConnectorId::new(1)],
+        };
+        let r = lint_graph(&g, &LintConfig::default().with_bounds());
+        assert!(r.bounds().is_none());
+        assert!(r.codes().contains("CG063"), "{}", r.render_human(&g));
+    }
+
+    #[test]
+    fn workload_functions_predict_pipeline_traffic() {
+        let g = pipeline();
+        let cfg = LintConfig::default();
+        // 10 elements in → 10 across every connector of a 1:1 pipeline.
+        assert_eq!(workload_tokens(&g, &cfg, &[10]), Some(vec![10, 10, 10]));
+        // Occupancy bound: a starved channel fills to the workload,
+        // capacity permitting.
+        assert_eq!(occupancy_bounds(&g, &cfg, &[10]), Some(vec![10, 10, 10]));
+        assert_eq!(
+            occupancy_bounds(&g, &cfg, &[100]),
+            Some(vec![64, 64, 64]),
+            "capacity caps the bound"
+        );
+        let cost = cost_estimate(&g, &cfg, &[10]).unwrap();
+        assert_eq!(cost.tokens, 30);
+        assert_eq!(cost.firings, 20);
+        assert!(cost.polls_hint >= cost.firings + 2 * cost.tokens);
+    }
+
+    #[test]
+    fn occupancy_bound_ignores_sibling_coupling_through_forks() {
+        // in c0 → k_0 forks to c1 and c2; k_1 zips both back to c3. A
+        // frozen-consumer model would bound c1 at the sibling's depth 2
+        // (k_1 frozen → c2 full → k_0 stalls). That refinement is tighter
+        // here but unsound in general — running a consumer pops one token
+        // from the target yet can unblock a rate-amplified refill through
+        // its side inputs — so `occupancy_bounds` deliberately ignores
+        // sibling coupling and reports the schedule-independent meet
+        // min(capacity, workload) instead.
+        let g = FlatGraph {
+            name: "fork".into(),
+            kernels: vec![
+                kernel(
+                    "k_0",
+                    vec![
+                        port("in", PortDir::In, 0),
+                        port("a", PortDir::Out, 1),
+                        port("b", PortDir::Out, 2),
+                    ],
+                ),
+                kernel(
+                    "k_1",
+                    vec![
+                        port("a", PortDir::In, 1),
+                        port("b", PortDir::In, 2),
+                        port("out", PortDir::Out, 3),
+                    ],
+                ),
+            ],
+            connectors: {
+                let mut cs = vec![connector(), connector(), connector(), connector()];
+                cs[2].settings = PortSettings::new().depth(2);
+                cs
+            },
+            inputs: vec![ConnectorId::new(0)],
+            outputs: vec![ConnectorId::new(3)],
+        };
+        let cfg = LintConfig::default();
+        let bounds = occupancy_bounds(&g, &cfg, &[50]).unwrap();
+        // c1: workload 50 < default depth 64, so the workload binds.
+        assert_eq!(bounds[1], 50);
+        // c2: its own depth 2 binds.
+        assert_eq!(bounds[2], 2);
+    }
+
+    #[test]
+    fn occupancy_bound_refuses_unbounded_source_kernels() {
+        // A kernel with no token input fires an unknowable number of
+        // times, so no push total — and hence no occupancy bound — exists.
+        let g = FlatGraph {
+            name: "src".into(),
+            kernels: vec![kernel("k_0", vec![port("out", PortDir::Out, 0)])],
+            connectors: vec![connector()],
+            inputs: vec![],
+            outputs: vec![ConnectorId::new(0)],
+        };
+        assert_eq!(occupancy_bounds(&g, &LintConfig::default(), &[]), None);
+    }
+
+    #[test]
     fn report_renders_human_and_json() {
         let mut g = pipeline();
         g.kernels[0].ports[1].connector = ConnectorId::new(2); // c1 dangles
@@ -485,5 +641,15 @@ mod tests {
         assert!(json.contains("\"CG004\""));
         let back: LintReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn both_renderers_carry_the_firing_vector() {
+        let g = pipeline();
+        let r = lint_graph(&g, &LintConfig::default());
+        let v: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(v["firing"]["counts"], serde_json::json!([1, 1]));
+        assert_eq!(v["bounds"]["connectors"][0]["min_capacity"], 1);
+        assert!(r.render_human(&g).contains("firing vector: k_0 x1, k_1 x1"));
     }
 }

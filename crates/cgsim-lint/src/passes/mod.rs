@@ -5,6 +5,7 @@
 //! corrupted (out-of-range indices) for the deeper passes to run safely.
 //! The remaining passes assume indices are in range but nothing else.
 
+pub mod bounds;
 pub mod budget;
 pub mod deadlock;
 pub mod rates;

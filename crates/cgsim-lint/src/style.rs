@@ -1,5 +1,7 @@
 //! Map a [`LintReport`] onto a [`DotStyle`] so the Graphviz export doubles
-//! as a visual lint report: red for Error findings, orange for Warn.
+//! as a visual lint report: red for Error findings, orange for Warn, and
+//! (via [`bounds_labels`]) static `CG06x` occupancy/capacity bounds as
+//! extra edge-label lines.
 
 use crate::diag::{Anchor, LintReport, Severity};
 use cgsim_core::DotStyle;
@@ -36,6 +38,24 @@ pub fn dot_style(report: &LintReport) -> DotStyle {
         }
     }
     style
+}
+
+/// Annotate every connector edge with its static bounds (`≤cap`,
+/// tokens/period, minimal capacity) when the report carries them; merge
+/// into `style` so colour overrides and bounds annotations compose.
+pub fn bounds_labels(report: &LintReport, style: &mut DotStyle) {
+    let Some(bounds) = report.bounds() else {
+        return;
+    };
+    for (ci, b) in bounds.connectors.iter().enumerate() {
+        style.connector_label.insert(
+            ci,
+            format!(
+                "occ ≤ {}, {}/period, min cap {}",
+                b.effective_capacity, b.period_tokens, b.min_capacity
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +100,26 @@ mod tests {
         assert_eq!(s.kernel_fill[&0], "red");
         assert_eq!(s.connector_color[&2], "orange");
         assert!(!s.connector_color.contains_key(&3));
+    }
+
+    #[test]
+    fn bounds_annotate_connector_labels() {
+        use cgsim_core::{ConnectorBounds, GraphBounds, Rational};
+        let mut r = LintReport::new("g");
+        let mut s = DotStyle::default();
+        bounds_labels(&r, &mut s);
+        assert!(s.connector_label.is_empty());
+        r.bounds = Some(GraphBounds {
+            connectors: vec![ConnectorBounds {
+                period_tokens: 2,
+                min_capacity: 1,
+                effective_capacity: 64,
+            }],
+            period_firings: 2,
+            critical_path_firings: 2,
+            throughput: Rational::ONE,
+        });
+        bounds_labels(&r, &mut s);
+        assert_eq!(s.connector_label[&0], "occ ≤ 64, 2/period, min cap 1");
     }
 }

@@ -60,6 +60,10 @@ pub struct ChannelStats {
     pub blocked_writes: u64,
     /// Consumer polls that had to suspend on an empty buffer.
     pub blocked_reads: u64,
+    /// High-water mark of buffered elements observed after any push (the
+    /// peak occupancy relative to the slowest open consumer) — the dynamic
+    /// counterpart of the static `CG060` occupancy bound.
+    pub max_occupancy: u64,
 }
 
 struct ConsumerState {
@@ -416,6 +420,7 @@ impl<T: Clone> Channel<T> {
             // writing to a stream nobody reads succeeds and discards, which is
             // what lets upstream kernels drain during shutdown.
             inner.retire();
+            inner.stats.max_occupancy = inner.stats.max_occupancy.max(inner.buf.len() as u64);
             inner.note_push_occupancy();
             inner.wake_readers();
             Poll::Ready(())
@@ -455,6 +460,7 @@ impl<T: Clone> Channel<T> {
                 inner.trace.pushes.add(batch as u64);
                 self.pushed.fetch_add(batch as u64, Ordering::Relaxed);
                 inner.retire();
+                inner.stats.max_occupancy = inner.stats.max_occupancy.max(inner.buf.len() as u64);
                 inner.note_push_occupancy();
                 inner.wake_readers();
             }
@@ -1168,7 +1174,11 @@ mod tests {
 /// hold under *arbitrary* poll interleavings, not just the handful of
 /// orderings the unit tests pin down. A seeded scheduler polls endpoints in
 /// random order until the channel drains.
-#[cfg(test)]
+///
+/// Skipped under Miri: proptest's exploration budget is far too slow for
+/// the interpreter; the deterministic unit tests above cover the same
+/// aliasing-sensitive paths.
+#[cfg(all(test, not(miri)))]
 mod props {
     use super::*;
     use proptest::collection::vec;

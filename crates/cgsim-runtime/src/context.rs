@@ -10,7 +10,8 @@
 
 use crate::channel::{Channel, ChannelMode, ChannelStats};
 use crate::executor::{
-    CancelToken, ExecStats, Executor, FaultPlan, Interrupt, Profiling, Schedule,
+    BoundsCheck, BoundsViolation, CancelToken, ExecStats, Executor, FaultPlan, Interrupt,
+    Profiling, Schedule, SchedulePolicy,
 };
 use crate::library::{AnyChannel, KernelLibrary, PortBinder};
 use crate::probe::{ExecProbe, Introspector};
@@ -186,6 +187,10 @@ pub struct RunReport {
     pub channels: Vec<(String, ChannelStats)>,
     /// Everything the attached tracer captured (empty for untraced runs).
     pub trace: TraceSnapshot,
+    /// Channels whose observed occupancy exceeded the static bound armed
+    /// with [`RuntimeContext::set_bounds_check`]. Always empty when no
+    /// bounds were armed (the compiled backend never arms any).
+    pub bounds_violations: Vec<BoundsViolation>,
 }
 
 impl RunReport {
@@ -236,6 +241,9 @@ pub struct RuntimeContext<'g> {
     /// Source/sink coroutine I/O for the introspector: `(task id, connector
     /// index, writes)`. Kernel I/O comes from the graph topology instead.
     io_tasks: Vec<(usize, usize, bool)>,
+    /// Per-connector static occupancy bounds awaiting arming in `run`
+    /// (channels may still be placeholders until every feed/collect ran).
+    bounds: Option<Vec<u64>>,
 }
 
 /// Display name for connector `ci`: the graph-builder name when one was
@@ -307,6 +315,28 @@ impl<'g> RuntimeContext<'g> {
     /// connector names. Without a probe the run loop is unchanged.
     pub fn set_probe(&mut self, probe: Arc<ExecProbe>) {
         self.probe = Some(probe);
+    }
+
+    /// Install a custom ready-list [`SchedulePolicy`] on the embedded
+    /// scheduler, overriding the `RuntimeConfig::schedule` choice — the
+    /// hook the conformance harness uses to drive adversarial schedules
+    /// (e.g. the consumer-starving flood that saturates one channel to its
+    /// static occupancy bound).
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.executor.set_policy(policy);
+    }
+
+    /// Arm opt-in bounds checking: `bounds[ci]` is the static worst-case
+    /// occupancy bound (in tokens) for connector `ci`, as computed by
+    /// `cgsim-lint`'s `CG060` analysis (`occupancy_bounds` /
+    /// `LintReport::bounds`). During [`RuntimeContext::run`] the
+    /// scheduler compares every instrumented channel's observed high-water
+    /// occupancy against its bound at the existing interrupt checkpoint
+    /// (every 64 polls) and once at quiescence; exceedances land in
+    /// [`RunReport::bounds_violations`]. Connectors without an entry are
+    /// unchecked. Without this call the run loop is unchanged.
+    pub fn set_bounds_check(&mut self, bounds: Vec<u64>) {
+        self.bounds = Some(bounds);
     }
 
     /// Like [`RuntimeContext::new`], but wires every channel and the
@@ -391,6 +421,7 @@ impl<'g> RuntimeContext<'g> {
             tracer,
             probe: None,
             io_tasks: Vec::new(),
+            bounds: None,
         };
 
         // Passthrough connectors get a placeholder that `feed`/`collect`
@@ -622,7 +653,28 @@ impl<'g> RuntimeContext<'g> {
             self.executor.set_introspector(intro);
             self.executor.set_probe(probe);
         }
+        // Arm bounds checks equally late, for the same reason: the typed
+        // channels behind passthrough connectors only exist after
+        // feed/collect.
+        if let Some(bounds) = self.bounds.take() {
+            let checks: Vec<BoundsCheck> = self
+                .channels
+                .iter()
+                .enumerate()
+                .filter_map(|(ci, ch)| {
+                    let admin = ch.admin()?;
+                    let &bound = bounds.get(ci)?;
+                    Some(BoundsCheck {
+                        name: connector_name(self.graph, ci),
+                        bound,
+                        admin: Arc::clone(admin),
+                    })
+                })
+                .collect();
+            self.executor.set_bounds_checks(checks);
+        }
         let (exec, tasks) = self.executor.run_profiled();
+        let bounds_violations = self.executor.take_bounds_violations();
         let stalled = tasks
             .iter()
             .filter(|t| !t.completed)
@@ -650,6 +702,7 @@ impl<'g> RuntimeContext<'g> {
             tasks,
             channels,
             trace: self.tracer.snapshot(),
+            bounds_violations,
         })
     }
 }

@@ -15,6 +15,7 @@
 //! FIFO order, which makes simulation deterministic for a fixed graph and
 //! input.
 
+use crate::channel::ChannelAdmin;
 use crate::probe::{DebugSnapshot, ExecProbe, Introspector, WaitKind, WaitsForEdge};
 use cgsim_trace::{KernelRef, TraceEvent, Tracer};
 use std::future::Future;
@@ -291,6 +292,32 @@ pub struct TaskProfile {
     pub completed: bool,
 }
 
+/// One armed occupancy assertion: at every interrupt checkpoint the run
+/// loop compares the channel's observed high-water occupancy
+/// ([`crate::ChannelStats::max_occupancy`]) against the static `CG060`
+/// bound and records a [`BoundsViolation`] when the trace exceeds it —
+/// the runtime half of the lint pass's soundness contract.
+pub struct BoundsCheck {
+    /// Channel (connector) display name, for reporting.
+    pub name: String,
+    /// Static worst-case occupancy bound, in tokens.
+    pub bound: u64,
+    /// Admin handle of the channel under check.
+    pub admin: Arc<dyn ChannelAdmin>,
+}
+
+/// A channel whose observed occupancy exceeded its static bound — either
+/// the analysis is unsound for this graph or the channel misbehaved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsViolation {
+    /// Channel (connector) display name.
+    pub channel: String,
+    /// Observed high-water occupancy (tokens).
+    pub observed: u64,
+    /// The static bound that was exceeded.
+    pub bound: u64,
+}
+
 struct ReadyQueue {
     queue: Mutex<std::collections::VecDeque<usize>>,
 }
@@ -389,6 +416,8 @@ pub struct Executor {
     cancel: Option<CancelToken>,
     probe: Option<Arc<ExecProbe>>,
     introspector: Option<Introspector>,
+    bounds_checks: Vec<BoundsCheck>,
+    bounds_violations: Vec<BoundsViolation>,
 }
 
 impl Default for Executor {
@@ -415,6 +444,8 @@ impl Executor {
             cancel: None,
             probe: None,
             introspector: None,
+            bounds_checks: Vec::new(),
+            bounds_violations: Vec::new(),
         }
     }
 
@@ -451,9 +482,15 @@ impl Executor {
     /// [`Executor::with_schedule`] with [`Schedule::Fifo`] to get the O(1)
     /// fast path.
     pub fn with_policy(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.set_policy(policy);
+        self
+    }
+
+    /// Non-consuming form of [`Executor::with_policy`], for contexts that
+    /// already own the executor.
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
         self.fifo = false;
         self.policy = policy;
-        self
     }
 
     /// Select how much per-poll timing the run loop performs; see
@@ -514,6 +551,39 @@ impl Executor {
     /// snapshots) can report channel occupancy and waits-for edges.
     pub fn set_introspector(&mut self, introspector: Introspector) {
         self.introspector = Some(introspector);
+    }
+
+    /// Arm static-bound occupancy assertions: at every interrupt
+    /// checkpoint (and once at quiescence) the run loop compares each
+    /// channel's high-water occupancy against its bound and records
+    /// violations, retrievable with [`Executor::take_bounds_violations`].
+    /// With no checks armed the hot loop is unchanged.
+    pub fn set_bounds_checks(&mut self, checks: Vec<BoundsCheck>) {
+        self.bounds_checks = checks;
+    }
+
+    /// Drain the violations the last run recorded (empty when every
+    /// observed occupancy stayed within its static bound).
+    pub fn take_bounds_violations(&mut self) -> Vec<BoundsViolation> {
+        std::mem::take(&mut self.bounds_violations)
+    }
+
+    /// Re-derive the violation list from the channels' current high-water
+    /// marks. `max_occupancy` is monotone over a run, so recomputing from
+    /// scratch at each checkpoint both deduplicates and keeps the final
+    /// sweep authoritative.
+    fn sweep_bounds(&mut self) {
+        self.bounds_violations.clear();
+        for check in &self.bounds_checks {
+            let observed = check.admin.stats().max_occupancy;
+            if observed > check.bound {
+                self.bounds_violations.push(BoundsViolation {
+                    channel: check.name.clone(),
+                    observed,
+                    bound: check.bound,
+                });
+            }
+        }
     }
 
     /// The progress counter's current value: completed tasks plus elements
@@ -691,6 +761,7 @@ impl Executor {
         // checkpoint window and touches no new atomics.
         let probe = self.probe.clone();
         let probe_on = probe.is_some();
+        let bounds_on = !self.bounds_checks.is_empty();
         loop {
             let next = if self.fifo {
                 ready.pop_front()
@@ -705,7 +776,9 @@ impl Executor {
             // polls so the deadline's `Instant::now()` stays off the hot
             // path. The popped task simply does not run — its `scheduled`
             // flag stays set, exactly like a budget-exhaustion break.
-            if (interruptible || probe_on) && stats.polls.is_multiple_of(INTERRUPT_CHECK_EVERY) {
+            if (interruptible || probe_on || bounds_on)
+                && stats.polls.is_multiple_of(INTERRUPT_CHECK_EVERY)
+            {
                 if interruptible {
                     if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                         stats.interrupted = Some(Interrupt::Cancelled);
@@ -729,6 +802,9 @@ impl Executor {
                             Some(id),
                         ));
                     }
+                }
+                if bounds_on {
+                    self.sweep_bounds();
                 }
             }
             if let Some((rng, pct)) = self.faults.as_mut() {
@@ -803,6 +879,12 @@ impl Executor {
             if p.clear_request() {
                 p.publish_snapshot(self.build_debug_snapshot(stats.polls, progress, None));
             }
+        }
+        // Final bounds sweep: the checkpoint cadence can miss the last
+        // polls of a run, but `max_occupancy` is monotone, so one sweep at
+        // quiescence sees the true high-water mark.
+        if bounds_on {
+            self.sweep_bounds();
         }
         // Quiescence: terminate all remaining kernel coroutines and release
         // their context objects (paper §3.8).

@@ -62,8 +62,9 @@ pub use cgsim_trace;
 pub use channel::{Channel, ChannelAdmin, ChannelMode, ChannelStats, Consumer, Producer};
 pub use context::{RunReport, RuntimeConfig, RuntimeContext, SinkHandle, VerifyPolicy};
 pub use executor::{
-    block_on, CancelToken, ExecStats, Executor, FaultPlan, FifoPolicy, Interrupt, LifoPolicy,
-    LocalBoxFuture, Profiling, Schedule, SchedulePolicy, SeededPolicy, TaskProfile,
+    block_on, BoundsCheck, BoundsViolation, CancelToken, ExecStats, Executor, FaultPlan,
+    FifoPolicy, Interrupt, LifoPolicy, LocalBoxFuture, Profiling, Schedule, SchedulePolicy,
+    SeededPolicy, TaskProfile,
 };
 pub use library::{AnyChannel, KernelEntry, KernelImpl, KernelLibrary, PortBinder};
 pub use port::{KernelReadPort, KernelWritePort};

@@ -29,6 +29,7 @@
 use crate::channel::ChannelMode;
 use crate::context::{RuntimeConfig, VerifyPolicy};
 use crate::executor::{FaultPlan, Profiling, Schedule};
+use cgsim_core::CostEstimate;
 use std::time::Duration;
 
 /// Which execution engine a [`RunSpec`] targets.
@@ -64,6 +65,7 @@ pub struct RunSpec {
     backend: Backend,
     config: RuntimeConfig,
     deadline: Option<Duration>,
+    cost: Option<CostEstimate>,
 }
 
 impl Default for RunSpec {
@@ -83,6 +85,7 @@ impl RunSpec {
             backend: Backend::Cooperative,
             config: RuntimeConfig::default(),
             deadline: None,
+            cost: None,
         }
     }
 
@@ -148,6 +151,21 @@ impl RunSpec {
     pub fn with_config(mut self, config: RuntimeConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attach a static cost estimate (tokens, firings, predicted polls) for
+    /// this run, as computed by `cgsim-lint`'s `cost_estimate` over the
+    /// graph and concrete feed lengths. Purely advisory for direct runs;
+    /// `cgsim-pool` uses it as an admission-control signal when a
+    /// per-job cost limit is configured.
+    pub fn cost_estimate(mut self, cost: CostEstimate) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// The attached static cost estimate, if any.
+    pub fn cost(&self) -> Option<CostEstimate> {
+        self.cost
     }
 
     /// The run's display label.

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cgsim-lint [--app NAME|all] [FILE.json ...] [--source FILE.rs]
-//!            [--json] [--dot] [--expect-errors]
+//!            [--json] [--dot] [--bounds] [--expect-errors]
 //! ```
 //!
 //! * `--app NAME|all` — lint a built-in evaluation app graph (`bitonic`,
@@ -19,20 +19,24 @@
 //! * `--json` — machine-readable report on stdout instead of human text;
 //! * `--dot` — Graphviz export on stdout with findings coloured in
 //!   (red = Error, orange = Warn); the report moves to stderr;
+//! * `--bounds` — enable the `CG06x` bounds diagnostics and append the
+//!   static bounds table (per-connector occupancy/capacity, critical path,
+//!   throughput) to the human report; with `--dot`, annotate every edge
+//!   with its bounds; with `--json`, the bounds object is always embedded;
 //! * `--expect-errors` — invert the exit code: succeed only if every
 //!   linted graph has Error findings (for bad-graph corpus CI).
 //!
 //! Exit status: 0 = clean (or expected errors found), 1 = Error-severity
 //! findings (or none found under `--expect-errors`), 2 = usage/IO failure.
 
-use cgsim::lint::{dot_style, lint_graph, LintConfig, LintReport};
+use cgsim::lint::{bounds_labels, dot_style, lint_graph, LintConfig, LintReport};
 use cgsim::FlatGraph;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cgsim-lint [--app NAME|all] [FILE.json ...] [--source FILE.rs] \
-         [--json] [--dot] [--expect-errors]"
+         [--json] [--dot] [--bounds] [--expect-errors]"
     );
     std::process::exit(2);
 }
@@ -133,6 +137,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<Target> = Vec::new();
     let mut json = false;
     let mut dot = false;
+    let mut bounds = false;
     let mut expect_errors = false;
 
     while let Some(arg) = args.next() {
@@ -141,6 +146,7 @@ fn main() -> ExitCode {
             "--source" => targets.extend(source_targets(&args.next().unwrap_or_else(|| usage()))),
             "--json" => json = true,
             "--dot" => dot = true,
+            "--bounds" => bounds = true,
             "--expect-errors" => expect_errors = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => targets.push(json_target(other)),
@@ -151,7 +157,11 @@ fn main() -> ExitCode {
         usage();
     }
 
-    let config = LintConfig::default();
+    let config = if bounds {
+        LintConfig::default().with_bounds()
+    } else {
+        LintConfig::default()
+    };
     let mut any_errors = false;
     let mut all_errors = true;
     for t in &targets {
@@ -159,15 +169,16 @@ fn main() -> ExitCode {
         any_errors |= report.has_errors();
         all_errors &= report.has_errors();
         if dot {
-            eprintln!("{}", banner(t, &report));
-            println!(
-                "{}",
-                cgsim::core::to_dot_styled(&t.graph, &dot_style(&report))
-            );
+            eprintln!("{}", banner(t, &report, bounds));
+            let mut style = dot_style(&report);
+            if bounds {
+                bounds_labels(&report, &mut style);
+            }
+            println!("{}", cgsim::core::to_dot_styled(&t.graph, &style));
         } else if json {
             println!("{}", report.to_json());
         } else {
-            println!("{}", banner(t, &report));
+            println!("{}", banner(t, &report, bounds));
         }
     }
 
@@ -183,6 +194,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn banner(t: &Target, report: &LintReport) -> String {
-    format!("== {} ==\n{}", t.label, report.render_human(&t.graph))
+fn banner(t: &Target, report: &LintReport, bounds: bool) -> String {
+    let mut out = format!("== {} ==\n{}", t.label, report.render_human(&t.graph));
+    if bounds {
+        if let Some(b) = report.bounds() {
+            out.push_str(&b.render(&t.graph));
+        }
+    }
+    out
 }
