@@ -49,37 +49,30 @@ impl<const N: usize> AccI48<N> {
     pub fn ups(v: Vector<i16, N>, shift: u32) -> Self {
         record(OpKind::VSrs); // ups shares the srs datapath
         let mut lanes = [0i64; N];
-        for i in 0..N {
-            lanes[i] = crate::fixed::ups(v[i], shift);
-        }
+        crate::simd::ups_i16_to_i48(v.lanes_ref(), shift, &mut lanes);
         AccI48 { lanes }
     }
 
     /// `acc += a * b` lane-wise (AIE `mac16`-family). One VMAC issue.
     pub fn mac(mut self, a: Vector<i16, N>, b: Vector<i16, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            self.lanes[i] += (a[i] as i64) * (b[i] as i64);
-        }
+        crate::simd::mac_i48(&mut self.lanes, a.lanes_ref(), b.lanes_ref());
         self
     }
 
     /// `acc -= a * b` lane-wise (AIE `msc16`).
     pub fn msc(mut self, a: Vector<i16, N>, b: Vector<i16, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            self.lanes[i] -= (a[i] as i64) * (b[i] as i64);
-        }
+        crate::simd::msc_i48(&mut self.lanes, a.lanes_ref(), b.lanes_ref());
         self
     }
 
     /// `acc = a * b` (AIE `mul16`): multiply overwriting the accumulator.
     pub fn mul(a: Vector<i16, N>, b: Vector<i16, N>) -> Self {
         record(OpKind::VMac);
+        // MAC into a zero accumulator — identical to a plain product.
         let mut lanes = [0i64; N];
-        for i in 0..N {
-            lanes[i] = (a[i] as i64) * (b[i] as i64);
-        }
+        crate::simd::mac_i48(&mut lanes, a.lanes_ref(), b.lanes_ref());
         AccI48 { lanes }
     }
 
@@ -97,9 +90,7 @@ impl<const N: usize> AccI48<N> {
             N + tap,
             data.len()
         );
-        for i in 0..N {
-            self.lanes[i] += (data[i + tap] as i64) * (coeff as i64);
-        }
+        crate::simd::mac_coeff_i48(&mut self.lanes, &data[tap..], coeff);
         self
     }
 
@@ -108,9 +99,7 @@ impl<const N: usize> AccI48<N> {
     #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, other: Self) -> Self {
         record(OpKind::VAlu);
-        for i in 0..N {
-            self.lanes[i] += other.lanes[i];
-        }
+        crate::simd::add_i64(&mut self.lanes, &other.lanes);
         self
     }
 
@@ -120,9 +109,7 @@ impl<const N: usize> AccI48<N> {
     pub fn srs(self, shift: u32) -> Vector<i16, N> {
         record(OpKind::VSrs);
         let mut out = [0i16; N];
-        for i in 0..N {
-            out[i] = crate::fixed::srs(self.lanes[i], shift);
-        }
+        crate::simd::srs_i48_to_i16(&self.lanes, shift, &mut out);
         Vector::from_array(out)
     }
 
@@ -130,9 +117,7 @@ impl<const N: usize> AccI48<N> {
     pub fn srs32(self, shift: u32) -> Vector<i32, N> {
         record(OpKind::VSrs);
         let mut out = [0i32; N];
-        for i in 0..N {
-            out[i] = crate::fixed::srs32(self.lanes[i], shift);
-        }
+        crate::simd::srs_i48_to_i32(&self.lanes, shift, &mut out);
         Vector::from_array(out)
     }
 }
@@ -166,18 +151,14 @@ impl<const N: usize> AccF32<N> {
     /// `acc += a * b` lane-wise (AIE `fpmac`). One VMAC issue.
     pub fn fpmac(mut self, a: Vector<f32, N>, b: Vector<f32, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            self.lanes[i] += a[i] * b[i];
-        }
+        crate::simd::fpmac_f32(&mut self.lanes, a.lanes_ref(), b.lanes_ref());
         self
     }
 
     /// `acc -= a * b` lane-wise (AIE `fpmsc`).
     pub fn fpmsc(mut self, a: Vector<f32, N>, b: Vector<f32, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            self.lanes[i] -= a[i] * b[i];
-        }
+        crate::simd::fpmsc_f32(&mut self.lanes, a.lanes_ref(), b.lanes_ref());
         self
     }
 
@@ -190,9 +171,7 @@ impl<const N: usize> AccF32<N> {
             N + tap,
             data.len()
         );
-        for i in 0..N {
-            self.lanes[i] += data[i + tap] * coeff;
-        }
+        crate::simd::fpmac_coeff_f32(&mut self.lanes, &data[tap..], coeff);
         self
     }
 

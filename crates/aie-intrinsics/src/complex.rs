@@ -11,7 +11,11 @@ use crate::counter::{record, OpKind};
 use crate::vector::Vector;
 
 /// A complex number with `i16` components (`cint16`).
+///
+/// `repr(C)` pins the in-memory layout to the hardware's interleaved
+/// `re, im` pair so the SIMD kernels can operate on flattened lanes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct CInt16 {
     /// Real part.
     pub re: i16,
@@ -35,8 +39,10 @@ impl CInt16 {
 }
 
 /// A complex number with wide (`i64`) components — one accumulator lane of
-/// the AIE `cacc48` register.
+/// the AIE `cacc48` register. `repr(C)` pins the interleaved `re, im`
+/// layout for the SIMD kernels.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
 pub struct CAcc {
     /// Real accumulator.
     pub re: i64,
@@ -73,11 +79,11 @@ impl<const N: usize> CAccI48<N> {
     /// `(ar·br − ai·bi) + j(ar·bi + ai·br)` in full precision.
     pub fn cmac(mut self, a: Vector<CInt16, N>, b: Vector<CInt16, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            let (x, y) = (a[i], b[i]);
-            self.lanes[i].re += (x.re as i64) * (y.re as i64) - (x.im as i64) * (y.im as i64);
-            self.lanes[i].im += (x.re as i64) * (y.im as i64) + (x.im as i64) * (y.re as i64);
-        }
+        crate::simd::cmac_c16(
+            flat_acc(&mut self.lanes),
+            flat_c16(a.lanes_ref()),
+            flat_c16(b.lanes_ref()),
+        );
         self
     }
 
@@ -85,11 +91,11 @@ impl<const N: usize> CAccI48<N> {
     /// correlation primitive.
     pub fn cmac_conj(mut self, a: Vector<CInt16, N>, b: Vector<CInt16, N>) -> Self {
         record(OpKind::VMac);
-        for i in 0..N {
-            let (x, y) = (a[i], b[i]);
-            self.lanes[i].re += (x.re as i64) * (y.re as i64) + (x.im as i64) * (y.im as i64);
-            self.lanes[i].im += (x.im as i64) * (y.re as i64) - (x.re as i64) * (y.im as i64);
-        }
+        crate::simd::cmac_conj_c16(
+            flat_acc(&mut self.lanes),
+            flat_c16(a.lanes_ref()),
+            flat_c16(b.lanes_ref()),
+        );
         self
     }
 
@@ -97,12 +103,10 @@ impl<const N: usize> CAccI48<N> {
     pub fn srs(self, shift: u32) -> Vector<CInt16, N> {
         record(OpKind::VSrs);
         let mut out = [CInt16::default(); N];
-        for i in 0..N {
-            out[i] = CInt16 {
-                re: crate::fixed::srs(self.lanes[i].re, shift),
-                im: crate::fixed::srs(self.lanes[i].im, shift),
-            };
-        }
+        // Both components go through the same per-lane srs, so the flat
+        // interleaved view reuses the real-valued readout kernel.
+        let acc = self.lanes;
+        crate::simd::srs_i48_to_i16(flat_acc_ref(&acc), shift, flat_c16_mut(&mut out));
         Vector::from_array(out)
     }
 }
@@ -111,10 +115,35 @@ impl<const N: usize> CAccI48<N> {
 /// the power-detector primitive; counted as one MAC issue.
 pub fn cmag_sq<const N: usize>(v: &Vector<CInt16, N>) -> [i64; N] {
     record(OpKind::VMac);
-    std::array::from_fn(|i| {
-        let z = v[i];
-        (z.re as i64) * (z.re as i64) + (z.im as i64) * (z.im as i64)
-    })
+    let mut out = [0i64; N];
+    crate::simd::cmag_sq_c16(flat_c16(v.lanes_ref()), &mut out);
+    out
+}
+
+/// View complex `i16` lanes as interleaved scalar lanes (`repr(C)` makes
+/// this a pure reinterpretation).
+fn flat_c16<const N: usize>(lanes: &[CInt16; N]) -> &[i16] {
+    // SAFETY: CInt16 is repr(C) { re: i16, im: i16 } — no padding; N pairs
+    // occupy exactly 2N contiguous i16s.
+    unsafe { std::slice::from_raw_parts(lanes.as_ptr() as *const i16, 2 * N) }
+}
+
+/// Mutable variant of [`flat_c16`].
+fn flat_c16_mut<const N: usize>(lanes: &mut [CInt16; N]) -> &mut [i16] {
+    // SAFETY: as in `flat_c16`.
+    unsafe { std::slice::from_raw_parts_mut(lanes.as_mut_ptr() as *mut i16, 2 * N) }
+}
+
+/// View complex accumulator lanes as interleaved `i64` lanes.
+fn flat_acc_ref<const N: usize>(lanes: &[CAcc; N]) -> &[i64] {
+    // SAFETY: CAcc is repr(C) { re: i64, im: i64 } — no padding.
+    unsafe { std::slice::from_raw_parts(lanes.as_ptr() as *const i64, 2 * N) }
+}
+
+/// Mutable variant of [`flat_acc_ref`].
+fn flat_acc<const N: usize>(lanes: &mut [CAcc; N]) -> &mut [i64] {
+    // SAFETY: as in `flat_acc_ref`.
+    unsafe { std::slice::from_raw_parts_mut(lanes.as_mut_ptr() as *mut i64, 2 * N) }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! VLIW slot-packing model. Counting is thread-local so concurrently
 //! simulated kernels (the thread-per-kernel runtime) do not interfere.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::fmt;
 
 /// Classes of operations the cost model distinguishes.
@@ -112,24 +112,47 @@ impl fmt::Display for OpCounts {
 }
 
 thread_local! {
-    static COUNTS: RefCell<OpCounts> = const { RefCell::new(OpCounts { counts: [0; 7] }) };
+    // Plain `Cell`s rather than a `RefCell`: `record` sits on the hot path
+    // of every emulated intrinsic, and a `Cell` increment is a bare
+    // load/add/store with no borrow-flag bookkeeping.
+    static COUNTS: [Cell<u64>; 7] = const { [const { Cell::new(0) }; 7] };
 }
 
 /// Record one operation of the given kind (called by every emulated
 /// intrinsic).
 #[inline]
 pub fn record(kind: OpKind) {
-    COUNTS.with(|c| c.borrow_mut().counts[kind.index()] += 1);
+    record_n(kind, 1);
+}
+
+/// Record `n` operations of the given kind in one counter update.
+///
+/// Batched instrumentation for callers that issue a statically known run of
+/// identical ops (reduction trees, per-lane scalar loops, window I/O):
+/// `record_n(k, n)` leaves the profile in exactly the same state as `n`
+/// calls to `record(k)`, at the cost of a single thread-local access.
+#[inline]
+pub fn record_n(kind: OpKind, n: u64) {
+    COUNTS.with(|c| {
+        let cell = &c[kind.index()];
+        cell.set(cell.get() + n);
+    });
 }
 
 /// Reset this thread's counters to zero.
 pub fn reset_counts() {
-    COUNTS.with(|c| *c.borrow_mut() = OpCounts::default());
+    COUNTS.with(|c| {
+        for cell in c {
+            cell.set(0);
+        }
+    });
 }
 
 /// Read this thread's counters.
 pub fn snapshot_counts() -> OpCounts {
-    COUNTS.with(|c| *c.borrow())
+    COUNTS.with(|c| OpCounts {
+        counts: std::array::from_fn(|i| c[i].get()),
+    })
 }
 
 /// Run `f` with fresh counters and return its result together with the ops
@@ -140,7 +163,12 @@ pub fn metered<R>(f: impl FnOnce() -> R) -> (R, OpCounts) {
     reset_counts();
     let result = f();
     let inner = snapshot_counts();
-    COUNTS.with(|c| *c.borrow_mut() = outer.merged(inner));
+    let merged = outer.merged(inner);
+    COUNTS.with(|c| {
+        for (cell, &v) in c.iter().zip(merged.counts.iter()) {
+            cell.set(v);
+        }
+    });
     (result, inner)
 }
 
@@ -161,6 +189,24 @@ mod tests {
         assert_eq!(c.total(), 3);
         reset_counts();
         assert_eq!(snapshot_counts().total(), 0);
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        for kind in OpKind::ALL {
+            for n in [0u64, 1, 2, 7, 64] {
+                reset_counts();
+                record_n(kind, n);
+                let batched = snapshot_counts();
+                reset_counts();
+                for _ in 0..n {
+                    record(kind);
+                }
+                let unrolled = snapshot_counts();
+                assert_eq!(batched, unrolled, "{kind:?} × {n}");
+            }
+        }
+        reset_counts();
     }
 
     #[test]

@@ -15,11 +15,13 @@
 /// Shift-round-saturate a wide accumulator lane to `i16`.
 ///
 /// Computes `round_half_up(value / 2^shift)` saturated to the `i16` range.
+#[inline]
 pub fn srs(value: i64, shift: u32) -> i16 {
     saturate_i16(round_shift(value, shift))
 }
 
 /// Shift-round-saturate a wide accumulator lane to `i32`.
+#[inline]
 pub fn srs32(value: i64, shift: u32) -> i32 {
     let r = round_shift(value, shift);
     if r > i32::MAX as i64 {
@@ -33,11 +35,13 @@ pub fn srs32(value: i64, shift: u32) -> i32 {
 
 /// Upshift: widen `value` into accumulator precision scaled by `2^shift`
 /// (the AIE `ups` intrinsic).
+#[inline]
 pub fn ups(value: i16, shift: u32) -> i64 {
     (value as i64) << shift
 }
 
 /// Round-half-up division by `2^shift` without saturation.
+#[inline]
 fn round_shift(value: i64, shift: u32) -> i64 {
     if shift == 0 {
         return value;
@@ -49,6 +53,7 @@ fn round_shift(value: i64, shift: u32) -> i64 {
     (value.wrapping_add(bias)) >> shift
 }
 
+#[inline]
 fn saturate_i16(v: i64) -> i16 {
     if v > i16::MAX as i64 {
         i16::MAX

@@ -19,6 +19,12 @@
 //! thread-local [`counter`]: the cycle-approximate simulator (`aie-sim`)
 //! derives kernel compute cycles by packing these op counts into VLIW issue
 //! slots, instead of hard-coding per-kernel cycle numbers.
+//!
+//! With the `simd` cargo feature the lane loops execute on real x86 vector
+//! units: the [`simd`] module dispatches every op to runtime-detected
+//! SSE2/AVX2 kernels that are bit-exact against the always-available scalar
+//! fallback (same wrapping, same IEEE rounding, same saturation, same op
+//! accounting) — see `tests/simd_equivalence.rs` for the proptest contract.
 
 #![warn(missing_docs)]
 // Lane loops index multiple arrays in lockstep; iterator rewrites obscure
@@ -30,6 +36,7 @@ pub mod complex;
 pub mod counter;
 pub mod fixed;
 pub mod ops;
+pub mod simd;
 pub mod vector;
 
 pub use acc::{AccF32, AccI48};

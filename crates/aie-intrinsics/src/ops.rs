@@ -9,7 +9,7 @@ use crate::vector::Vector;
 
 /// Compare-exchange two vectors lane-wise: returns `(min, max)` — the core
 /// step of a bitonic merge network.
-pub fn compare_exchange<T: Copy + PartialOrd, const N: usize>(
+pub fn compare_exchange<T: Copy + PartialOrd + 'static, const N: usize>(
     a: &Vector<T, N>,
     b: &Vector<T, N>,
 ) -> (Vector<T, N>, Vector<T, N>) {
@@ -29,7 +29,7 @@ pub fn butterfly_pattern<const N: usize>(stride: usize) -> [usize; N] {
 ///
 /// This mirrors how the AMD bitonic example composes `shuffle`, `min`, `max`
 /// and `select` instead of scalar comparisons.
-pub fn bitonic_stage<T: Copy + PartialOrd, const N: usize>(
+pub fn bitonic_stage<T: Copy + PartialOrd + 'static, const N: usize>(
     v: &Vector<T, N>,
     stride: usize,
     ascending: &[bool; N],

@@ -1,0 +1,497 @@
+//! 256-bit AVX2 kernels — selected when runtime detection finds AVX2.
+//!
+//! This tier vectorizes everything the dispatch layer exposes, including
+//! the pieces SSE2 cannot express: the saturating `srs` readout (64-bit
+//! compares + variable blends, with the missing 64-bit arithmetic shift
+//! emulated as logical-shift + sign patch), the interleaved complex MACs
+//! (full i64 widening — `pmaddwd` is rejected because it wraps when both
+//! products are `(-32768)²`), and the dynamic f32 permute
+//! (`vpermps`). Exactness rules are the same as [`super::sse2`]: swapped
+//! min/max operands for scalar NaN/tie semantics, separate multiply and
+//! add roundings, two's-complement wrapping.
+//!
+//! Every function is `unsafe fn` with `#[target_feature(enable =
+//! "avx2")]`: the dispatcher only routes here after
+//! [`super::capability`] has detected AVX2 on the running CPU.
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+use super::scalar;
+
+macro_rules! binop_256 {
+    ($($name:ident($t:ty, $w:expr): |$a:ident, $b:ident| $body:expr;)*) => {
+        $(
+            /// See the dispatching wrapper in [`super`] for lane semantics.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[$t], b: &[$t], out: &mut [$t]) {
+                let n = out.len();
+                let mut i = 0;
+                while i + $w <= n {
+                    let $a = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                    let $b = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                    let r = $body;
+                    _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, r);
+                    i += $w;
+                }
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        )*
+    };
+}
+
+binop_256! {
+    add_i16(i16, 16): |va, vb| _mm256_add_epi16(va, vb);
+    sub_i16(i16, 16): |va, vb| _mm256_sub_epi16(va, vb);
+    min_i16(i16, 16): |va, vb| _mm256_min_epi16(va, vb);
+    max_i16(i16, 16): |va, vb| _mm256_max_epi16(va, vb);
+    add_i32(i32, 8): |va, vb| _mm256_add_epi32(va, vb);
+    sub_i32(i32, 8): |va, vb| _mm256_sub_epi32(va, vb);
+    min_i32(i32, 8): |va, vb| _mm256_min_epi32(va, vb);
+    max_i32(i32, 8): |va, vb| _mm256_max_epi32(va, vb);
+}
+
+macro_rules! binop_256_ps {
+    ($($name:ident: |$a:ident, $b:ident| $body:expr;)*) => {
+        $(
+            /// See the dispatching wrapper in [`super`] for lane semantics.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+                let n = out.len();
+                let mut i = 0;
+                while i + 8 <= n {
+                    let $a = _mm256_loadu_ps(a.as_ptr().add(i));
+                    let $b = _mm256_loadu_ps(b.as_ptr().add(i));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(i), $body);
+                    i += 8;
+                }
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        )*
+    };
+}
+
+binop_256_ps! {
+    add_f32: |va, vb| _mm256_add_ps(va, vb);
+    sub_f32: |va, vb| _mm256_sub_ps(va, vb);
+    mul_f32: |va, vb| _mm256_mul_ps(va, vb);
+    // Swapped operands: VMINPS/VMAXPS return the second source on NaN or
+    // tie, and the scalar reference keeps `a` there.
+    min_f32: |va, vb| _mm256_min_ps(vb, va);
+    max_f32: |va, vb| _mm256_max_ps(vb, va);
+}
+
+/// Lane-wise IEEE negation (sign-bit XOR).
+#[target_feature(enable = "avx2")]
+pub unsafe fn neg_f32(a: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let mut i = 0;
+    let sign = _mm256_set1_ps(-0.0);
+    while i + 8 <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_xor_ps(va, sign));
+        i += 8;
+    }
+    scalar::neg_f32(&a[i..], &mut out[i..]);
+}
+
+/// Lane-wise select `mask ? a : b` on i16 lanes.
+#[target_feature(enable = "avx2")]
+pub unsafe fn select_i16(a: &[i16], b: &[i16], mask: &[bool], out: &mut [i16]) {
+    let n = out.len();
+    let mut i = 0;
+    let zero = _mm256_setzero_si256();
+    while i + 16 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let m8 = _mm_loadu_si128(mask.as_ptr().add(i) as *const __m128i);
+        let m = _mm256_cmpgt_epi16(_mm256_cvtepi8_epi16(m8), zero);
+        let r = _mm256_blendv_epi8(vb, va, m);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, r);
+        i += 16;
+    }
+    scalar::select_i16(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Widen 8 mask bytes (bool = 0/1) to eight 32-bit all-ones/zero lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn mask8_to_epi32(mask: *const bool) -> __m256i {
+    let m8 = _mm_loadl_epi64(mask as *const __m128i);
+    _mm256_cmpgt_epi32(_mm256_cvtepi8_epi32(m8), _mm256_setzero_si256())
+}
+
+/// Lane-wise select `mask ? a : b` on i32 lanes.
+#[target_feature(enable = "avx2")]
+pub unsafe fn select_i32(a: &[i32], b: &[i32], mask: &[bool], out: &mut [i32]) {
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let m = mask8_to_epi32(mask.as_ptr().add(i));
+        let r = _mm256_blendv_epi8(vb, va, m);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, r);
+        i += 8;
+    }
+    scalar::select_i32(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Lane-wise select `mask ? a : b` on f32 lanes (pure bit moves).
+#[target_feature(enable = "avx2")]
+pub unsafe fn select_f32(a: &[f32], b: &[f32], mask: &[bool], out: &mut [f32]) {
+    let n = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        let m = _mm256_castsi256_ps(mask8_to_epi32(mask.as_ptr().add(i)));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_blendv_ps(vb, va, m));
+        i += 8;
+    }
+    scalar::select_f32(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Dynamic f32 permute via `vpermps` for the register widths the kernels
+/// use (8 and 16 lanes); scalar gather otherwise. `pattern` indices are
+/// validated by the caller.
+#[target_feature(enable = "avx2")]
+pub unsafe fn permute_f32(src: &[f32], pattern: &[usize], out: &mut [f32]) {
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_idx(pattern: &[usize]) -> __m256i {
+        let idx: [i32; 8] = std::array::from_fn(|k| pattern[k] as i32);
+        _mm256_loadu_si256(idx.as_ptr() as *const __m256i)
+    }
+    if src.len() == 8 && out.len() == 8 {
+        let v = _mm256_loadu_ps(src.as_ptr());
+        let r = _mm256_permutevar8x32_ps(v, load_idx(pattern));
+        _mm256_storeu_ps(out.as_mut_ptr(), r);
+    } else if src.len() == 16 && out.len() == 16 {
+        let lo = _mm256_loadu_ps(src.as_ptr());
+        let hi = _mm256_loadu_ps(src.as_ptr().add(8));
+        let eight = _mm256_set1_epi32(8);
+        for half in 0..2 {
+            let vidx = load_idx(&pattern[8 * half..]);
+            // vpermps only reads the low 3 bits of each index, so the same
+            // index vector gathers from both halves; pick per lane after.
+            let from_lo = _mm256_permutevar8x32_ps(lo, vidx);
+            let from_hi = _mm256_permutevar8x32_ps(hi, vidx);
+            let take_lo = _mm256_castsi256_ps(_mm256_cmpgt_epi32(eight, vidx));
+            let r = _mm256_blendv_ps(from_hi, from_lo, take_lo);
+            _mm256_storeu_ps(out.as_mut_ptr().add(8 * half), r);
+        }
+    } else {
+        scalar::permute_f32(src, pattern, out);
+    }
+}
+
+/// One 16-lane step of the i16 MAC family.
+///
+/// `mullo`/`mulhi` produce the exact 32-bit products of all 16 lanes in
+/// two multiplies; the in-lane `unpacklo/hi_epi16` interleave reassembles
+/// them as i32 in the order `[0..4, 8..12]` (lo) and `[4..8, 12..16]`
+/// (hi), so each 128-bit half widens to four *contiguous* i64 accumulator
+/// lanes — no cross-lane permute needed, just the right base offsets.
+#[target_feature(enable = "avx2")]
+unsafe fn mac_step_i48<const SUB: bool>(acc: *mut i64, va16: __m256i, vb16: __m256i) {
+    let lo = _mm256_mullo_epi16(va16, vb16);
+    let hi = _mm256_mulhi_epi16(va16, vb16);
+    let p_even = _mm256_unpacklo_epi16(lo, hi); // products 0..4 | 8..12
+    let p_odd = _mm256_unpackhi_epi16(lo, hi); // products 4..8 | 12..16
+    let quads = [
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p_even)), // acc[0..4]
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p_odd)),  // acc[4..8]
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(p_even)), // acc[8..12]
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(p_odd)), // acc[12..16]
+    ];
+    for (k, q) in quads.into_iter().enumerate() {
+        let ptr = acc.add(4 * k) as *mut __m256i;
+        let cur = _mm256_loadu_si256(ptr);
+        let r = if SUB {
+            _mm256_sub_epi64(cur, q)
+        } else {
+            _mm256_add_epi64(cur, q)
+        };
+        _mm256_storeu_si256(ptr, r);
+    }
+}
+
+/// `acc[i] += a[i] as i64 * b[i] as i64`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn mac_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len();
+    let mut i = 0;
+    while i + 16 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        mac_step_i48::<false>(acc.as_mut_ptr().add(i), va, vb);
+        i += 16;
+    }
+    scalar::mac_i48(&mut acc[i..], &a[i..], &b[i..]);
+}
+
+/// `acc[i] -= a[i] as i64 * b[i] as i64`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn msc_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len();
+    let mut i = 0;
+    while i + 16 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        mac_step_i48::<true>(acc.as_mut_ptr().add(i), va, vb);
+        i += 16;
+    }
+    scalar::msc_i48(&mut acc[i..], &a[i..], &b[i..]);
+}
+
+/// `acc[i] += data[i] as i64 * coeff as i64`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn mac_coeff_i48(acc: &mut [i64], data: &[i16], coeff: i16) {
+    let n = acc.len();
+    let mut i = 0;
+    let vb = _mm256_set1_epi16(coeff);
+    while i + 16 <= n {
+        let va = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+        mac_step_i48::<false>(acc.as_mut_ptr().add(i), va, vb);
+        i += 16;
+    }
+    scalar::mac_coeff_i48(&mut acc[i..], &data[i..], coeff);
+}
+
+/// `acc[i] += other[i]` (wrapping).
+#[target_feature(enable = "avx2")]
+pub unsafe fn add_i64(acc: &mut [i64], other: &[i64]) {
+    let n = acc.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let ptr = acc.as_mut_ptr().add(i) as *mut __m256i;
+        let cur = _mm256_loadu_si256(ptr);
+        let o = _mm256_loadu_si256(other.as_ptr().add(i) as *const __m256i);
+        _mm256_storeu_si256(ptr, _mm256_add_epi64(cur, o));
+        i += 4;
+    }
+    scalar::add_i64(&mut acc[i..], &other[i..]);
+}
+
+macro_rules! fpmac_256 {
+    ($($name:ident: $op:ident;)*) => {
+        $(
+            /// Float MAC step: separate multiply and add/sub roundings.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(acc: &mut [f32], a: &[f32], b: &[f32]) {
+                let n = acc.len();
+                let mut i = 0;
+                while i + 8 <= n {
+                    let va = _mm256_loadu_ps(a.as_ptr().add(i));
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+                    let cur = _mm256_loadu_ps(acc.as_ptr().add(i));
+                    let r = $op(cur, _mm256_mul_ps(va, vb));
+                    _mm256_storeu_ps(acc.as_mut_ptr().add(i), r);
+                    i += 8;
+                }
+                scalar::$name(&mut acc[i..], &a[i..], &b[i..]);
+            }
+        )*
+    };
+}
+
+fpmac_256! {
+    fpmac_f32: _mm256_add_ps;
+    fpmsc_f32: _mm256_sub_ps;
+}
+
+/// `acc[i] += data[i] * coeff` (two roundings per lane).
+#[target_feature(enable = "avx2")]
+pub unsafe fn fpmac_coeff_f32(acc: &mut [f32], data: &[f32], coeff: f32) {
+    let n = acc.len();
+    let mut i = 0;
+    let vc = _mm256_set1_ps(coeff);
+    while i + 8 <= n {
+        let vd = _mm256_loadu_ps(data.as_ptr().add(i));
+        let cur = _mm256_loadu_ps(acc.as_ptr().add(i));
+        _mm256_storeu_ps(
+            acc.as_mut_ptr().add(i),
+            _mm256_add_ps(cur, _mm256_mul_ps(vd, vc)),
+        );
+        i += 8;
+    }
+    scalar::fpmac_coeff_f32(&mut acc[i..], &data[i..], coeff);
+}
+
+/// Round-shift four i64 lanes (`crate::fixed::round_shift` semantics):
+/// wrapping bias add, then an arithmetic right shift emulated as logical
+/// shift + sign patch (AVX2 has no 64-bit arithmetic shift). `shift` must
+/// be in `1..64`.
+#[target_feature(enable = "avx2")]
+unsafe fn round_shift_epi64(x: __m256i, shift: u32) -> __m256i {
+    let bias = _mm256_set1_epi64x(1i64 << (shift - 1));
+    let x = _mm256_add_epi64(x, bias);
+    let cnt = _mm_cvtsi32_si128(shift as i32);
+    let srl = _mm256_srl_epi64(x, cnt);
+    let sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), x);
+    let fix = _mm256_sll_epi64(sign, _mm_cvtsi32_si128(64 - shift as i32));
+    _mm256_or_si256(srl, fix)
+}
+
+/// Clamp four i64 lanes to `[lo, hi]`.
+#[target_feature(enable = "avx2")]
+unsafe fn clamp_epi64(x: __m256i, lo: i64, hi: i64) -> __m256i {
+    let hi = _mm256_set1_epi64x(hi);
+    let lo = _mm256_set1_epi64x(lo);
+    let x = _mm256_blendv_epi8(x, hi, _mm256_cmpgt_epi64(x, hi));
+    _mm256_blendv_epi8(x, lo, _mm256_cmpgt_epi64(lo, x))
+}
+
+macro_rules! srs_256 {
+    ($($name:ident => $t:ty;)*) => {
+        $(
+            /// Vectorized shift-round-saturate readout; delegates to
+            /// scalar for shifts ≥ 64 to preserve its overflow behaviour.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(acc: &[i64], shift: u32, out: &mut [$t]) {
+                if shift >= 64 {
+                    return scalar::$name(acc, shift, out);
+                }
+                let n = out.len();
+                let mut i = 0;
+                while i + 4 <= n {
+                    let mut x = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+                    if shift > 0 {
+                        x = round_shift_epi64(x, shift);
+                    }
+                    x = clamp_epi64(x, <$t>::MIN as i64, <$t>::MAX as i64);
+                    let mut tmp = [0i64; 4];
+                    _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, x);
+                    for k in 0..4 {
+                        out[i + k] = tmp[k] as $t;
+                    }
+                    i += 4;
+                }
+                scalar::$name(&acc[i..], shift, &mut out[i..]);
+            }
+        )*
+    };
+}
+
+srs_256! {
+    srs_i48_to_i16 => i16;
+    srs_i48_to_i32 => i32;
+}
+
+/// Upshift i16 lanes into i64 accumulator lanes scaled by `2^shift`;
+/// delegates to scalar for shifts ≥ 64 to preserve its overflow
+/// behaviour.
+#[target_feature(enable = "avx2")]
+pub unsafe fn ups_i16_to_i48(v: &[i16], shift: u32, out: &mut [i64]) {
+    if shift >= 64 {
+        return scalar::ups_i16_to_i48(v, shift, out);
+    }
+    let n = out.len();
+    let mut i = 0;
+    let cnt = _mm_cvtsi32_si128(shift as i32);
+    while i + 8 <= n {
+        let v128 = _mm_loadu_si128(v.as_ptr().add(i) as *const __m128i);
+        let q03 = _mm256_cvtepi16_epi64(v128);
+        let q47 = _mm256_cvtepi16_epi64(_mm_srli_si128::<8>(v128));
+        let base = out.as_mut_ptr().add(i);
+        _mm256_storeu_si256(base as *mut __m256i, _mm256_sll_epi64(q03, cnt));
+        _mm256_storeu_si256(base.add(4) as *mut __m256i, _mm256_sll_epi64(q47, cnt));
+        i += 8;
+    }
+    scalar::ups_i16_to_i48(&v[i..], shift, &mut out[i..]);
+}
+
+/// One 4-complex step of the complex MAC family over interleaved lanes.
+///
+/// Widens every product to i64 before combining — `pmaddwd` would wrap
+/// its i32 pair-sum when both products are `(-32768)²`, breaking
+/// bit-exactness at the i16 extremes the proptests cover.
+#[target_feature(enable = "avx2")]
+unsafe fn cmac_step_c16<const CONJ: bool>(acc: *mut i64, a16: __m128i, b16: __m128i) {
+    let a32 = _mm256_cvtepi16_epi32(a16); // [ar0,ai0,ar1,ai1,ar2,ai2,ar3,ai3]
+    let b32 = _mm256_cvtepi16_epi32(b16);
+    let bswap = _mm256_shuffle_epi32::<0b10_11_00_01>(b32); // [bi,br] pairs
+    let direct = _mm256_mullo_epi32(a32, b32); // [ar·br, ai·bi, …]
+    let cross = _mm256_mullo_epi32(a32, bswap); // [ar·bi, ai·br, …]
+    let zero = _mm256_setzero_si256();
+    for half in 0..2 {
+        let (d, c) = if half == 0 {
+            (
+                _mm256_cvtepi32_epi64(_mm256_castsi256_si128(direct)),
+                _mm256_cvtepi32_epi64(_mm256_castsi256_si128(cross)),
+            )
+        } else {
+            (
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(direct)),
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(cross)),
+            )
+        };
+        // A = [ar·br, ar·bi] pairs, B = [ai·bi, ai·br] pairs; the result
+        // lanes are re = A₀ ∓ B₀, im = A₁ ± B₁ per complex.
+        let a = _mm256_unpacklo_epi64(d, c);
+        let b = _mm256_unpackhi_epi64(d, c);
+        let term = if CONJ {
+            // re += ar·br + ai·bi ; im += ai·br − ar·bi
+            let aneg = _mm256_sub_epi64(zero, a);
+            let amix = _mm256_blend_epi32::<0b11001100>(a, aneg);
+            _mm256_add_epi64(amix, b)
+        } else {
+            // re += ar·br − ai·bi ; im += ar·bi + ai·br
+            let bneg = _mm256_sub_epi64(zero, b);
+            let bmix = _mm256_blend_epi32::<0b00110011>(b, bneg);
+            _mm256_add_epi64(a, bmix)
+        };
+        let ptr = acc.add(4 * half) as *mut __m256i;
+        _mm256_storeu_si256(ptr, _mm256_add_epi64(_mm256_loadu_si256(ptr), term));
+    }
+}
+
+/// Complex MAC over interleaved `re,im` pairs.
+#[target_feature(enable = "avx2")]
+pub unsafe fn cmac_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let pairs = acc.len() / 2;
+    let mut c = 0;
+    while c + 4 <= pairs {
+        let a16 = _mm_loadu_si128(a.as_ptr().add(2 * c) as *const __m128i);
+        let b16 = _mm_loadu_si128(b.as_ptr().add(2 * c) as *const __m128i);
+        cmac_step_c16::<false>(acc.as_mut_ptr().add(2 * c), a16, b16);
+        c += 4;
+    }
+    scalar::cmac_c16(&mut acc[2 * c..], &a[2 * c..], &b[2 * c..]);
+}
+
+/// Conjugate complex MAC over interleaved `re,im` pairs.
+#[target_feature(enable = "avx2")]
+pub unsafe fn cmac_conj_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let pairs = acc.len() / 2;
+    let mut c = 0;
+    while c + 4 <= pairs {
+        let a16 = _mm_loadu_si128(a.as_ptr().add(2 * c) as *const __m128i);
+        let b16 = _mm_loadu_si128(b.as_ptr().add(2 * c) as *const __m128i);
+        cmac_step_c16::<true>(acc.as_mut_ptr().add(2 * c), a16, b16);
+        c += 4;
+    }
+    scalar::cmac_conj_c16(&mut acc[2 * c..], &a[2 * c..], &b[2 * c..]);
+}
+
+/// Complex magnitude-squared over interleaved input lanes.
+#[target_feature(enable = "avx2")]
+pub unsafe fn cmag_sq_c16(v: &[i16], out: &mut [i64]) {
+    let n = out.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let v16 = _mm_loadu_si128(v.as_ptr().add(2 * i) as *const __m128i);
+        let v32 = _mm256_cvtepi16_epi32(v16);
+        let sq = _mm256_mullo_epi32(v32, v32); // [re0²,im0²,re1²,im1²,…]
+        let d_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(sq));
+        let d_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(sq));
+        // Unpack pairs squares as [re²…] / [im²…] in lane order 0,2,1,3.
+        let re = _mm256_unpacklo_epi64(d_lo, d_hi);
+        let im = _mm256_unpackhi_epi64(d_lo, d_hi);
+        let s = _mm256_add_epi64(re, im); // [m0, m2, m1, m3]
+        let r = _mm256_permute4x64_epi64::<0b11_01_10_00>(s); // [m0, m1, m2, m3]
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, r);
+        i += 4;
+    }
+    scalar::cmag_sq_c16(&v[2 * i..], &mut out[i..]);
+}

@@ -1,0 +1,245 @@
+//! Portable per-lane reference kernels.
+//!
+//! These are the original scalar loops of the emulation layer, hoisted to
+//! slice granularity. They are always compiled: they serve as the fallback
+//! tier, handle the non-multiple-of-width tails of the SSE2/AVX2 kernels,
+//! and act as the oracle the vector tiers are proptested against
+//! (`tests/simd_equivalence.rs`).
+//!
+//! Semantics are part of the emulation contract and must not drift:
+//! integers wrap in two's complement, floats follow IEEE with per-step
+//! rounding (no FMA, no reassociation), min/max resolve ties and NaNs by
+//! keeping the first operand, and accumulator readout goes through
+//! [`crate::fixed`].
+
+#![allow(clippy::needless_range_loop)]
+
+macro_rules! wrapping_binops {
+    ($($add:ident, $sub:ident => $t:ty;)*) => {
+        $(
+            /// Lane-wise wrapping add.
+            #[inline]
+            pub fn $add(a: &[$t], b: &[$t], out: &mut [$t]) {
+                for i in 0..out.len() {
+                    out[i] = a[i].wrapping_add(b[i]);
+                }
+            }
+
+            /// Lane-wise wrapping subtract.
+            #[inline]
+            pub fn $sub(a: &[$t], b: &[$t], out: &mut [$t]) {
+                for i in 0..out.len() {
+                    out[i] = a[i].wrapping_sub(b[i]);
+                }
+            }
+        )*
+    };
+}
+
+wrapping_binops! {
+    add_i16, sub_i16 => i16;
+    add_i32, sub_i32 => i32;
+}
+
+macro_rules! minmax_ops {
+    ($($min:ident, $max:ident => $t:ty;)*) => {
+        $(
+            /// Lane-wise minimum: `b` when `b < a`, else `a`.
+            #[inline]
+            pub fn $min(a: &[$t], b: &[$t], out: &mut [$t]) {
+                for i in 0..out.len() {
+                    out[i] = if b[i] < a[i] { b[i] } else { a[i] };
+                }
+            }
+
+            /// Lane-wise maximum: `b` when `b > a`, else `a`.
+            #[inline]
+            pub fn $max(a: &[$t], b: &[$t], out: &mut [$t]) {
+                for i in 0..out.len() {
+                    out[i] = if b[i] > a[i] { b[i] } else { a[i] };
+                }
+            }
+        )*
+    };
+}
+
+minmax_ops! {
+    min_i16, max_i16 => i16;
+    min_i32, max_i32 => i32;
+    min_f32, max_f32 => f32;
+}
+
+macro_rules! select_ops {
+    ($($name:ident => $t:ty;)*) => {
+        $(
+            /// Lane-wise select: `mask ? a : b`.
+            #[inline]
+            pub fn $name(a: &[$t], b: &[$t], mask: &[bool], out: &mut [$t]) {
+                for i in 0..out.len() {
+                    out[i] = if mask[i] { a[i] } else { b[i] };
+                }
+            }
+        )*
+    };
+}
+
+select_ops! {
+    select_i16 => i16;
+    select_i32 => i32;
+    select_f32 => f32;
+}
+
+/// Lane-wise IEEE add.
+#[inline]
+pub fn add_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..out.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Lane-wise IEEE subtract.
+#[inline]
+pub fn sub_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..out.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// Lane-wise IEEE multiply.
+#[inline]
+pub fn mul_f32(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..out.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Lane-wise IEEE negation.
+#[inline]
+pub fn neg_f32(a: &[f32], out: &mut [f32]) {
+    for i in 0..out.len() {
+        out[i] = -a[i];
+    }
+}
+
+/// Gather permute: `out[i] = src[pattern[i]]`.
+#[inline]
+pub fn permute_f32(src: &[f32], pattern: &[usize], out: &mut [f32]) {
+    for i in 0..out.len() {
+        out[i] = src[pattern[i]];
+    }
+}
+
+/// `acc[i] += a[i] as i64 * b[i] as i64`.
+#[inline]
+pub fn mac_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    for i in 0..acc.len() {
+        acc[i] += (a[i] as i64) * (b[i] as i64);
+    }
+}
+
+/// `acc[i] -= a[i] as i64 * b[i] as i64`.
+#[inline]
+pub fn msc_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    for i in 0..acc.len() {
+        acc[i] -= (a[i] as i64) * (b[i] as i64);
+    }
+}
+
+/// `acc[i] += data[i] as i64 * coeff as i64` (`data.len() >= acc.len()`).
+#[inline]
+pub fn mac_coeff_i48(acc: &mut [i64], data: &[i16], coeff: i16) {
+    for i in 0..acc.len() {
+        acc[i] += (data[i] as i64) * (coeff as i64);
+    }
+}
+
+/// `acc[i] += other[i]`.
+#[inline]
+pub fn add_i64(acc: &mut [i64], other: &[i64]) {
+    for i in 0..acc.len() {
+        acc[i] += other[i];
+    }
+}
+
+/// `acc[i] += a[i] * b[i]` (two IEEE roundings per lane).
+#[inline]
+pub fn fpmac_f32(acc: &mut [f32], a: &[f32], b: &[f32]) {
+    for i in 0..acc.len() {
+        acc[i] += a[i] * b[i];
+    }
+}
+
+/// `acc[i] -= a[i] * b[i]` (two IEEE roundings per lane).
+#[inline]
+pub fn fpmsc_f32(acc: &mut [f32], a: &[f32], b: &[f32]) {
+    for i in 0..acc.len() {
+        acc[i] -= a[i] * b[i];
+    }
+}
+
+/// `acc[i] += data[i] * coeff` (`data.len() >= acc.len()`).
+#[inline]
+pub fn fpmac_coeff_f32(acc: &mut [f32], data: &[f32], coeff: f32) {
+    for i in 0..acc.len() {
+        acc[i] += data[i] * coeff;
+    }
+}
+
+/// Shift-round-saturate each lane to `i16` via [`crate::fixed::srs`].
+#[inline]
+pub fn srs_i48_to_i16(acc: &[i64], shift: u32, out: &mut [i16]) {
+    for i in 0..out.len() {
+        out[i] = crate::fixed::srs(acc[i], shift);
+    }
+}
+
+/// Shift-round-saturate each lane to `i32` via [`crate::fixed::srs32`].
+#[inline]
+pub fn srs_i48_to_i32(acc: &[i64], shift: u32, out: &mut [i32]) {
+    for i in 0..out.len() {
+        out[i] = crate::fixed::srs32(acc[i], shift);
+    }
+}
+
+/// Upshift each lane via [`crate::fixed::ups`].
+#[inline]
+pub fn ups_i16_to_i48(v: &[i16], shift: u32, out: &mut [i64]) {
+    for i in 0..out.len() {
+        out[i] = crate::fixed::ups(v[i], shift);
+    }
+}
+
+/// Complex MAC over interleaved `re,im` pairs (`acc`/`a`/`b` all hold
+/// `acc.len() / 2` complex lanes).
+#[inline]
+pub fn cmac_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len() / 2;
+    for i in 0..n {
+        let (ar, ai) = (a[2 * i] as i64, a[2 * i + 1] as i64);
+        let (br, bi) = (b[2 * i] as i64, b[2 * i + 1] as i64);
+        acc[2 * i] += ar * br - ai * bi;
+        acc[2 * i + 1] += ar * bi + ai * br;
+    }
+}
+
+/// Conjugate complex MAC over interleaved `re,im` pairs.
+#[inline]
+pub fn cmac_conj_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len() / 2;
+    for i in 0..n {
+        let (ar, ai) = (a[2 * i] as i64, a[2 * i + 1] as i64);
+        let (br, bi) = (b[2 * i] as i64, b[2 * i + 1] as i64);
+        acc[2 * i] += ar * br + ai * bi;
+        acc[2 * i + 1] += ai * br - ar * bi;
+    }
+}
+
+/// Complex magnitude-squared over interleaved `re,im` input lanes
+/// (`v.len() == 2 * out.len()`).
+#[inline]
+pub fn cmag_sq_c16(v: &[i16], out: &mut [i64]) {
+    for i in 0..out.len() {
+        let (re, im) = (v[2 * i] as i64, v[2 * i + 1] as i64);
+        out[i] = re * re + im * im;
+    }
+}

@@ -1,0 +1,374 @@
+//! 128-bit SSE2 kernels — the guaranteed baseline vector tier on x86_64.
+//!
+//! Every function keeps the exact lane semantics of [`super::scalar`]:
+//! the float min/max intrinsics are called with swapped operands so their
+//! "second source on NaN/tie" rule reproduces the scalar `if b < a { b }
+//! else { a }` selection bit-for-bit, float MACs issue separate multiply
+//! and add (two roundings — never fused), and integer ops wrap.
+//!
+//! SSE2 has no 64-bit compares, no variable blends and no 32-bit lane
+//! multiply, so the saturating `srs` readout, the complex MACs and the
+//! dynamic permute delegate to the scalar kernels at this tier (AVX2
+//! vectorizes them). Vector tails shorter than the register width also
+//! fall back to the scalar loops on subslices.
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+use super::scalar;
+
+macro_rules! binop_128 {
+    ($($name:ident($t:ty, $w:expr): |$a:ident, $b:ident| $body:expr;)*) => {
+        $(
+            /// See the dispatching wrapper in [`super`] for lane semantics.
+            #[inline]
+            pub fn $name(a: &[$t], b: &[$t], out: &mut [$t]) {
+                let n = out.len();
+                let mut i = 0;
+                unsafe {
+                    while i + $w <= n {
+                        let $a = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+                        let $b = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+                        let r = $body;
+                        _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, r);
+                        i += $w;
+                    }
+                }
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        )*
+    };
+}
+
+binop_128! {
+    add_i16(i16, 8): |va, vb| _mm_add_epi16(va, vb);
+    sub_i16(i16, 8): |va, vb| _mm_sub_epi16(va, vb);
+    min_i16(i16, 8): |va, vb| _mm_min_epi16(va, vb);
+    max_i16(i16, 8): |va, vb| _mm_max_epi16(va, vb);
+    add_i32(i32, 4): |va, vb| _mm_add_epi32(va, vb);
+    sub_i32(i32, 4): |va, vb| _mm_sub_epi32(va, vb);
+    // No pminsd/pmaxsd before SSE4.1: compare + bitwise blend.
+    min_i32(i32, 4): |va, vb| {
+        let take_b = _mm_cmpgt_epi32(va, vb); // b < a
+        _mm_or_si128(_mm_and_si128(take_b, vb), _mm_andnot_si128(take_b, va))
+    };
+    max_i32(i32, 4): |va, vb| {
+        let take_b = _mm_cmpgt_epi32(vb, va); // b > a
+        _mm_or_si128(_mm_and_si128(take_b, vb), _mm_andnot_si128(take_b, va))
+    };
+}
+
+macro_rules! binop_ps {
+    ($($name:ident: |$a:ident, $b:ident| $body:expr;)*) => {
+        $(
+            /// See the dispatching wrapper in [`super`] for lane semantics.
+            #[inline]
+            pub fn $name(a: &[f32], b: &[f32], out: &mut [f32]) {
+                let n = out.len();
+                let mut i = 0;
+                unsafe {
+                    while i + 4 <= n {
+                        let $a = _mm_loadu_ps(a.as_ptr().add(i));
+                        let $b = _mm_loadu_ps(b.as_ptr().add(i));
+                        _mm_storeu_ps(out.as_mut_ptr().add(i), $body);
+                        i += 4;
+                    }
+                }
+                scalar::$name(&a[i..], &b[i..], &mut out[i..]);
+            }
+        )*
+    };
+}
+
+binop_ps! {
+    add_f32: |va, vb| _mm_add_ps(va, vb);
+    sub_f32: |va, vb| _mm_sub_ps(va, vb);
+    mul_f32: |va, vb| _mm_mul_ps(va, vb);
+    // Operands swapped on purpose: MINPS/MAXPS return the *second* source
+    // on NaN or tie, and the scalar reference keeps `a` in those cases.
+    min_f32: |va, vb| _mm_min_ps(vb, va);
+    max_f32: |va, vb| _mm_max_ps(vb, va);
+}
+
+/// Lane-wise IEEE negation (sign-bit XOR).
+#[inline]
+pub fn neg_f32(a: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    let mut i = 0;
+    unsafe {
+        let sign = _mm_set1_ps(-0.0);
+        while i + 4 <= n {
+            let va = _mm_loadu_ps(a.as_ptr().add(i));
+            _mm_storeu_ps(out.as_mut_ptr().add(i), _mm_xor_ps(va, sign));
+            i += 4;
+        }
+    }
+    scalar::neg_f32(&a[i..], &mut out[i..]);
+}
+
+/// Widen 8 mask bytes (bool = 0/1) to eight 16-bit all-ones/zero lanes.
+///
+/// # Safety
+/// `mask` must have at least 8 readable bytes.
+#[inline]
+unsafe fn mask8_to_epi16(mask: *const bool) -> __m128i {
+    let bytes = (mask as *const i64).read_unaligned();
+    let m8 = _mm_cvtsi64_si128(bytes);
+    let m16 = _mm_unpacklo_epi8(m8, _mm_setzero_si128());
+    _mm_cmpgt_epi16(m16, _mm_setzero_si128())
+}
+
+/// Widen 4 mask bytes to four 32-bit all-ones/zero lanes.
+///
+/// # Safety
+/// `mask` must have at least 4 readable bytes.
+#[inline]
+unsafe fn mask4_to_epi32(mask: *const bool) -> __m128i {
+    let bytes = (mask as *const i32).read_unaligned();
+    let m8 = _mm_cvtsi32_si128(bytes);
+    let m16 = _mm_unpacklo_epi8(m8, _mm_setzero_si128());
+    let m32 = _mm_unpacklo_epi16(m16, _mm_setzero_si128());
+    _mm_cmpgt_epi32(m32, _mm_setzero_si128())
+}
+
+/// Lane-wise select `mask ? a : b` on i16 lanes.
+#[inline]
+pub fn select_i16(a: &[i16], b: &[i16], mask: &[bool], out: &mut [i16]) {
+    let n = out.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            let m = mask8_to_epi16(mask.as_ptr().add(i));
+            let r = _mm_or_si128(_mm_and_si128(m, va), _mm_andnot_si128(m, vb));
+            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, r);
+            i += 8;
+        }
+    }
+    scalar::select_i16(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Lane-wise select `mask ? a : b` on i32 lanes.
+#[inline]
+pub fn select_i32(a: &[i32], b: &[i32], mask: &[bool], out: &mut [i32]) {
+    let n = out.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            let m = mask4_to_epi32(mask.as_ptr().add(i));
+            let r = _mm_or_si128(_mm_and_si128(m, va), _mm_andnot_si128(m, vb));
+            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, r);
+            i += 4;
+        }
+    }
+    scalar::select_i32(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Lane-wise select `mask ? a : b` on f32 lanes (pure bit moves — exact
+/// for NaN payloads and signed zeros).
+#[inline]
+pub fn select_f32(a: &[f32], b: &[f32], mask: &[bool], out: &mut [f32]) {
+    let n = out.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let va = _mm_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm_loadu_ps(b.as_ptr().add(i));
+            let m = _mm_castsi128_ps(mask4_to_epi32(mask.as_ptr().add(i)));
+            let r = _mm_or_ps(_mm_and_ps(m, va), _mm_andnot_ps(m, vb));
+            _mm_storeu_ps(out.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+    }
+    scalar::select_f32(&a[i..], &b[i..], &mask[i..], &mut out[i..]);
+}
+
+/// Dynamic permute — stays scalar at this tier (no variable shuffle
+/// before SSSE3/AVX).
+#[inline]
+pub fn permute_f32(src: &[f32], pattern: &[usize], out: &mut [f32]) {
+    scalar::permute_f32(src, pattern, out);
+}
+
+/// Widen the four low i32 products to i64 via sign-extension unpack.
+#[inline]
+unsafe fn widen_lo_epi32_to_epi64(p: __m128i) -> (__m128i, __m128i) {
+    let sign = _mm_srai_epi32::<31>(p);
+    (_mm_unpacklo_epi32(p, sign), _mm_unpackhi_epi32(p, sign))
+}
+
+/// Core of the i16 MAC family: accumulate (or subtract) the widened
+/// products of `a`/`b` into `acc`, 8 lanes per step.
+#[inline]
+unsafe fn mac_step_i48<const SUB: bool>(acc: *mut i64, va: __m128i, vb: __m128i) {
+    // Exact i16×i16 → i32 via the mullo/mulhi split, then sign-extend to
+    // the i64 accumulator lanes.
+    let lo = _mm_mullo_epi16(va, vb);
+    let hi = _mm_mulhi_epi16(va, vb);
+    let p0123 = _mm_unpacklo_epi16(lo, hi);
+    let p4567 = _mm_unpackhi_epi16(lo, hi);
+    let (q01, q23) = widen_lo_epi32_to_epi64(p0123);
+    let (q45, q67) = widen_lo_epi32_to_epi64(p4567);
+    for (k, q) in [q01, q23, q45, q67].into_iter().enumerate() {
+        let ptr = acc.add(2 * k) as *mut __m128i;
+        let cur = _mm_loadu_si128(ptr);
+        let r = if SUB {
+            _mm_sub_epi64(cur, q)
+        } else {
+            _mm_add_epi64(cur, q)
+        };
+        _mm_storeu_si128(ptr, r);
+    }
+}
+
+/// `acc[i] += a[i] as i64 * b[i] as i64`.
+#[inline]
+pub fn mac_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            mac_step_i48::<false>(acc.as_mut_ptr().add(i), va, vb);
+            i += 8;
+        }
+    }
+    scalar::mac_i48(&mut acc[i..], &a[i..], &b[i..]);
+}
+
+/// `acc[i] -= a[i] as i64 * b[i] as i64`.
+#[inline]
+pub fn msc_i48(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    let n = acc.len();
+    let mut i = 0;
+    unsafe {
+        while i + 8 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            mac_step_i48::<true>(acc.as_mut_ptr().add(i), va, vb);
+            i += 8;
+        }
+    }
+    scalar::msc_i48(&mut acc[i..], &a[i..], &b[i..]);
+}
+
+/// `acc[i] += data[i] as i64 * coeff as i64`.
+#[inline]
+pub fn mac_coeff_i48(acc: &mut [i64], data: &[i16], coeff: i16) {
+    let n = acc.len();
+    let mut i = 0;
+    unsafe {
+        let vb = _mm_set1_epi16(coeff);
+        while i + 8 <= n {
+            let va = _mm_loadu_si128(data.as_ptr().add(i) as *const __m128i);
+            mac_step_i48::<false>(acc.as_mut_ptr().add(i), va, vb);
+            i += 8;
+        }
+    }
+    scalar::mac_coeff_i48(&mut acc[i..], &data[i..], coeff);
+}
+
+/// `acc[i] += other[i]` (wrapping).
+#[inline]
+pub fn add_i64(acc: &mut [i64], other: &[i64]) {
+    let n = acc.len();
+    let mut i = 0;
+    unsafe {
+        while i + 2 <= n {
+            let ptr = acc.as_mut_ptr().add(i) as *mut __m128i;
+            let cur = _mm_loadu_si128(ptr);
+            let o = _mm_loadu_si128(other.as_ptr().add(i) as *const __m128i);
+            _mm_storeu_si128(ptr, _mm_add_epi64(cur, o));
+            i += 2;
+        }
+    }
+    scalar::add_i64(&mut acc[i..], &other[i..]);
+}
+
+macro_rules! fpmac_128 {
+    ($($name:ident: $op:ident;)*) => {
+        $(
+            /// Float MAC step: separate multiply and add/sub roundings.
+            #[inline]
+            pub fn $name(acc: &mut [f32], a: &[f32], b: &[f32]) {
+                let n = acc.len();
+                let mut i = 0;
+                unsafe {
+                    while i + 4 <= n {
+                        let va = _mm_loadu_ps(a.as_ptr().add(i));
+                        let vb = _mm_loadu_ps(b.as_ptr().add(i));
+                        let cur = _mm_loadu_ps(acc.as_ptr().add(i));
+                        let r = $op(cur, _mm_mul_ps(va, vb));
+                        _mm_storeu_ps(acc.as_mut_ptr().add(i), r);
+                        i += 4;
+                    }
+                }
+                scalar::$name(&mut acc[i..], &a[i..], &b[i..]);
+            }
+        )*
+    };
+}
+
+fpmac_128! {
+    fpmac_f32: _mm_add_ps;
+    fpmsc_f32: _mm_sub_ps;
+}
+
+/// `acc[i] += data[i] * coeff` (two roundings per lane).
+#[inline]
+pub fn fpmac_coeff_f32(acc: &mut [f32], data: &[f32], coeff: f32) {
+    let n = acc.len();
+    let mut i = 0;
+    unsafe {
+        let vc = _mm_set1_ps(coeff);
+        while i + 4 <= n {
+            let vd = _mm_loadu_ps(data.as_ptr().add(i));
+            let cur = _mm_loadu_ps(acc.as_ptr().add(i));
+            let r = _mm_add_ps(cur, _mm_mul_ps(vd, vc));
+            _mm_storeu_ps(acc.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+    }
+    scalar::fpmac_coeff_f32(&mut acc[i..], &data[i..], coeff);
+}
+
+/// Saturating readout — scalar at this tier (needs 64-bit compares).
+#[inline]
+pub fn srs_i48_to_i16(acc: &[i64], shift: u32, out: &mut [i16]) {
+    scalar::srs_i48_to_i16(acc, shift, out);
+}
+
+/// Saturating readout to i32 — scalar at this tier.
+#[inline]
+pub fn srs_i48_to_i32(acc: &[i64], shift: u32, out: &mut [i32]) {
+    scalar::srs_i48_to_i32(acc, shift, out);
+}
+
+/// Upshift — scalar at this tier.
+#[inline]
+pub fn ups_i16_to_i48(v: &[i16], shift: u32, out: &mut [i64]) {
+    scalar::ups_i16_to_i48(v, shift, out);
+}
+
+/// Complex MAC — scalar at this tier (needs 32-bit lane multiplies).
+#[inline]
+pub fn cmac_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    scalar::cmac_c16(acc, a, b);
+}
+
+/// Conjugate complex MAC — scalar at this tier.
+#[inline]
+pub fn cmac_conj_c16(acc: &mut [i64], a: &[i16], b: &[i16]) {
+    scalar::cmac_conj_c16(acc, a, b);
+}
+
+/// Complex magnitude-squared — scalar at this tier.
+#[inline]
+pub fn cmag_sq_c16(v: &[i16], out: &mut [i64]) {
+    scalar::cmag_sq_c16(v, out);
+}

@@ -5,7 +5,7 @@
 //! exact (two's-complement wrapping for integers, IEEE for floats) and every
 //! operation records itself with the [`crate::counter`].
 
-use crate::counter::{record, OpKind};
+use crate::counter::{record, record_n, OpKind};
 use std::fmt;
 use std::ops::{Add, Index, Mul, Neg, Sub};
 
@@ -50,8 +50,7 @@ impl<T: Copy, const N: usize> Vector<T, N> {
             slice.len()
         );
         record(OpKind::VLoad);
-        let mut lanes = [slice[0]; N];
-        lanes.copy_from_slice(&slice[..N]);
+        let lanes: [T; N] = slice[..N].try_into().expect("length asserted above");
         Vector { lanes }
     }
 
@@ -84,18 +83,6 @@ impl<T: Copy, const N: usize> Vector<T, N> {
         self
     }
 
-    /// Permute lanes: output lane `i` takes input lane `pattern[i]`
-    /// (the AIE `shuffle`/`select` permute network).
-    pub fn shuffle(&self, pattern: &[usize; N]) -> Self {
-        record(OpKind::VShuffle);
-        let mut lanes = self.lanes;
-        for (o, &p) in lanes.iter_mut().zip(pattern.iter()) {
-            assert!(p < N, "shuffle index {p} out of range for {N} lanes");
-            *o = self.lanes[p];
-        }
-        Vector { lanes }
-    }
-
     /// Two-source permute: indices `< N` pick from `self`, indices in
     /// `N..2N` pick from `other` (AIE two-input shuffle).
     pub fn shuffle2(&self, other: &Self, pattern: &[usize; N]) -> Self {
@@ -107,21 +94,6 @@ impl<T: Copy, const N: usize> Vector<T, N> {
                 self.lanes[p]
             } else {
                 other.lanes[p - N]
-            };
-        }
-        Vector { lanes }
-    }
-
-    /// Lane-wise selection: where `mask` is true take `self`, else `other`
-    /// (the AIE `select` intrinsic with an immediate mask).
-    pub fn select(&self, other: &Self, mask: &[bool; N]) -> Self {
-        record(OpKind::VAlu);
-        let mut lanes = self.lanes;
-        for i in 0..N {
-            lanes[i] = if mask[i] {
-                self.lanes[i]
-            } else {
-                other.lanes[i]
             };
         }
         Vector { lanes }
@@ -152,20 +124,43 @@ impl<T: Copy, const N: usize> Vector<T, N> {
     pub const fn lanes() -> usize {
         N
     }
+
+    /// Borrow the lane array (crate-internal zero-copy view for the SIMD
+    /// dispatch layer).
+    pub(crate) fn lanes_ref(&self) -> &[T; N] {
+        &self.lanes
+    }
 }
 
-impl<T: Copy + PartialOrd, const N: usize> Vector<T, N> {
+impl<T: Copy + 'static, const N: usize> Vector<T, N> {
+    /// Permute lanes: output lane `i` takes input lane `pattern[i]`
+    /// (the AIE `shuffle`/`select` permute network).
+    pub fn shuffle(&self, pattern: &[usize; N]) -> Self {
+        record(OpKind::VShuffle);
+        for &p in pattern {
+            assert!(p < N, "shuffle index {p} out of range for {N} lanes");
+        }
+        let mut lanes = self.lanes;
+        crate::simd::permute_lanes(&self.lanes, pattern, &mut lanes);
+        Vector { lanes }
+    }
+
+    /// Lane-wise selection: where `mask` is true take `self`, else `other`
+    /// (the AIE `select` intrinsic with an immediate mask).
+    pub fn select(&self, other: &Self, mask: &[bool; N]) -> Self {
+        record(OpKind::VAlu);
+        let mut lanes = self.lanes;
+        crate::simd::select_lanes(&self.lanes, &other.lanes, mask, &mut lanes);
+        Vector { lanes }
+    }
+}
+
+impl<T: Copy + PartialOrd + 'static, const N: usize> Vector<T, N> {
     /// Lane-wise minimum (AIE `min` — one vector ALU op).
     pub fn min(&self, other: &Self) -> Self {
         record(OpKind::VAlu);
         let mut lanes = self.lanes;
-        for i in 0..N {
-            lanes[i] = if other.lanes[i] < self.lanes[i] {
-                other.lanes[i]
-            } else {
-                self.lanes[i]
-            };
-        }
+        crate::simd::min_lanes(&self.lanes, &other.lanes, &mut lanes);
         Vector { lanes }
     }
 
@@ -173,16 +168,12 @@ impl<T: Copy + PartialOrd, const N: usize> Vector<T, N> {
     pub fn max(&self, other: &Self) -> Self {
         record(OpKind::VAlu);
         let mut lanes = self.lanes;
-        for i in 0..N {
-            lanes[i] = if other.lanes[i] > self.lanes[i] {
-                other.lanes[i]
-            } else {
-                self.lanes[i]
-            };
-        }
+        crate::simd::max_lanes(&self.lanes, &other.lanes, &mut lanes);
         Vector { lanes }
     }
+}
 
+impl<T: Copy + PartialOrd, const N: usize> Vector<T, N> {
     /// Lane-wise `<` comparison mask (AIE `lt`).
     pub fn lt(&self, other: &Self) -> [bool; N] {
         record(OpKind::VAlu);
@@ -202,23 +193,32 @@ impl<T, const N: usize> Index<usize> for Vector<T, N> {
 }
 
 macro_rules! float_vector_ops {
-    ($t:ty) => {
+    ($t:ty, $add:ident, $sub:ident, $mul:ident, $neg:ident) => {
         impl<const N: usize> Add for Vector<$t, N> {
             type Output = Self;
             fn add(self, rhs: Self) -> Self {
-                self.zip_with(rhs, |a, b| a + b)
+                record(OpKind::VAlu);
+                let mut lanes = self.lanes;
+                crate::simd::$add(&self.lanes, &rhs.lanes, &mut lanes);
+                Vector { lanes }
             }
         }
         impl<const N: usize> Sub for Vector<$t, N> {
             type Output = Self;
             fn sub(self, rhs: Self) -> Self {
-                self.zip_with(rhs, |a, b| a - b)
+                record(OpKind::VAlu);
+                let mut lanes = self.lanes;
+                crate::simd::$sub(&self.lanes, &rhs.lanes, &mut lanes);
+                Vector { lanes }
             }
         }
         impl<const N: usize> Neg for Vector<$t, N> {
             type Output = Self;
             fn neg(self) -> Self {
-                self.map(|a| -a)
+                record(OpKind::VAlu);
+                let mut lanes = self.lanes;
+                crate::simd::$neg(&self.lanes, &mut lanes);
+                Vector { lanes }
             }
         }
         impl<const N: usize> Mul for Vector<$t, N> {
@@ -226,49 +226,57 @@ macro_rules! float_vector_ops {
             fn mul(self, rhs: Self) -> Self {
                 record(OpKind::VMac); // multiplies use the MAC datapath
                 let mut lanes = self.lanes;
-                for i in 0..N {
-                    lanes[i] = self.lanes[i] * rhs.lanes[i];
-                }
+                crate::simd::$mul(&self.lanes, &rhs.lanes, &mut lanes);
                 Vector { lanes }
             }
         }
 
         impl<const N: usize> Vector<$t, N> {
             /// Horizontal sum of all lanes (reduction tree on the vector
-            /// unit: counted as one ALU op per tree level).
+            /// unit: counted as one ALU op per tree level). The summation
+            /// order is sequential — part of the bit-exactness contract —
+            /// so this stays scalar on every dispatch tier.
             pub fn reduce_add(self) -> $t {
                 let mut width = N;
+                let mut levels = 0u64;
                 while width > 1 {
-                    record(OpKind::VAlu);
+                    levels += 1;
                     width /= 2;
                 }
+                record_n(OpKind::VAlu, levels);
                 self.lanes.iter().copied().sum()
             }
         }
     };
 }
 
-float_vector_ops!(f32);
+float_vector_ops!(f32, add_f32, sub_f32, mul_f32, neg_f32);
 
 macro_rules! int_vector_ops {
-    ($t:ty) => {
+    ($t:ty, $add:ident, $sub:ident) => {
         impl<const N: usize> Add for Vector<$t, N> {
             type Output = Self;
             fn add(self, rhs: Self) -> Self {
-                self.zip_with(rhs, |a, b| a.wrapping_add(b))
+                record(OpKind::VAlu);
+                let mut lanes = self.lanes;
+                crate::simd::$add(&self.lanes, &rhs.lanes, &mut lanes);
+                Vector { lanes }
             }
         }
         impl<const N: usize> Sub for Vector<$t, N> {
             type Output = Self;
             fn sub(self, rhs: Self) -> Self {
-                self.zip_with(rhs, |a, b| a.wrapping_sub(b))
+                record(OpKind::VAlu);
+                let mut lanes = self.lanes;
+                crate::simd::$sub(&self.lanes, &rhs.lanes, &mut lanes);
+                Vector { lanes }
             }
         }
     };
 }
 
-int_vector_ops!(i16);
-int_vector_ops!(i32);
+int_vector_ops!(i16, add_i16, sub_i16);
+int_vector_ops!(i32, add_i32, sub_i32);
 
 #[cfg(test)]
 mod tests {

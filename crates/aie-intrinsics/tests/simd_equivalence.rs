@@ -1,0 +1,352 @@
+//! Scalar-vs-SIMD bit-identity: every dispatched kernel must produce the
+//! same bits on every available tier (scalar / SSE2 / AVX2), over
+//! full-range inputs — including i16 extremes, f32 NaN payloads and ±0 —
+//! and must record the same op counts.
+//!
+//! Without the `simd` feature only the scalar tier exists and these tests
+//! reduce to self-consistency; the CI matrix runs them with the feature on
+//! under AVX2, SSE2-clamped (`CGSIM_SIMD=sse2`) and scalar-clamped
+//! environments.
+
+use aie_intrinsics::counter::metered;
+use aie_intrinsics::ops::bitonic_sort16;
+use aie_intrinsics::simd::{self, Tier};
+use aie_intrinsics::{AccF32, AccI48, CAccI48, CInt16, Vector};
+use proptest::prelude::*;
+
+/// Tiers to sweep: scalar first (the oracle), then whatever the build,
+/// CPU and `CGSIM_SIMD` clamp allow.
+fn tiers() -> Vec<Tier> {
+    let t = simd::available_tiers();
+    assert_eq!(t[0], Tier::Scalar);
+    t
+}
+
+/// Run `f` on every tier and assert all results equal the scalar one.
+fn assert_tier_identical<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let reference = simd::with_tier(Tier::Scalar, &f).unwrap();
+    for tier in tiers() {
+        let got = simd::with_tier(tier, &f).unwrap();
+        assert_eq!(got, reference, "tier {tier} diverges from scalar");
+    }
+}
+
+/// f32 slices compared as bit patterns (NaN payloads, ±0 included).
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Bit patterns with NaNs collapsed to one canonical quiet NaN.
+///
+/// For *arithmetic* (add/sub/mul/fpmac) the NaN payload that survives a
+/// two-NaN operation follows hardware operand order, and LLVM freely
+/// commutes scalar `fadd`/`fmul` operands — so payload identity is not
+/// achievable even between two scalar builds. The contract is therefore:
+/// bit-identical everywhere, except arithmetic NaN results only promise
+/// "is a NaN". Selection ops (min/max/select/permute) and sign ops (neg)
+/// never launder payloads and are compared with raw [`bits`].
+fn canon_bits(v: &[f32]) -> Vec<u32> {
+    v.iter()
+        .map(|x| if x.is_nan() { 0x7fc0_0000 } else { x.to_bits() })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn binary_i16_ops(pairs in proptest::collection::vec((any::<i16>(), any::<i16>()), 0..80)) {
+        let a: Vec<i16> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i16> = pairs.iter().map(|p| p.1).collect();
+        for op in [simd::add_i16, simd::sub_i16, simd::min_i16, simd::max_i16] {
+            assert_tier_identical(|| {
+                let mut out = vec![0i16; a.len()];
+                op(&a, &b, &mut out);
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn binary_i32_ops(pairs in proptest::collection::vec((any::<i32>(), any::<i32>()), 0..80)) {
+        let a: Vec<i32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i32> = pairs.iter().map(|p| p.1).collect();
+        for op in [simd::add_i32, simd::sub_i32, simd::min_i32, simd::max_i32] {
+            assert_tier_identical(|| {
+                let mut out = vec![0i32; a.len()];
+                op(&a, &b, &mut out);
+                out
+            });
+        }
+    }
+
+    /// f32 binaries over raw bit patterns: NaNs, infinities, subnormals
+    /// and signed zeros all flow through min/max/arithmetic.
+    #[test]
+    fn binary_f32_ops(pairs in proptest::collection::vec((any::<f32>(), any::<f32>()), 0..80)) {
+        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        for op in [simd::add_f32, simd::sub_f32, simd::mul_f32] {
+            assert_tier_identical(|| {
+                let mut out = vec![0.0f32; a.len()];
+                op(&a, &b, &mut out);
+                canon_bits(&out)
+            });
+        }
+        for op in [simd::min_f32, simd::max_f32] {
+            assert_tier_identical(|| {
+                let mut out = vec![0.0f32; a.len()];
+                op(&a, &b, &mut out);
+                bits(&out)
+            });
+        }
+        assert_tier_identical(|| {
+            let mut out = vec![0.0f32; a.len()];
+            simd::neg_f32(&a, &mut out);
+            bits(&out)
+        });
+    }
+
+    /// min/max tie lanes must keep the first operand's bit pattern
+    /// (distinguishes 0.0 from -0.0 and NaN payloads from each other).
+    #[test]
+    fn min_max_ties_keep_first_operand(n in 0usize..80, flip in any::<bool>()) {
+        let nan_a = f32::from_bits(0x7fc0_0001);
+        let nan_b = f32::from_bits(0xffc0_0002);
+        let (za, zb) = if flip { (0.0f32, -0.0f32) } else { (-0.0f32, 0.0f32) };
+        let a: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { za } else { nan_a }).collect();
+        let b: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { zb } else { nan_b }).collect();
+        for op in [simd::min_f32, simd::max_f32] {
+            assert_tier_identical(|| {
+                let mut out = vec![0.0f32; n];
+                op(&a, &b, &mut out);
+                bits(&out)
+            });
+            // The scalar contract: tie/NaN keeps `a`.
+            let mut out = vec![0.0f32; n];
+            op(&a, &b, &mut out);
+            prop_assert_eq!(bits(&out), bits(&a));
+        }
+    }
+
+    #[test]
+    fn select_ops(items in proptest::collection::vec((any::<i16>(), any::<i16>(), any::<bool>()), 0..80)) {
+        let a16: Vec<i16> = items.iter().map(|p| p.0).collect();
+        let b16: Vec<i16> = items.iter().map(|p| p.1).collect();
+        let mask: Vec<bool> = items.iter().map(|p| p.2).collect();
+        assert_tier_identical(|| {
+            let mut out = vec![0i16; a16.len()];
+            simd::select_i16(&a16, &b16, &mask, &mut out);
+            out
+        });
+        let a32: Vec<i32> = a16.iter().map(|&v| v as i32).collect();
+        let b32: Vec<i32> = b16.iter().map(|&v| v as i32).collect();
+        assert_tier_identical(|| {
+            let mut out = vec![0i32; a32.len()];
+            simd::select_i32(&a32, &b32, &mask, &mut out);
+            out
+        });
+        let af: Vec<f32> = a16.iter().map(|&v| f32::from_bits((v as u16 as u32) << 16)).collect();
+        let bf: Vec<f32> = b16.iter().map(|&v| f32::from_bits(v as u16 as u32)).collect();
+        assert_tier_identical(|| {
+            let mut out = vec![0.0f32; af.len()];
+            simd::select_f32(&af, &bf, &mask, &mut out);
+            bits(&out)
+        });
+    }
+
+    /// Dynamic permute at the widths the kernels use (8/16) and an odd
+    /// width that exercises the scalar fallback.
+    #[test]
+    fn permute_f32_all_widths(vals in proptest::array::uniform16(any::<f32>()),
+                              idx in proptest::array::uniform16(0usize..16)) {
+        for n in [5usize, 8, 16] {
+            let src = &vals[..n];
+            let pattern: Vec<usize> = idx[..n].iter().map(|&p| p % n).collect();
+            assert_tier_identical(|| {
+                let mut out = vec![0.0f32; n];
+                simd::permute_f32(src, &pattern, &mut out);
+                bits(&out)
+            });
+        }
+    }
+
+    /// Integer MAC family over full-range i16 (including (-32768)² lanes)
+    /// with accumulators pre-loaded anywhere in the 48-bit range.
+    #[test]
+    fn mac_family_i48(items in proptest::collection::vec(
+        (any::<i16>(), any::<i16>(), (-(1i64 << 47))..(1i64 << 47)), 0..80),
+        coeff in any::<i16>())
+    {
+        let a: Vec<i16> = items.iter().map(|p| p.0).collect();
+        let b: Vec<i16> = items.iter().map(|p| p.1).collect();
+        let acc0: Vec<i64> = items.iter().map(|p| p.2).collect();
+        for op in [simd::mac_i48, simd::msc_i48] {
+            assert_tier_identical(|| {
+                let mut acc = acc0.clone();
+                op(&mut acc, &a, &b);
+                acc
+            });
+        }
+        assert_tier_identical(|| {
+            let mut acc = acc0.clone();
+            simd::mac_coeff_i48(&mut acc, &a, coeff);
+            acc
+        });
+        assert_tier_identical(|| {
+            let mut acc = acc0.clone();
+            let other: Vec<i64> = acc0.iter().map(|v| v.wrapping_neg()).collect();
+            simd::add_i64(&mut acc, &other);
+            acc
+        });
+    }
+
+    /// Float MAC family over raw bit patterns; must never contract to FMA.
+    #[test]
+    fn fpmac_family(items in proptest::collection::vec(
+        (any::<f32>(), any::<f32>(), any::<f32>()), 0..80), coeff in any::<f32>())
+    {
+        let a: Vec<f32> = items.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = items.iter().map(|p| p.1).collect();
+        let acc0: Vec<f32> = items.iter().map(|p| p.2).collect();
+        for op in [simd::fpmac_f32, simd::fpmsc_f32] {
+            assert_tier_identical(|| {
+                let mut acc = acc0.clone();
+                op(&mut acc, &a, &b);
+                canon_bits(&acc)
+            });
+        }
+        assert_tier_identical(|| {
+            let mut acc = acc0.clone();
+            simd::fpmac_coeff_f32(&mut acc, &a, coeff);
+            canon_bits(&acc)
+        });
+    }
+
+    /// srs/ups across the full accumulator range and the kernel shift
+    /// domain, hitting both saturation edges and the round-up carry.
+    #[test]
+    fn srs_ups_readout(acc in proptest::collection::vec(any::<i64>(), 0..80),
+                       narrow in proptest::collection::vec(any::<i16>(), 0..80),
+                       shift in 0u32..48)
+    {
+        assert_tier_identical(|| {
+            let mut out = vec![0i16; acc.len()];
+            simd::srs_i48_to_i16(&acc, shift, &mut out);
+            out
+        });
+        assert_tier_identical(|| {
+            let mut out = vec![0i32; acc.len()];
+            simd::srs_i48_to_i32(&acc, shift, &mut out);
+            out
+        });
+        assert_tier_identical(|| {
+            let mut out = vec![0i64; narrow.len()];
+            simd::ups_i16_to_i48(&narrow, shift, &mut out);
+            out
+        });
+    }
+
+    /// Complex MAC family over full-range components (the (-32768)² corner
+    /// is exactly the case that rules out `pmaddwd`).
+    #[test]
+    fn cmac_family(items in proptest::collection::vec(
+        (any::<i16>(), any::<i16>(), any::<i16>(), any::<i16>(),
+         (-(1i64 << 47))..(1i64 << 47), (-(1i64 << 47))..(1i64 << 47)), 0..40))
+    {
+        let a: Vec<i16> = items.iter().flat_map(|p| [p.0, p.1]).collect();
+        let b: Vec<i16> = items.iter().flat_map(|p| [p.2, p.3]).collect();
+        let acc0: Vec<i64> = items.iter().flat_map(|p| [p.4, p.5]).collect();
+        for op in [simd::cmac_c16, simd::cmac_conj_c16] {
+            assert_tier_identical(|| {
+                let mut acc = acc0.clone();
+                op(&mut acc, &a, &b);
+                acc
+            });
+        }
+        assert_tier_identical(|| {
+            let mut out = vec![0i64; items.len()];
+            simd::cmag_sq_c16(&a, &mut out);
+            out
+        });
+    }
+
+    /// Whole emulated-intrinsic chains through the `Vector` API: a
+    /// farrow-style fixed-point MAC pipeline is bit-identical and records
+    /// identical op counts on every tier.
+    #[test]
+    fn vector_api_fixed_chain(data in proptest::collection::vec(any::<i16>(), 20),
+                              coeffs in proptest::array::uniform4(any::<i16>()),
+                              shift in 0u32..20)
+    {
+        assert_tier_identical(|| {
+            let (out, counts) = metered(|| {
+                let mut acc = AccI48::<16>::zero();
+                for (tap, &c) in coeffs.iter().enumerate() {
+                    acc = acc.sliding_mac(&data, tap, c);
+                }
+                let v = acc.srs(shift);
+                let w = Vector::<i16, 16>::load(&data[..16]);
+                ((v + w) - w).to_array()
+            });
+            (out, counts)
+        });
+    }
+
+    /// Float pipeline (bilinear/iir style): fpmac + vector arithmetic +
+    /// min/max/select, bit-identical with identical accounting.
+    #[test]
+    fn vector_api_float_chain(vals in proptest::array::uniform16(any::<f32>())) {
+        assert_tier_identical(|| {
+            let (out, counts) = metered(|| {
+                let a = Vector::<f32, 8>::load(&vals[..8]);
+                let b = Vector::<f32, 8>::load(&vals[8..]);
+                let acc = AccF32::zero().fpmac(a, b).fpmsc(b, a).to_vector();
+                let m = a.lt(&b);
+                let sel = acc.select(&(a * b), &m);
+                let r = (sel + a.min(&b)) - (-a.max(&b));
+                canon_bits(&r.to_array())
+            });
+            (out, counts)
+        });
+    }
+
+    /// The bitonic network (shuffle/min/max/select composition) sorts
+    /// bit-identically on every tier.
+    #[test]
+    fn bitonic_network_identical(vals in proptest::array::uniform16(any::<f32>())) {
+        // Use total-order comparable values only when NaNs are absent;
+        // with NaNs the network output is still deterministic, so compare
+        // bits across tiers either way.
+        assert_tier_identical(|| {
+            bits(&bitonic_sort16(Vector::from_array(vals)).to_array())
+        });
+    }
+
+    /// Complex accumulator API parity (cmac/cmac_conj/srs).
+    #[test]
+    fn complex_api_chain(items in proptest::array::uniform8((any::<i16>(), any::<i16>())),
+                         shift in 0u32..20)
+    {
+        let z: [CInt16; 8] = items.map(|(re, im)| CInt16::new(re, im));
+        assert_tier_identical(|| {
+            let v = Vector::<CInt16, 8>::from_array(z);
+            let acc = CAccI48::zero().cmac(v, v).cmac_conj(v, v);
+            let out = acc.srs(shift);
+            (acc.to_array().map(|l| (l.re, l.im)), out.to_array())
+        });
+    }
+}
+
+#[test]
+fn sse2_and_avx2_available_with_feature() {
+    // On the x86_64 CI hosts the simd build must actually exercise a
+    // vector tier unless the environment clamps it away.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        assert!(simd::capability() >= Tier::Sse2);
+        if std::env::var("CGSIM_SIMD").is_err() {
+            assert!(simd::default_tier() >= Tier::Sse2);
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    assert_eq!(simd::capability(), Tier::Scalar);
+}

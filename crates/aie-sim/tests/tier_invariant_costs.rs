@@ -1,0 +1,81 @@
+//! The cycle-approximate cost model must be blind to the SIMD dispatch
+//! tier: profiles are built from `counter` op counts, the counts are
+//! recorded *before* dispatch, so a kernel metered under AVX2 must produce
+//! the same `KernelCostProfile` — op counts, compute cycles, iteration
+//! cycles — as the same kernel metered under the scalar fallback.
+//!
+//! This is the property that lets the `simd` feature change wall-clock
+//! simulation speed without perturbing a single reported cycle number.
+
+use aie_intrinsics::counter::metered;
+use aie_intrinsics::simd::{self};
+use aie_intrinsics::{AccF32, AccI48, CAccI48, CInt16, OpCounts, Vector};
+use aie_sim::{KernelCostProfile, PortTraffic, SimConfig};
+use cgsim_core::PortKind;
+
+fn stream(elems: u64, bytes: u64) -> PortTraffic {
+    PortTraffic {
+        elems_per_iter: elems,
+        elem_bytes: bytes,
+        kind: PortKind::Stream,
+    }
+}
+
+/// A representative mixed kernel: fixed-point FIR taps, float MAC, complex
+/// MAC and a saturating readout — every op family the dispatcher covers.
+fn mixed_kernel() -> OpCounts {
+    let ((), ops) = metered(|| {
+        let data = [7i16; 24];
+        let mut acc = AccI48::<16>::zero();
+        for tap in 0..4 {
+            acc = acc.sliding_mac(&data, tap, 3);
+        }
+        let fixed_out = acc.srs(6);
+        let mut sink16 = [0i16; 16];
+        fixed_out.store(&mut sink16);
+
+        let a = Vector::<f32, 8>::load(&[1.5; 8]);
+        let b = Vector::<f32, 8>::load(&[2.5; 8]);
+        let facc = AccF32::zero().fpmac(a, b).fpmsc(b, a);
+        let mut sinkf = [0.0f32; 8];
+        (facc.to_vector() + a.min(&b)).store(&mut sinkf);
+
+        let z = Vector::<CInt16, 8>::from_array([CInt16::new(3, -4); 8]);
+        let cacc = CAccI48::zero().cmac(z, z).cmac_conj(z, z);
+        let mut sinkc = [CInt16::new(0, 0); 8];
+        cacc.srs(2).store(&mut sinkc);
+    });
+    ops
+}
+
+fn profile(ops: OpCounts) -> KernelCostProfile {
+    KernelCostProfile::measured("mixed", ops, vec![stream(16, 2)], vec![stream(16, 2)])
+}
+
+#[test]
+fn op_counts_identical_on_every_tier() {
+    let reference = simd::with_tier(simd::Tier::Scalar, mixed_kernel).unwrap();
+    for tier in simd::available_tiers() {
+        let got = simd::with_tier(tier, mixed_kernel).unwrap();
+        assert_eq!(got, reference, "op counts drifted on tier {tier}");
+    }
+}
+
+#[test]
+fn cost_profile_identical_on_every_tier() {
+    let reference = profile(simd::with_tier(simd::Tier::Scalar, mixed_kernel).unwrap());
+    for config in [SimConfig::hand_optimized(), SimConfig::extracted()] {
+        for tier in simd::available_tiers() {
+            let p = profile(simd::with_tier(tier, mixed_kernel).unwrap());
+            assert_eq!(
+                p.compute_cycles, reference.compute_cycles,
+                "compute cycles drifted on tier {tier}"
+            );
+            assert_eq!(
+                p.iteration_cycles(&config),
+                reference.iteration_cycles(&config),
+                "iteration cycles drifted on tier {tier}"
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion wrapper around the kernel-compute suite: per-op slice
+//! kernels and whole ported kernels, one benchmark per available
+//! intrinsics tier. `kernels-report` is the machine-readable counterpart;
+//! this suite is for interactive `cargo bench -p bench --bench kernels
+//! --features simd` exploration.
+
+use aie_intrinsics::simd;
+use bench::kernels;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_per_op(c: &mut Criterion) {
+    for &(name, bench) in kernels::PER_OP {
+        let mut g = c.benchmark_group(format!("op/{name}"));
+        g.throughput(Throughput::Elements(kernels::OP_LANES as u64));
+        for tier in simd::available_tiers() {
+            g.bench_function(tier.name(), |b| {
+                b.iter(|| simd::with_tier(tier, || bench(1)).expect("tier available"))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_whole_kernel(c: &mut Criterion) {
+    for &(name, bench) in kernels::WHOLE_KERNEL {
+        let mut g = c.benchmark_group(format!("kernel/{name}"));
+        for tier in simd::available_tiers() {
+            g.bench_function(tier.name(), |b| {
+                b.iter(|| simd::with_tier(tier, || bench(1)).expect("tier available"))
+            });
+        }
+        g.finish();
+    }
+}
+
+/// Sanity: the suite must exercise more than the scalar tier when built
+/// with the simd feature on AVX2-capable CI hardware.
+fn bench_tier_report(c: &mut Criterion) {
+    let _ = c;
+    eprintln!(
+        "kernel bench tiers: {:?} (capability {})",
+        simd::available_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>(),
+        simd::capability()
+    );
+}
+
+criterion_group!(benches, bench_tier_report, bench_per_op, bench_whole_kernel);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! `kernels-report` — machine-readable scalar-vs-SIMD kernel-compute
+//! summary.
+//!
+//! Sweeps every per-op microbench and every whole-kernel bench across all
+//! available intrinsics tiers (scalar, and with `--features simd` on
+//! capable hardware SSE2 and AVX2), best-of-N per leg, and writes
+//! `BENCH_PR9.json` with per-tier throughput plus each tier's speedup over
+//! scalar. Per-op and whole-kernel numbers are kept in separate sections
+//! on purpose: the per-op loops isolate the dispatched kernels, while the
+//! whole-kernel runs include lane gather/scatter, op accounting and window
+//! bookkeeping that dilute the SIMD win — quoting one as the other would
+//! overstate (or understate) the optimisation.
+//!
+//! Before timing anything the binary re-asserts the dispatch contract on
+//! a sample of each kernel family: every tier must agree bit-for-bit.
+//!
+//! Usage: `cargo run --release -p bench --features simd --bin
+//! kernels-report [-- --out PATH] [--reps N] [--rounds N]`
+
+use aie_intrinsics::simd::{self, Tier};
+use bench::kernels::{self, Measured, NamedBench};
+use serde_json::{json, Value};
+
+/// Quick cross-tier bit-identity spot check before publishing numbers.
+fn assert_tiers_agree() {
+    let mut a = vec![0i16; 257];
+    let mut b = vec![0i16; 257];
+    for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+        *x = (i as i16).wrapping_mul(2411).wrapping_add(-32768);
+        *y = (i as i16).wrapping_mul(-1031).wrapping_add(32767);
+    }
+    let reference = simd::with_tier(Tier::Scalar, || {
+        let mut acc = vec![0i64; 257];
+        simd::mac_i48(&mut acc, &a, &b);
+        let mut out = vec![0i16; 257];
+        simd::srs_i48_to_i16(&acc, 5, &mut out);
+        (acc, out)
+    })
+    .unwrap();
+    for tier in simd::available_tiers() {
+        let got = simd::with_tier(tier, || {
+            let mut acc = vec![0i64; 257];
+            simd::mac_i48(&mut acc, &a, &b);
+            let mut out = vec![0i16; 257];
+            simd::srs_i48_to_i16(&acc, 5, &mut out);
+            (acc, out)
+        })
+        .unwrap();
+        assert_eq!(
+            got, reference,
+            "tier {tier} is not bit-identical; refusing to benchmark"
+        );
+    }
+}
+
+fn leg_json(m: &Measured) -> Value {
+    json!({
+        "items": m.items,
+        "wall_ns": m.wall.as_nanos() as u64,
+        "items_per_sec": m.items_per_sec(),
+        "ns_per_item": m.ns_per_item(),
+    })
+}
+
+fn sweep(section: &str, benches: &[NamedBench], reps: u64, rounds: usize, tiers: &[Tier]) -> Value {
+    let mut out: Vec<(String, Value)> = Vec::new();
+    for &(name, bench) in benches {
+        let mut entry: Vec<(String, Value)> = Vec::new();
+        let scalar = kernels::best_of_on_tier(bench, reps, Tier::Scalar, rounds);
+        entry.push(("scalar".into(), leg_json(&scalar)));
+        let mut line = format!(
+            "{section:<12} {name:<12} scalar {:>11.2e} items/s",
+            scalar.items_per_sec()
+        );
+        for &tier in tiers {
+            if tier == Tier::Scalar {
+                continue;
+            }
+            let m = kernels::best_of_on_tier(bench, reps, tier, rounds);
+            let speedup = m.items_per_sec() / scalar.items_per_sec().max(1e-12);
+            entry.push((tier.name().into(), leg_json(&m)));
+            entry.push((format!("speedup_{}", tier.name()), json!(speedup)));
+            line.push_str(&format!("   {} {speedup:>5.2}x", tier.name()));
+        }
+        eprintln!("{line}");
+        out.push((name.into(), Value::Object(entry)));
+    }
+    Value::Object(out)
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR9.json");
+    let mut reps: u64 = 2000;
+    let mut rounds: usize = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps must be an integer")
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .expect("--rounds needs a count")
+                    .parse()
+                    .expect("--rounds must be an integer")
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: kernels-report [--out PATH] [--reps N] [--rounds N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    assert_tiers_agree();
+    let tiers = simd::available_tiers();
+    eprintln!(
+        "tiers: {} (capability {}, default {})",
+        tiers
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        simd::capability(),
+        simd::default_tier(),
+    );
+
+    // Whole-kernel loops process a full multi-block window per rep; scale
+    // the rep count down so both sections run for comparable wall time.
+    let kernel_reps = (reps / 40).max(5);
+    let report = json!({
+        "capability": simd::capability().name(),
+        "tiers": Value::Array(tiers.iter().map(|t| Value::from(t.name())).collect()),
+        "op_lanes": kernels::OP_LANES,
+        "reps": reps,
+        "kernel_reps": kernel_reps,
+        "rounds": rounds,
+        "per_op": sweep("per-op", kernels::PER_OP, reps, rounds, &tiers),
+        "whole_kernel": sweep("whole-kernel", kernels::WHOLE_KERNEL, kernel_reps, rounds, &tiers),
+        "note": "per-op isolates the dispatched slice kernels; whole-kernel includes lane gather/scatter, op accounting and window bookkeeping, which dilutes the SIMD speedup",
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).unwrap())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

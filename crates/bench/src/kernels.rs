@@ -1,0 +1,277 @@
+//! Kernel-compute benchmarks: scalar vs SSE2 vs AVX2 intrinsics tiers.
+//!
+//! Two levels, reported separately because they answer different
+//! questions:
+//!
+//! * **per-op** — tight loops over the `aie_intrinsics::simd` slice
+//!   kernels. This isolates the dispatched kernels themselves and is where
+//!   the large (≥4×) speedups live: the widening i16 MAC chain and the
+//!   branchy shift-round-saturate readout vectorise far better by hand
+//!   than the autovectoriser manages on the scalar loops.
+//! * **whole-kernel** — the actual ported AMD kernels (`farrow`, `iir`,
+//!   `bilinear`, `bitonic`) iterated over realistic block sizes. These
+//!   dilute the per-op wins with lane gather/scatter, op accounting and
+//!   per-window bookkeeping, so honest end-to-end speedups are much
+//!   smaller than the per-op numbers.
+//!
+//! Every measurement runs single-threaded under a per-thread tier override
+//! ([`aie_intrinsics::simd::with_tier`]), so one process can sweep all
+//! tiers back-to-back without races; results stay bit-identical by the
+//! dispatch contract, which `main` in `kernels-report` re-asserts.
+
+use aie_intrinsics::simd::{self, Tier};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Lanes per slice-kernel invocation in the per-op loops. Big enough to
+/// amortise dispatch, small enough to stay in L1.
+pub const OP_LANES: usize = 4096;
+
+/// A named benchmark entry: label plus the function that runs it for a
+/// given rep count.
+pub type NamedBench = (&'static str, fn(u64) -> Measured);
+
+/// One timed measurement: `items` logical elements in `wall` time.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Lanes (per-op) or samples/pixels (whole-kernel) processed.
+    pub items: u64,
+    /// Wall-clock for the whole loop.
+    pub wall: Duration,
+}
+
+impl Measured {
+    /// Throughput in items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        self.items as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Nanoseconds per item.
+    pub fn ns_per_item(&self) -> f64 {
+        self.wall.as_nanos() as f64 / (self.items as f64).max(1.0)
+    }
+}
+
+/// Deterministic xorshift fill — no RNG state shared across measurements.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn fill_i16(buf: &mut [i16], seed: u64) {
+    let mut s = seed | 1;
+    for v in buf {
+        *v = xorshift(&mut s) as i16;
+    }
+}
+
+fn fill_i64_48bit(buf: &mut [i64], seed: u64) {
+    let mut s = seed | 1;
+    for v in buf {
+        // Keep accumulators inside the 48-bit range so srs exercises both
+        // the round path and (occasionally) the saturation path.
+        *v = (xorshift(&mut s) as i64) >> 16;
+    }
+}
+
+fn fill_f32(buf: &mut [f32], seed: u64) {
+    let mut s = seed | 1;
+    for v in buf {
+        // Finite floats in (−1, 1): realistic kernel data, no NaN/inf
+        // slow paths distorting the timing.
+        *v = (xorshift(&mut s) as i32 as f32) / (i32::MAX as f32);
+    }
+}
+
+fn time_loop(reps: u64, items_per_rep: u64, mut body: impl FnMut()) -> Measured {
+    let start = Instant::now();
+    for _ in 0..reps {
+        body();
+    }
+    Measured {
+        items: reps * items_per_rep,
+        wall: start.elapsed(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-op microbenches (slice kernels, OP_LANES lanes per call)
+// ---------------------------------------------------------------------------
+
+/// Widening `i16×i16 → i48` multiply-accumulate — the Farrow FIR inner op.
+pub fn op_mac_i16(reps: u64) -> Measured {
+    let mut a = vec![0i16; OP_LANES];
+    let mut b = vec![0i16; OP_LANES];
+    let mut acc = vec![0i64; OP_LANES];
+    fill_i16(&mut a, 0x11);
+    fill_i16(&mut b, 0x22);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::mac_i48(black_box(&mut acc), black_box(&a), black_box(&b));
+    })
+}
+
+/// Lane-wise i16 min+max pair — the bitonic compare-exchange core.
+pub fn op_minmax_i16(reps: u64) -> Measured {
+    let mut a = vec![0i16; OP_LANES];
+    let mut b = vec![0i16; OP_LANES];
+    let mut lo = vec![0i16; OP_LANES];
+    let mut hi = vec![0i16; OP_LANES];
+    fill_i16(&mut a, 0x33);
+    fill_i16(&mut b, 0x44);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::min_i16(black_box(&a), black_box(&b), black_box(&mut lo));
+        simd::max_i16(black_box(&a), black_box(&b), black_box(&mut hi));
+    })
+}
+
+/// Shift-round-saturate readout `i48 → i16` — branchy in scalar form.
+pub fn op_srs_i48(reps: u64) -> Measured {
+    let mut acc = vec![0i64; OP_LANES];
+    let mut out = vec![0i16; OP_LANES];
+    fill_i64_48bit(&mut acc, 0x55);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::srs_i48_to_i16(black_box(&acc), 15, black_box(&mut out));
+    })
+}
+
+/// Upshift `i16 → i48` widening.
+pub fn op_ups_i16(reps: u64) -> Measured {
+    let mut v = vec![0i16; OP_LANES];
+    let mut acc = vec![0i64; OP_LANES];
+    fill_i16(&mut v, 0x66);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::ups_i16_to_i48(black_box(&v), 15, black_box(&mut acc));
+    })
+}
+
+/// Complex `cint16` MAC with full-precision i64 components.
+pub fn op_cmac_c16(reps: u64) -> Measured {
+    let mut a = vec![0i16; OP_LANES * 2];
+    let mut b = vec![0i16; OP_LANES * 2];
+    let mut acc = vec![0i64; OP_LANES * 2];
+    fill_i16(&mut a, 0x77);
+    fill_i16(&mut b, 0x88);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::cmac_c16(black_box(&mut acc), black_box(&a), black_box(&b));
+    })
+}
+
+/// f32 multiply-accumulate with two roundings (no FMA contraction).
+pub fn op_fpmac_f32(reps: u64) -> Measured {
+    let mut a = vec![0.0f32; OP_LANES];
+    let mut b = vec![0.0f32; OP_LANES];
+    let mut acc = vec![0.0f32; OP_LANES];
+    fill_f32(&mut a, 0x99);
+    fill_f32(&mut b, 0xaa);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::fpmac_f32(black_box(&mut acc), black_box(&a), black_box(&b));
+    })
+}
+
+/// f32 min/max pair — NaN-ordering-preserving selection.
+pub fn op_minmax_f32(reps: u64) -> Measured {
+    let mut a = vec![0.0f32; OP_LANES];
+    let mut b = vec![0.0f32; OP_LANES];
+    let mut lo = vec![0.0f32; OP_LANES];
+    let mut hi = vec![0.0f32; OP_LANES];
+    fill_f32(&mut a, 0xbb);
+    fill_f32(&mut b, 0xcc);
+    time_loop(reps, OP_LANES as u64, || {
+        simd::min_f32(black_box(&a), black_box(&b), black_box(&mut lo));
+        simd::max_f32(black_box(&a), black_box(&b), black_box(&mut hi));
+    })
+}
+
+/// All per-op benches by name, in report order.
+pub const PER_OP: &[NamedBench] = &[
+    ("mac_i16", op_mac_i16),
+    ("minmax_i16", op_minmax_i16),
+    ("srs_i48", op_srs_i48),
+    ("ups_i16", op_ups_i16),
+    ("cmac_c16", op_cmac_c16),
+    ("fpmac_f32", op_fpmac_f32),
+    ("minmax_f32", op_minmax_f32),
+];
+
+// ---------------------------------------------------------------------------
+// Whole-kernel benches (the ported AMD kernels, realistic block sizes)
+// ---------------------------------------------------------------------------
+
+/// Farrow resampler: 4-branch sliding FIR + Horner combiner per block.
+pub fn kernel_farrow(iters: u64) -> Measured {
+    use cgsim_graphs::farrow;
+    let input = farrow::make_input(4);
+    let coeffs = farrow::q15_coeffs();
+    let mu = farrow::default_mu();
+    let lanes = farrow::LANES;
+    let taps = farrow::TAPS;
+    let window = lanes + taps - 1;
+    time_loop(iters, (input.len() - window) as u64, || {
+        let mut start = 0;
+        while start + window <= input.len() {
+            let sets = farrow::fir_iteration(black_box(&input[start..start + window]), &coeffs);
+            black_box(farrow::comb_iteration(&sets, mu));
+            start += lanes;
+        }
+    })
+}
+
+/// IIR cascade: vector feed-forward taps + serial feedback recursion.
+pub fn kernel_iir(iters: u64) -> Measured {
+    use cgsim_graphs::iir;
+    let input = iir::make_input(4);
+    time_loop(iters, input.len() as u64, || {
+        let mut states: [iir::SectionState; iir::SECTIONS] = Default::default();
+        black_box(iir::cascade_window(black_box(&input), &mut states));
+    })
+}
+
+/// Bilinear interpolation: f32 weight algebra + fpmac accumulation.
+pub fn kernel_bilinear(iters: u64) -> Measured {
+    use cgsim_graphs::bilinear;
+    let quads = bilinear::make_input(4);
+    let lanes = bilinear::LANES;
+    time_loop(iters, quads.len() as u64, || {
+        for chunk in quads.chunks_exact(lanes) {
+            black_box(bilinear::interp_iteration(black_box(chunk)));
+        }
+    })
+}
+
+/// Bitonic sort-16: shuffle/min/max/select network per chunk.
+pub fn kernel_bitonic(iters: u64) -> Measured {
+    use cgsim_graphs::bitonic;
+    let input = bitonic::make_input(4);
+    time_loop(iters, input.len() as u64, || {
+        for chunk in input.chunks_exact(16) {
+            black_box(bitonic::sort16(black_box(chunk)));
+        }
+    })
+}
+
+/// All whole-kernel benches by name, in report order.
+pub const WHOLE_KERNEL: &[NamedBench] = &[
+    ("farrow", kernel_farrow),
+    ("iir", kernel_iir),
+    ("bilinear", kernel_bilinear),
+    ("bitonic", kernel_bitonic),
+];
+
+/// Run `bench` under `tier`, best of `rounds` after one warm-up.
+pub fn best_of_on_tier(
+    bench: fn(u64) -> Measured,
+    reps: u64,
+    tier: Tier,
+    rounds: usize,
+) -> Measured {
+    simd::with_tier(tier, || {
+        let _ = bench(reps.min(2));
+        (0..rounds)
+            .map(|_| bench(reps))
+            .max_by(|a, b| a.items_per_sec().partial_cmp(&b.items_per_sec()).unwrap())
+            .unwrap()
+    })
+    .expect("tier listed as available")
+}

@@ -17,6 +17,10 @@
 //! * [`pool`] — paper-graph batch workloads for the `cgsim-pool` engine,
 //!   shared by the `pool` Criterion suite and the `pool-report` binary
 //!   that emits `BENCH_PR5.json` (batch throughput at 1/2/4/8 workers);
+//! * [`kernels`] — kernel-compute suite comparing the scalar, SSE2 and
+//!   AVX2 intrinsics tiers (per-op microbenches + whole ported kernels),
+//!   shared by the `kernels` Criterion suite and the `kernels-report`
+//!   binary that emits `BENCH_PR9.json`;
 //! * the `repro-table1` / `repro-table2` binaries print the same rows the
 //!   paper reports, side by side with the paper's published numbers;
 //! * `benches/` carries Criterion micro-benchmarks and the ablation studies
@@ -27,6 +31,7 @@
 
 pub mod compiled;
 pub mod hotloop;
+pub mod kernels;
 pub mod pool;
 pub mod table1;
 pub mod table2;

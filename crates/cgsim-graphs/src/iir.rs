@@ -13,7 +13,7 @@
 
 use crate::apps::{checksum_f32, AppRun, EvalApp};
 use crate::support::{measure, run_simple};
-use aie_intrinsics::counter::{metered, record};
+use aie_intrinsics::counter::{metered, record_n};
 use aie_intrinsics::{AccF32, OpKind};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
 use cgsim_core::{FlatGraph, PortKind, PortSettings};
@@ -93,10 +93,11 @@ pub fn biquad_window(input: &[f32], section: &Biquad, state: &mut SectionState) 
         acc = acc.sliding_fpmac(window, 2, section.b[0]);
         let ff = acc.to_vector().to_array();
 
-        // Scalar feedback recursion across the 8 lanes.
+        // Scalar feedback recursion across the 8 lanes: 2 multiplies +
+        // 2 subtracts fold into two scalar issue slots per sample, booked
+        // once per chunk instead of inside the serial loop.
+        record_n(OpKind::Scalar, 2 * LANES as u64);
         for &f in &ff {
-            record(OpKind::Scalar); // 2 multiplies + 2 subtracts folded into
-            record(OpKind::Scalar); // two scalar issue slots per sample
             let y = f - section.a[0] * state.y[0] - section.a[1] * state.y[1];
             state.y[1] = state.y[0];
             state.y[0] = y;
