@@ -1,0 +1,93 @@
+//! `serve-report` — machine-readable throughput summary of the
+//! `cgsim-serve` HTTP daemon (`BENCH_PR10.json`).
+//!
+//! Two suites over the same app run (bitonic, 2 blocks):
+//!
+//! * suite `cold` — the compiled-graph cache is flushed before every
+//!   request, so each POST pays admission lint + static-schedule
+//!   compilation again (flush requests themselves are untimed);
+//! * suite `cached` — one untimed warm-up request populates the cache,
+//!   then every timed request is a cache hit.
+//!
+//! The acceptance gate: cached requests must be measurably faster than
+//! cold ones — the difference is pure admission overhead, which is
+//! exactly what the cache exists to remove.
+//!
+//! Usage: `cargo run --release -p bench --bin serve-report [-- --out PATH]`
+
+use bench::serve::{run_serve_bench, ServeRun, SERVE_BENCH};
+use serde_json::json;
+
+fn run_json(run: &ServeRun) -> serde_json::Value {
+    json!({
+        "wall_ns": run.wall.as_nanos() as u64,
+        "requests": run.completed,
+        "req_per_sec": run.req_per_sec(),
+        "cache_hits": run.cache_hits,
+        "cache_misses": run.cache_misses,
+    })
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR10.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; usage: serve-report [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "suite cold:   {} requests, cache flushed before each",
+        SERVE_BENCH.requests
+    );
+    let cold = run_serve_bench(&SERVE_BENCH, false);
+    eprintln!(
+        "  {:>8.1} req/s  ({:.3?} wall, {} compiles)",
+        cold.req_per_sec(),
+        cold.wall,
+        cold.cache_misses
+    );
+    eprintln!(
+        "suite cached: {} requests, warmed compiled-graph cache",
+        SERVE_BENCH.requests
+    );
+    let cached = run_serve_bench(&SERVE_BENCH, true);
+    eprintln!(
+        "  {:>8.1} req/s  ({:.3?} wall, {} hits)",
+        cached.req_per_sec(),
+        cached.wall,
+        cached.cache_hits
+    );
+
+    let speedup = cached.req_per_sec() / cold.req_per_sec().max(1e-12);
+    eprintln!("cache speedup: {speedup:.2}x");
+    // The acceptance gate: a cache hit must beat re-running lint+compile.
+    assert!(
+        speedup > 1.0,
+        "cached requests ({:.1} req/s) not faster than cold ({:.1} req/s)",
+        cached.req_per_sec(),
+        cold.req_per_sec()
+    );
+
+    let report = json!({
+        "schema": "cgsim-serve-report/1",
+        "suite": "serve",
+        "app": "bitonic",
+        "blocks": SERVE_BENCH.blocks,
+        "requests_per_suite": SERVE_BENCH.requests,
+        "cold": run_json(&cold),
+        "cached": run_json(&cached),
+        "cache_speedup": speedup,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialise report") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -21,6 +21,9 @@
 //!   AVX2 intrinsics tiers (per-op microbenches + whole ported kernels),
 //!   shared by the `kernels` Criterion suite and the `kernels-report`
 //!   binary that emits `BENCH_PR9.json`;
+//! * [`serve`] — end-to-end request throughput of the `cgsim-serve` HTTP
+//!   daemon, cold vs compiled-graph-cache hits, shared with the
+//!   `serve-report` binary that emits `BENCH_PR10.json`;
 //! * the `repro-table1` / `repro-table2` binaries print the same rows the
 //!   paper reports, side by side with the paper's published numbers;
 //! * `benches/` carries Criterion micro-benchmarks and the ablation studies
@@ -33,6 +36,7 @@ pub mod compiled;
 pub mod hotloop;
 pub mod kernels;
 pub mod pool;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,157 @@
+//! Serve-daemon throughput workloads (the PR-10 ledger): end-to-end
+//! request rate of the `cgsim-serve` HTTP daemon, cold (compiled-graph
+//! cache flushed before every request) versus cached (every request after
+//! the first is a cache hit).
+//!
+//! The delta isolates exactly what the cache buys: admission lint plus
+//! static-schedule compilation, which a cold request pays on every POST
+//! and a cached request skips entirely. `BENCH_PR10.json` (see
+//! `serve-report`) records both rates and the speedup.
+
+use cgsim_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One serve-throughput configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchConfig {
+    /// Timed run requests per suite.
+    pub requests: usize,
+    /// Input blocks each run simulates (small: the benchmark targets the
+    /// admission path, not the simulation itself).
+    pub blocks: u64,
+}
+
+/// The default PR-10 suite: enough requests to average out socket noise.
+pub const SERVE_BENCH: ServeBenchConfig = ServeBenchConfig {
+    requests: 32,
+    blocks: 2,
+};
+
+/// Outcome of one throughput suite.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// Sum of per-request wall times (flushes excluded in the cold suite).
+    pub wall: Duration,
+    /// Requests completed with HTTP 200.
+    pub completed: usize,
+    /// `serve_cache_hits` after the suite.
+    pub cache_hits: u64,
+    /// `serve_cache_misses` after the suite.
+    pub cache_misses: u64,
+}
+
+impl ServeRun {
+    /// Completed requests per second of summed request wall time.
+    pub fn req_per_sec(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One blocking HTTP exchange against `addr`; returns (status, body).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve daemon");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response framing");
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+/// Value of an unlabelled metric in a Prometheus exposition body.
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            rest.trim_start()
+                .split_ascii_whitespace()
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Run one suite: `requests` POSTs of the same app run against a fresh
+/// daemon. With `cached` the compiled-graph cache warms on the first
+/// (untimed) request; without it the cache is flushed before every POST so
+/// each request pays lint + compile again.
+pub fn run_serve_bench(config: &ServeBenchConfig, cached: bool) -> ServeRun {
+    let handle = Server::start(
+        ServeConfig::default()
+            .with_http_workers(2)
+            .with_pool_workers(1)
+            .with_cache_capacity(4),
+    )
+    .expect("serve daemon starts");
+    let addr = handle.addr().to_string();
+    let request = format!(
+        r#"{{"graph":{{"app":"bitonic"}},"blocks":{}}}"#,
+        config.blocks
+    );
+
+    if cached {
+        // Untimed warm-up request populates the cache.
+        let (status, body) = http(&addr, "POST", "/v1/run", &request);
+        assert_eq!(status, 200, "warm-up failed: {body}");
+    }
+
+    let mut wall = Duration::ZERO;
+    let mut completed = 0;
+    for _ in 0..config.requests {
+        if !cached {
+            let (status, _) = http(&addr, "POST", "/v1/cache/flush", "");
+            assert_eq!(status, 200);
+        }
+        let start = Instant::now();
+        let (status, body) = http(&addr, "POST", "/v1/run", &request);
+        wall += start.elapsed();
+        assert_eq!(status, 200, "run failed: {body}");
+        completed += 1;
+    }
+
+    let (_, metrics) = http(&addr, "GET", "/metrics", "");
+    let run = ServeRun {
+        wall,
+        completed,
+        cache_hits: metric_value(&metrics, "serve_cache_hits"),
+        cache_misses: metric_value(&metrics, "serve_cache_misses"),
+    };
+    handle.shutdown();
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_suites_complete_and_account_cache_traffic() {
+        let config = ServeBenchConfig {
+            requests: 3,
+            blocks: 1,
+        };
+        let cold = run_serve_bench(&config, false);
+        assert_eq!(cold.completed, 3);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 3);
+
+        let cached = run_serve_bench(&config, true);
+        assert_eq!(cached.completed, 3);
+        assert_eq!(cached.cache_hits, 3);
+        assert_eq!(cached.cache_misses, 1);
+    }
+}

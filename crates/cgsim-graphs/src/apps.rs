@@ -7,68 +7,44 @@
 //! and the thread-per-kernel runtime (x86sim substitute).
 
 use aie_sim::{KernelCostProfile, WorkloadSpec};
+use cgsim_compiled::CompiledPlan;
 use cgsim_core::FlatGraph;
-use cgsim_runtime::{Backend, ChannelMode, KernelLibrary, Profiling, RunSpec, Schedule};
+use cgsim_runtime::cgsim_trace::Tracer;
+use cgsim_runtime::{KernelLibrary, RunReport, RunSpec};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Which functional runtime executed a run.
+/// Per-launch resources that accompany a [`RunSpec`] without being part of
+/// the (serializable) spec itself: a precompiled static schedule to reuse
+/// and a tracer to record events into.
 ///
-/// Superseded by [`RunSpec`]: the ad-hoc configuration variants below were
-/// one-off points in the schedule × channel-mode × profiling matrix, and
-/// every new axis forced another variant. `Runtime` now survives only as a
-/// thin conversion shim — `RunSpec::from(runtime)` — so existing call sites
-/// keep compiling; the plain backend selectors (`Cooperative`, `Threaded`)
-/// remain undeprecated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Runtime {
-    /// Cooperative single-threaded simulator (`cgsim`) in its default
-    /// configuration: single-thread fast-path channels and sampled
-    /// profiling.
-    Cooperative,
-    /// Cooperative simulator with a seeded ready-list permutation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use RunSpec::for_graph(..).schedule(Schedule::Seeded(seed)) instead"
-    )]
-    CooperativeSeeded(u64),
-    /// Cooperative simulator in its pre-optimisation configuration:
-    /// mutex-guarded (`Shared`) channels and full per-poll timing.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use RunSpec::for_graph(..).channels(ChannelMode::Shared).profiling(Profiling::Full) instead"
-    )]
-    CooperativeBaseline,
-    /// Cooperative simulator with an explicit [`Profiling`] mode on the
-    /// default fast-path channels.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use RunSpec::for_graph(..).profiling(..) instead"
-    )]
-    CooperativeProfiled(Profiling),
-    /// Thread-per-kernel simulator (`x86sim` substitute).
-    Threaded,
+/// The serving layer (`cgsim-serve`) is the motivating caller: its
+/// compiled-graph cache hands every request the same [`CompiledPlan`] so
+/// only instantiation happens per request, and its per-request [`Tracer`]
+/// collects the Chrome-trace the client asked for. Harnesses that need
+/// neither just launch through [`EvalApp::run_spec`].
+#[derive(Clone, Default)]
+pub struct Launch {
+    /// Precompiled static schedule for `Backend::Compiled` runs; when set,
+    /// the dispatcher instantiates it directly instead of recompiling the
+    /// graph. Ignored by the other backends.
+    pub plan: Option<CompiledPlan>,
+    /// Tracer events are recorded into (disabled by default).
+    pub tracer: Tracer,
 }
 
-impl From<Runtime> for RunSpec {
-    /// Lower a legacy `Runtime` selector to the equivalent [`RunSpec`] —
-    /// the deprecation shim that keeps pre-`RunSpec` call sites compiling
-    /// with identical behaviour.
-    #[allow(deprecated)]
-    fn from(runtime: Runtime) -> RunSpec {
-        match runtime {
-            Runtime::Cooperative => RunSpec::for_graph("cooperative"),
-            Runtime::CooperativeSeeded(seed) => {
-                RunSpec::for_graph("cooperative-seeded").schedule(Schedule::Seeded(seed))
-            }
-            Runtime::CooperativeBaseline => RunSpec::for_graph("cooperative-baseline")
-                .channels(ChannelMode::Shared)
-                .profiling(Profiling::Full),
-            Runtime::CooperativeProfiled(profiling) => {
-                RunSpec::for_graph("cooperative-profiled").profiling(profiling)
-            }
-            Runtime::Threaded => RunSpec::for_graph("threaded").backend(Backend::Threaded),
-        }
+impl Launch {
+    /// Attach a precompiled plan.
+    pub fn with_plan(mut self, plan: CompiledPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attach a tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -85,6 +61,10 @@ pub struct AppRun {
     /// Fraction of time spent in kernels (cooperative runs only; the §5.2
     /// profiling claim).
     pub kernel_fraction: Option<f64>,
+    /// The full runtime report (cooperative and compiled runs; `None` for
+    /// threaded runs, which have no scheduler). `Arc`-wrapped so cloning an
+    /// `AppRun` stays cheap.
+    pub report: Option<Arc<RunReport>>,
 }
 
 /// One ported evaluation application.
@@ -112,21 +92,18 @@ pub trait EvalApp: Send + Sync {
     /// Workload spec for `blocks` input blocks (for the cycle simulator).
     fn workload(&self, blocks: u64) -> WorkloadSpec;
 
+    /// Run `blocks` blocks under `spec` with per-launch resources (cached
+    /// compiled plan, tracer) and verify the output against the scalar
+    /// reference; returns run metrics. This is the full entry point the
+    /// serving layer launches through.
+    fn run_launched(&self, spec: &RunSpec, blocks: u64, launch: Launch) -> Result<AppRun, String>;
+
     /// Run `blocks` blocks under `spec` and verify the output against the
     /// scalar reference; returns run metrics. This is the [`RunSpec`]-native
     /// entry point every harness (bench, conformance, pool) launches
     /// through.
-    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String>;
-
-    /// Run `blocks` blocks on the given functional runtime — the legacy
-    /// entry point, now a shim over [`EvalApp::run_spec`] via
-    /// `RunSpec::from(runtime)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a RunSpec (RunSpec::for_graph(..) or RunSpec::from(runtime)) and call run_spec"
-    )]
-    fn run_functional(&self, runtime: Runtime, blocks: u64) -> Result<AppRun, String> {
-        self.run_spec(&RunSpec::from(runtime), blocks)
+    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
+        self.run_launched(spec, blocks, Launch::default())
     }
 }
 
@@ -163,6 +140,7 @@ pub fn all_apps() -> Vec<Box<dyn EvalApp>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cgsim_runtime::Backend;
 
     #[test]
     fn fnv1a_known_vector() {
@@ -176,22 +154,6 @@ mod tests {
     fn checksums_are_order_sensitive() {
         assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
         assert_ne!(checksum_i16(&[1, 2]), checksum_i16(&[2, 1]));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn runtime_shim_lowers_to_equivalent_specs() {
-        let c = RunSpec::from(Runtime::Cooperative);
-        assert_eq!(c.target(), Backend::Cooperative);
-        let s = RunSpec::from(Runtime::CooperativeSeeded(9));
-        assert_eq!(s.config().schedule, Schedule::Seeded(9));
-        let b = RunSpec::from(Runtime::CooperativeBaseline);
-        assert_eq!(b.config().channels, ChannelMode::Shared);
-        assert_eq!(b.config().profiling, Profiling::Full);
-        let p = RunSpec::from(Runtime::CooperativeProfiled(Profiling::Off));
-        assert_eq!(p.config().profiling, Profiling::Off);
-        let t = RunSpec::from(Runtime::Threaded);
-        assert_eq!(t.target(), Backend::Threaded);
     }
 
     #[test]

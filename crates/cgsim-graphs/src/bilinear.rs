@@ -10,8 +10,8 @@
 //!   interpolated pixels per block; the kernel processes 8 quads per
 //!   vector iteration.
 
-use crate::apps::{checksum_f32, AppRun, EvalApp};
-use crate::support::{measure, run_simple};
+use crate::apps::{checksum_f32, AppRun, EvalApp, Launch};
+use crate::support::{measure, run_simple_launched};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::{AccF32, Vector};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
@@ -191,12 +191,13 @@ impl EvalApp for BilinearApp {
         }
     }
 
-    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
+    fn run_launched(&self, spec: &RunSpec, blocks: u64, launch: Launch) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, spec, input)?;
+        let (got, run): (Vec<f32>, AppRun) =
+            run_simple_launched(&graph, &lib, spec, input, launch)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(

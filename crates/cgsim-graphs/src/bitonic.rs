@@ -9,8 +9,8 @@
 //! * Algorithm: in-register bitonic network of shuffle/min/max/select
 //!   stages ([`aie_intrinsics::ops::bitonic_sort16`]).
 
-use crate::apps::{checksum_f32, AppRun, EvalApp};
-use crate::support::{measure, run_one_in_one_out_f32};
+use crate::apps::{checksum_f32, AppRun, EvalApp, Launch};
+use crate::support::{measure, run_simple_launched};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::ops::bitonic_sort16;
 use aie_intrinsics::Vector;
@@ -132,12 +132,12 @@ impl EvalApp for BitonicApp {
         }
     }
 
-    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
+    fn run_launched(&self, spec: &RunSpec, blocks: u64, launch: Launch) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run) = run_one_in_one_out_f32(&graph, &lib, spec, input)?;
+        let (got, run) = run_simple_launched::<f32, f32>(&graph, &lib, spec, input, launch)?;
         if got != expect {
             return Err(format!(
                 "bitonic output mismatch: {} vs {} elements, first diff at {:?}",

@@ -18,8 +18,8 @@
 //!
 //! * Block size (Table 1): **4096 bytes** = 2048 × i16 samples.
 
-use crate::apps::{checksum_i16, AppRun, EvalApp};
-use crate::support::{measure, run_with_param};
+use crate::apps::{checksum_i16, AppRun, EvalApp, Launch};
+use crate::support::{measure, run_with_param_launched};
 use aie_intrinsics::counter::metered;
 use aie_intrinsics::fixed::{quantize_q15, srs};
 use aie_intrinsics::{AccI48, Vector};
@@ -292,13 +292,14 @@ impl EvalApp for FarrowApp {
         }
     }
 
-    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
+    fn run_launched(&self, spec: &RunSpec, blocks: u64, launch: Launch) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let mu = default_mu();
         let expect = reference(&input, mu);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<i16>, AppRun) = run_with_param(&graph, &lib, spec, input, mu)?;
+        let (got, run): (Vec<i16>, AppRun) =
+            run_with_param_launched(&graph, &lib, spec, input, mu, launch)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(

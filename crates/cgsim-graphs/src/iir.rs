@@ -11,8 +11,8 @@
 //! * Block size (Table 1): **8192 bytes** = 2048 × f32 per kernel
 //!   iteration (one full window).
 
-use crate::apps::{checksum_f32, AppRun, EvalApp};
-use crate::support::{measure, run_simple};
+use crate::apps::{checksum_f32, AppRun, EvalApp, Launch};
+use crate::support::{measure, run_simple_launched};
 use aie_intrinsics::counter::{metered, record_n};
 use aie_intrinsics::{AccF32, OpKind};
 use aie_sim::{KernelCostProfile, PortTraffic, WorkloadSpec};
@@ -244,12 +244,13 @@ impl EvalApp for IirApp {
         }
     }
 
-    fn run_spec(&self, spec: &RunSpec, blocks: u64) -> Result<AppRun, String> {
+    fn run_launched(&self, spec: &RunSpec, blocks: u64, launch: Launch) -> Result<AppRun, String> {
         let input = make_input(blocks);
         let expect = reference(&input);
         let graph = self.graph();
         let lib = self.library();
-        let (got, run): (Vec<f32>, AppRun) = run_simple(&graph, &lib, spec, input)?;
+        let (got, run): (Vec<f32>, AppRun) =
+            run_simple_launched(&graph, &lib, spec, input, launch)?;
         if got != expect {
             let first = got.iter().zip(&expect).position(|(a, b)| a != b);
             return Err(format!(

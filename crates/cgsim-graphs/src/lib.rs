@@ -24,5 +24,5 @@ pub mod farrow;
 pub mod iir;
 pub mod support;
 
-pub use apps::{all_apps, AppRun, EvalApp, Runtime};
+pub use apps::{all_apps, AppRun, EvalApp, Launch};
 pub use cgsim_runtime::{Backend, ChannelMode, Profiling, RunSpec, Schedule};

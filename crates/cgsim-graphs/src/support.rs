@@ -1,13 +1,14 @@
 //! Shared plumbing for the evaluation applications: generic run helpers
 //! over both functional runtimes, and profile bookkeeping.
 
-use crate::apps::AppRun;
+use crate::apps::{AppRun, Launch};
 use aie_sim::KernelCostProfile;
 use cgsim_compiled::{CompileError, CompiledContext};
 use cgsim_core::{FlatGraph, StreamData};
 use cgsim_runtime::{Backend, Interrupt, KernelLibrary, RunSpec, RuntimeContext};
 use cgsim_threads::{ThreadedConfig, ThreadedContext};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Profile bookkeeping helpers.
@@ -33,7 +34,24 @@ pub fn run_simple<TIn: StreamData, TOut: StreamData>(
     spec: &RunSpec,
     input: Vec<TIn>,
 ) -> Result<(Vec<TOut>, AppRun), String> {
-    run_with_inputs::<TOut>(graph, lib, spec, vec![Box::new(move |f| f.feed(0, input))])
+    run_simple_launched(graph, lib, spec, input, Launch::default())
+}
+
+/// [`run_simple`] with per-launch resources (cached plan, tracer).
+pub fn run_simple_launched<TIn: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    spec: &RunSpec,
+    input: Vec<TIn>,
+    launch: Launch,
+) -> Result<(Vec<TOut>, AppRun), String> {
+    run_with_inputs::<TOut>(
+        graph,
+        lib,
+        spec,
+        vec![Box::new(move |f| f.feed(0, input))],
+        launch,
+    )
 }
 
 /// Run a graph whose input 0 is a data stream and input 1 a runtime
@@ -45,6 +63,18 @@ pub fn run_with_param<TIn: StreamData, P: StreamData, TOut: StreamData>(
     input: Vec<TIn>,
     param: P,
 ) -> Result<(Vec<TOut>, AppRun), String> {
+    run_with_param_launched(graph, lib, spec, input, param, Launch::default())
+}
+
+/// [`run_with_param`] with per-launch resources (cached plan, tracer).
+pub fn run_with_param_launched<TIn: StreamData, P: StreamData, TOut: StreamData>(
+    graph: &FlatGraph,
+    lib: &KernelLibrary,
+    spec: &RunSpec,
+    input: Vec<TIn>,
+    param: P,
+    launch: Launch,
+) -> Result<(Vec<TOut>, AppRun), String> {
     run_with_inputs::<TOut>(
         graph,
         lib,
@@ -53,6 +83,7 @@ pub fn run_with_param<TIn: StreamData, P: StreamData, TOut: StreamData>(
             Box::new(move |f| f.feed(0, input)),
             Box::new(move |f| f.feed_param(1, param)),
         ],
+        launch,
     )
 }
 
@@ -160,10 +191,13 @@ fn run_with_inputs<TOut: StreamData>(
     lib: &KernelLibrary,
     spec: &RunSpec,
     feeds: Vec<FeedFn>,
+    mut launch: Launch,
 ) -> Result<(Vec<TOut>, AppRun), String> {
     match spec.target() {
         Backend::Cooperative => {
-            let mut ctx = RuntimeContext::from_spec(graph, lib, spec).map_err(|e| e.to_string())?;
+            let mut ctx =
+                RuntimeContext::from_spec_with_tracer(graph, lib, spec, launch.tracer.clone())
+                    .map_err(|e| e.to_string())?;
             for f in feeds {
                 f(&mut CoopFeeder(&mut ctx)).map_err(|e| e.to_string())?;
             }
@@ -185,27 +219,53 @@ fn run_with_inputs<TOut: StreamData>(
             if !report.drained() {
                 return Err(format!("graph stalled: {:?}", report.stalled));
             }
+            let kernel_fraction = Some(report.exec.kernel_fraction());
             Ok((
                 out.take(),
                 AppRun {
                     wall_time,
                     out_elems: 0,
                     checksum: 0,
-                    kernel_fraction: Some(report.exec.kernel_fraction()),
+                    kernel_fraction,
+                    report: Some(Arc::new(report)),
                 },
             ))
         }
         Backend::Compiled => {
-            // Compile the static schedule; graphs outside the statically
-            // schedulable class (merges, rate imbalance, cycles, fault
-            // plans) fall back gracefully to the cooperative engine.
-            let mut ctx = match CompiledContext::from_spec(graph, lib, spec) {
-                Ok(ctx) => ctx,
-                Err(CompileError::NotStaticallySchedulable { .. }) => {
-                    let coop = spec.clone().backend(Backend::Cooperative);
-                    return run_with_inputs::<TOut>(graph, lib, &coop, feeds);
+            // Instantiate the cached plan when the launch carries one
+            // (fault plans disqualify a graph from static scheduling, so a
+            // cached plan is only honoured for fault-free specs); otherwise
+            // compile the static schedule here. Graphs outside the
+            // statically schedulable class (merges, rate imbalance, cycles,
+            // fault plans) fall back gracefully to the cooperative engine.
+            let cached = match launch.plan.take() {
+                Some(plan) if spec.config().faults.is_none() => {
+                    let mut ctx = CompiledContext::with_plan(graph, lib, plan, *spec.config());
+                    ctx.set_tracer(launch.tracer.clone());
+                    // `with_plan` does not arm the deadline; mirror
+                    // `from_spec` so the budget still applies.
+                    if let Some(budget) = spec.deadline_budget() {
+                        ctx.set_deadline(Instant::now() + budget);
+                    }
+                    Some(ctx)
                 }
-                Err(e) => return Err(e.to_string()),
+                _ => None,
+            };
+            let mut ctx = match cached {
+                Some(ctx) => ctx,
+                None => match CompiledContext::from_spec_with_tracer(
+                    graph,
+                    lib,
+                    spec,
+                    launch.tracer.clone(),
+                ) {
+                    Ok(ctx) => ctx,
+                    Err(CompileError::NotStaticallySchedulable { .. }) => {
+                        let coop = spec.clone().backend(Backend::Cooperative);
+                        return run_with_inputs::<TOut>(graph, lib, &coop, feeds, launch);
+                    }
+                    Err(e) => return Err(e.to_string()),
+                },
             };
             for f in feeds {
                 f(&mut CompiledFeeder(&mut ctx)).map_err(|e| e.to_string())?;
@@ -228,13 +288,15 @@ fn run_with_inputs<TOut: StreamData>(
             if !report.drained() {
                 return Err(format!("graph stalled: {:?}", report.stalled));
             }
+            let kernel_fraction = Some(report.exec.kernel_fraction());
             Ok((
                 out.take(),
                 AppRun {
                     wall_time,
                     out_elems: 0,
                     checksum: 0,
-                    kernel_fraction: Some(report.exec.kernel_fraction()),
+                    kernel_fraction,
+                    report: Some(Arc::new(report)),
                 },
             ))
         }
@@ -260,6 +322,7 @@ fn run_with_inputs<TOut: StreamData>(
                     out_elems: 0,
                     checksum: 0,
                     kernel_fraction: None,
+                    report: None,
                 },
             ))
         }

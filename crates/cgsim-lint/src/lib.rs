@@ -55,7 +55,8 @@ use cgsim_core::FlatGraph;
 /// This is the policy knob shared by every lint gate in the workspace: the
 /// runtime's ahead-of-run verification (`cgsim-runtime`), the deployment
 /// gate (`aie-sim`), and the `RunSpec` launch API all consume it.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum VerifyPolicy {
     /// Refuse to proceed (`cgsim_core::GraphError::LintRejected`, code
     /// `CG012`). The default: a graph the verifier can prove broken —

@@ -316,6 +316,15 @@ impl PoolObserver {
         }
     }
 
+    /// Clone the timeline as it stands right now, without stopping the
+    /// sampling thread (live `/metrics` reads).
+    pub(crate) fn snapshot(&self) -> ObsTimeline {
+        self.timeline
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Signal the thread to stop, join it, and return the finished
     /// timeline.
     pub(crate) fn finish(mut self) -> ObsTimeline {

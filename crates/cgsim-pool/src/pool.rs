@@ -132,6 +132,25 @@ impl Pool {
         self.shared.deques.len()
     }
 
+    /// Live snapshot of the pool's metrics registry (counters, gauges,
+    /// histograms) — what [`Pool::shutdown`] would embed in its report,
+    /// taken without stopping the pool. Feeds the serving layer's
+    /// `/metrics` endpoint.
+    pub fn metrics(&self) -> cgsim_trace::MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Jobs admitted but not yet claimed by a worker, right now.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.queued_count()
+    }
+
+    /// Live snapshot of the observer timeline (occupancy samples, stall
+    /// diagnostics) when an observer is configured; `None` otherwise.
+    pub fn observer_timeline(&self) -> Option<crate::observer::ObsTimeline> {
+        self.observer.as_ref().map(PoolObserver::snapshot)
+    }
+
     /// Submit one job. Blocks or rejects on a full queue according to the
     /// pool's [`Admission`] policy; the job's deadline budget (if any)
     /// starts counting *now*, so time blocked here and queued is spent

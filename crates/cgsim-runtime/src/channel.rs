@@ -35,6 +35,8 @@ use std::task::{Context, Poll, Waker};
 
 /// Selects the storage policy guarding a channel's shared state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "snake_case"))]
 pub enum ChannelMode {
     /// Mutex-guarded state, safe for endpoints on any thread. Used by the
     /// thread-per-kernel simulator (`cgsim-threads`) and the historical
@@ -51,6 +53,7 @@ pub enum ChannelMode {
 /// Counters describing channel activity, used for the paper's §5.2
 /// synchronisation-overhead analysis.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelStats {
     /// Elements accepted from producers.
     pub pushes: u64,

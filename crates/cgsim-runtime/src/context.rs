@@ -75,6 +75,61 @@ impl Default for RuntimeConfig {
     }
 }
 
+// Hand-written wire impls: the derive cannot express "absent field means
+// the documented default" for a `#[non_exhaustive]` config whose defaults
+// are not `Default::default()` of each field type, and starting from
+// `RuntimeConfig::default()` keeps old payloads valid as tunables grow.
+#[cfg(feature = "serde")]
+mod config_wire {
+    use super::RuntimeConfig;
+    use serde::{get_field, DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for RuntimeConfig {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("default_depth".to_string(), self.default_depth.to_value()),
+                ("max_polls".to_string(), self.max_polls.to_value()),
+                ("schedule".to_string(), self.schedule.to_value()),
+                ("faults".to_string(), self.faults.to_value()),
+                ("verify".to_string(), self.verify.to_value()),
+                ("channels".to_string(), self.channels.to_value()),
+                ("profiling".to_string(), self.profiling.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for RuntimeConfig {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let Value::Object(obj) = v else {
+                return Err(DeError::expected("object", "RuntimeConfig"));
+            };
+            let mut cfg = RuntimeConfig::default();
+            if let Some(v) = get_field(obj, "default_depth") {
+                cfg.default_depth = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "max_polls") {
+                cfg.max_polls = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "schedule") {
+                cfg.schedule = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "faults") {
+                cfg.faults = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "verify") {
+                cfg.verify = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "channels") {
+                cfg.channels = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "profiling") {
+                cfg.profiling = Deserialize::from_value(v)?;
+            }
+            Ok(cfg)
+        }
+    }
+}
+
 impl RuntimeConfig {
     /// The default configuration running under `schedule`.
     pub fn scheduled(schedule: Schedule) -> Self {

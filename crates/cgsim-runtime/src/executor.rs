@@ -112,6 +112,8 @@ impl SchedulePolicy for SeededPolicy {
 /// Serializable description of a schedule policy — the plumbing-friendly
 /// (`Copy`) form carried by `RuntimeConfig` and printed in repro commands.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "snake_case"))]
 pub enum Schedule {
     /// Poll the longest-waiting ready task first (deterministic baseline).
     #[default]
@@ -142,6 +144,7 @@ impl Schedule {
 /// the conformance harness asserts outputs are bit-identical under any
 /// plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FaultPlan {
     /// PRNG seed; the same plan replays the same deferral sequence.
     pub seed: u64,
@@ -214,6 +217,8 @@ pub const INTERRUPT_CHECK_EVERY: u64 = 64;
 /// times every poll (the pre-optimisation behaviour, exact per-task busy
 /// times); `Off` removes timing entirely for pure-throughput runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "snake_case"))]
 pub enum Profiling {
     /// No per-poll timing: `kernel_time` and per-task busy times stay zero.
     Off,

@@ -34,6 +34,8 @@ use std::time::Duration;
 
 /// Which execution engine a [`RunSpec`] targets.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(rename_all = "snake_case"))]
 pub enum Backend {
     /// The cooperative single-threaded simulator (`cgsim`, the paper's
     /// primary engine).
@@ -189,6 +191,58 @@ impl RunSpec {
     }
 }
 
+// Versioned wire format for `RunSpec` (the `cgsim-serve` request schema).
+// Hand-written so absent fields fall back to builder defaults and the
+// deadline crosses the wire as integer nanoseconds rather than an opaque
+// `Duration` encoding.
+#[cfg(feature = "serde")]
+mod wire {
+    use super::RunSpec;
+    use serde::{get_field, DeError, Deserialize, Serialize, Value};
+    use std::time::Duration;
+
+    impl Serialize for RunSpec {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("label".to_string(), self.label.to_value()),
+                ("backend".to_string(), self.backend.to_value()),
+                ("config".to_string(), self.config.to_value()),
+                (
+                    "deadline_ns".to_string(),
+                    self.deadline.map(|d| d.as_nanos() as u64).to_value(),
+                ),
+                ("cost".to_string(), self.cost.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for RunSpec {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let Value::Object(obj) = v else {
+                return Err(DeError::expected("object", "RunSpec"));
+            };
+            let mut spec = RunSpec::default();
+            if let Some(v) = get_field(obj, "label") {
+                spec.label = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "backend") {
+                spec.backend = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "config") {
+                spec.config = Deserialize::from_value(v)?;
+            }
+            if let Some(v) = get_field(obj, "deadline_ns") {
+                let ns: Option<u64> = Deserialize::from_value(v)?;
+                spec.deadline = ns.map(Duration::from_nanos);
+            }
+            if let Some(v) = get_field(obj, "cost") {
+                spec.cost = Deserialize::from_value(v)?;
+            }
+            Ok(spec)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +293,44 @@ mod tests {
         let spec = RunSpec::for_graph("x").with_config(cfg);
         assert_eq!(spec.config().max_polls, Some(99));
         assert_eq!(spec.config().schedule, Schedule::Seeded(3));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn wire_round_trip_preserves_every_axis() {
+        let spec = RunSpec::for_graph("wire")
+            .backend(Backend::Compiled)
+            .schedule(Schedule::Seeded(11))
+            .channels(ChannelMode::Shared)
+            .profiling(Profiling::Full)
+            .verify(VerifyPolicy::Warn)
+            .faults(FaultPlan::new(3, 10))
+            .deadline(Duration::from_millis(125))
+            .max_polls(4_096)
+            .default_depth(16);
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: RunSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.label(), spec.label());
+        assert_eq!(back.target(), spec.target());
+        assert_eq!(back.deadline_budget(), spec.deadline_budget());
+        let (a, b) = (back.config(), spec.config());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.channels, b.channels);
+        assert_eq!(a.profiling, b.profiling);
+        assert_eq!(a.verify, b.verify);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.max_polls, b.max_polls);
+        assert_eq!(a.default_depth, b.default_depth);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn wire_absent_fields_fall_back_to_defaults() {
+        let spec: RunSpec = serde_json::from_str(r#"{"label":"sparse"}"#).expect("deserialize");
+        assert_eq!(spec.label(), "sparse");
+        assert_eq!(spec.target(), Backend::Cooperative);
+        assert_eq!(spec.deadline_budget(), None);
+        assert_eq!(spec.config().default_depth, 64);
+        assert_eq!(spec.config().verify, VerifyPolicy::Deny);
     }
 }

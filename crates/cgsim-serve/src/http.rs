@@ -1,0 +1,223 @@
+//! Minimal HTTP/1.1 message framing over blocking streams.
+//!
+//! The serve daemon needs exactly four things from HTTP: a request line, a
+//! few headers, a `Content-Length` body and a plain response — no
+//! keep-alive, no chunked encoding, no TLS. Hand-rolling that over
+//! `std::io` keeps the daemon dependency-free; every response closes the
+//! connection (`Connection: close`), which clients like `curl` handle
+//! natively.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, without query string.
+    pub path: String,
+    /// Raw header pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header or length.
+    BadRequest(String),
+    /// Head or body exceeded the configured limit.
+    TooLarge,
+    /// Transport error (including read timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(what) => write!(f, "bad request: {what}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Read one request from `stream`, capping the body at `max_body` bytes.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Read byte-wise until the blank line; the head is small and the
+    // transport is a local socket, so simplicity beats buffering here.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest("connection closed mid-head".into()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    let head =
+        String::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing path".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Write a complete response and flush. `extra` headers are appended
+/// verbatim (e.g. `Retry-After`).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/run?x=1 HTTP/1.1\r\nHost: localhost\r\n\
+                    X-Client-Id: alice\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut &raw[..], 1024).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.header("x-client-id"), Some("alice"));
+        assert_eq!(req.header("X-CLIENT-ID"), Some("alice"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..], 1024).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 10),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        // Missing path in the request line.
+        let raw = b"GET\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 10),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Header line without a colon.
+        let raw = b"GET / HTTP/1.1\r\nnot-a-header\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], 10),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Truncated head.
+        let raw = b"GET / HT";
+        assert!(matches!(
+            read_request(&mut &raw[..], 10),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "Too Many Requests",
+            "application/json",
+            b"{}",
+            &[("Retry-After", "2".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

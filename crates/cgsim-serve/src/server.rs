@@ -1,0 +1,808 @@
+//! The daemon: acceptor pool, routing, admission pipeline and drain.
+//!
+//! Request lifecycle for `POST /v1/run`:
+//!
+//! 1. parse + version-check the [`RunRequest`];
+//! 2. per-client token bucket (`429 RATE_LIMITED` with `Retry-After`);
+//! 3. compiled-graph cache lookup by digest (miss → parse / lint /
+//!    flatten / compile once, then insert);
+//! 4. deny-by-default lint gate — `CG0xx` findings go back to the client
+//!    in the JSON error body (`422`);
+//! 5. round-robin fair in-flight slot, then submission to the bounded
+//!    `cgsim-pool` (`429 COST_EXCEEDED` / `503 QUEUE_FULL`);
+//! 6. the job executes on a pool worker; the response is the unified
+//!    [`ServeReport`].
+//!
+//! Shutdown is graceful: `/healthz` flips to 503, acceptors finish their
+//! in-flight requests and exit, the pool drains, and the final
+//! [`PoolReport`](cgsim_pool::PoolReport) is returned as a `ServeReport`.
+
+use crate::cache::{digest_app, digest_manifest, CacheEntry, CachePayload, PlanCache};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::limit::{FairQueue, RateLimit, RateLimiter};
+use crate::report::ServeReport;
+use crate::wire::{ErrorBody, GraphSource, RunRequest, WIRE_VERSION};
+use aie_sim::{DeployOptions, SimReport, VerifyPolicy};
+use cgsim_graphs::{all_apps, AppRun, Launch};
+use cgsim_lint::{lint_graph, LintConfig, Severity};
+use cgsim_pool::{
+    Admission, Job, JobOutcome, JobOutput, ObserverConfig, Pool, PoolConfig, SubmitError,
+};
+use cgsim_runtime::Backend;
+use cgsim_trace::export::prometheus;
+use cgsim_trace::{Counter, Histogram, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many kept traces the trace store retains.
+const TRACE_STORE_CAPACITY: usize = 16;
+
+/// Everything configurable about one server instance.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Acceptor threads (each handles one connection at a time).
+    pub http_workers: usize,
+    /// Simulation pool worker threads.
+    pub pool_workers: usize,
+    /// Pool admission queue capacity.
+    pub queue_capacity: usize,
+    /// Predicted-poll admission ceiling (`429 COST_EXCEEDED` above it).
+    pub cost_limit: Option<u64>,
+    /// Compiled-graph cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Per-client token bucket; `None` disables rate limiting.
+    pub rate: Option<RateLimit>,
+    /// Concurrent runs admitted past the fair queue.
+    pub max_inflight: usize,
+    /// Run the pool observer/stall-watchdog thread.
+    pub observer: bool,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            http_workers: 4,
+            pool_workers: 2,
+            queue_capacity: 64,
+            cost_limit: None,
+            cache_capacity: 8,
+            rate: None,
+            max_inflight: 4,
+            observer: false,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Set the acceptor-thread count.
+    pub fn with_http_workers(mut self, workers: usize) -> Self {
+        self.http_workers = workers.max(1);
+        self
+    }
+
+    /// Set the pool worker count.
+    pub fn with_pool_workers(mut self, workers: usize) -> Self {
+        self.pool_workers = workers.max(1);
+        self
+    }
+
+    /// Set the pool admission queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the predicted-cost admission ceiling.
+    pub fn with_cost_limit(mut self, polls: u64) -> Self {
+        self.cost_limit = Some(polls);
+        self
+    }
+
+    /// Set the compiled-graph cache capacity.
+    pub fn with_cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries.max(1);
+        self
+    }
+
+    /// Enable per-client rate limiting.
+    pub fn with_rate(mut self, rate: RateLimit) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Set the fair-queue in-flight ceiling.
+    pub fn with_max_inflight(mut self, inflight: usize) -> Self {
+        self.max_inflight = inflight.max(1);
+        self
+    }
+
+    /// Enable the pool observer / stall watchdog.
+    pub fn with_observer(mut self, observer: bool) -> Self {
+        self.observer = observer;
+        self
+    }
+}
+
+struct TraceStore {
+    next_id: u64,
+    items: VecDeque<(u64, String)>,
+}
+
+impl TraceStore {
+    fn keep(&mut self, trace: String) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.items.push_back((id, trace));
+        while self.items.len() > TRACE_STORE_CAPACITY {
+            self.items.pop_front();
+        }
+        id
+    }
+
+    fn get(&self, id: u64) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, t)| t.as_str())
+    }
+}
+
+/// Shared server state.
+struct Inner {
+    config: ServeConfig,
+    /// `None` once draining has taken the pool for shutdown. Guarded by a
+    /// mutex rather than `Arc::try_unwrap` gymnastics; submits are
+    /// non-blocking (`Admission::Reject`), so the critical section is
+    /// short.
+    pool: Mutex<Option<Pool>>,
+    cache: PlanCache,
+    limiter: Option<RateLimiter>,
+    fair: FairQueue,
+    metrics: MetricsRegistry,
+    traces: Mutex<TraceStore>,
+    draining: AtomicBool,
+    requests: Counter,
+    runs_ok: Counter,
+    runs_failed: Counter,
+    lint_rejected: Counter,
+    request_ns: Histogram,
+}
+
+/// One HTTP response, routed back through [`write_response`].
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    fn json(status: u16, reason: &'static str, body: String) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, body: ErrorBody) -> Self {
+        Response::json(status, reason, body.to_json())
+    }
+
+    fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into().into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// The serve daemon. [`Server::start`] binds, spawns the acceptor pool and
+/// returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr`, start the pool and acceptors, and return the
+    /// running server's handle.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let metrics = MetricsRegistry::default();
+        let cache = PlanCache::new(config.cache_capacity, &metrics);
+        let limiter = config.rate.map(|rate| RateLimiter::new(rate, &metrics));
+        let fair = FairQueue::new(config.max_inflight);
+
+        let mut pool_config = PoolConfig::default()
+            .with_workers(config.pool_workers)
+            .with_queue_capacity(config.queue_capacity)
+            .with_admission(Admission::Reject);
+        if let Some(limit) = config.cost_limit {
+            pool_config = pool_config.with_cost_limit(limit);
+        }
+        if config.observer {
+            pool_config = pool_config.with_observer(ObserverConfig::default());
+        }
+        let pool = Pool::new(pool_config);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            requests: metrics.counter("serve_requests_total", &[]),
+            runs_ok: metrics.counter("serve_runs_ok", &[]),
+            runs_failed: metrics.counter("serve_runs_failed", &[]),
+            lint_rejected: metrics.counter("serve_lint_rejected", &[]),
+            request_ns: metrics.histogram("serve_request_ns", &[]),
+            pool: Mutex::new(Some(pool)),
+            cache,
+            limiter,
+            fair,
+            metrics,
+            traces: Mutex::new(TraceStore {
+                next_id: 0,
+                items: VecDeque::new(),
+            }),
+            draining: AtomicBool::new(false),
+            config,
+        });
+
+        let mut acceptors = Vec::new();
+        for i in 0..inner.config.http_workers {
+            let listener = listener.try_clone()?;
+            let inner = Arc::clone(&inner);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-accept-{i}"))
+                    .spawn(move || accept_loop(&inner, &listener))
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        Ok(ServerHandle {
+            inner,
+            addr,
+            acceptors,
+        })
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, shut the
+    /// pool down, and return the final pool-level report.
+    pub fn shutdown(self) -> ServeReport {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let mut acceptors = self.acceptors;
+        // Acceptors may be mid-request; nudge each pass through `accept`
+        // with a throwaway connection until every thread has exited.
+        while !acceptors.is_empty() {
+            let _ = TcpStream::connect(self.addr);
+            let (finished, running): (Vec<_>, Vec<_>) =
+                acceptors.into_iter().partition(|h| h.is_finished());
+            for handle in finished {
+                let _ = handle.join();
+            }
+            acceptors = running;
+            if !acceptors.is_empty() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let pool = self
+            .inner
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match pool {
+            Some(pool) => ServeReport::from(&pool.shutdown()),
+            None => ServeReport::default(),
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    loop {
+        if inner.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if inner.draining.load(Ordering::SeqCst) {
+            // The wake-up connection from `shutdown`.
+            break;
+        }
+        handle_conn(inner, stream, peer);
+    }
+}
+
+fn handle_conn(inner: &Arc<Inner>, mut stream: TcpStream, peer: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let started = Instant::now();
+    let request = match read_request(&mut stream, inner.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::TooLarge) => {
+            let body = ErrorBody::new("TOO_LARGE", "request exceeds the configured size limit");
+            let _ = write_response(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                "application/json",
+                body.to_json().as_bytes(),
+                &[],
+            );
+            return;
+        }
+        Err(HttpError::BadRequest(what)) => {
+            let body = ErrorBody::new("BAD_REQUEST", what);
+            let _ = write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                "application/json",
+                body.to_json().as_bytes(),
+                &[],
+            );
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    inner.requests.inc();
+    let response = route(inner, &request, peer);
+    inner
+        .request_ns
+        .observe(started.elapsed().as_nanos() as u64);
+    let _ = write_response(
+        &mut stream,
+        response.status,
+        response.reason,
+        response.content_type,
+        &response.body,
+        &response
+            .extra
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn route(inner: &Arc<Inner>, request: &Request, peer: SocketAddr) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if inner.draining.load(Ordering::SeqCst) {
+                Response::text(503, "Service Unavailable", "draining\n")
+            } else {
+                Response::text(200, "OK", "ok\n")
+            }
+        }
+        ("GET", "/metrics") => metrics_page(inner),
+        ("POST", "/v1/run") => handle_run(inner, request, peer),
+        ("POST", "/v1/cache/flush") => {
+            let flushed = inner.cache.flush();
+            Response::json(200, "OK", format!("{{\"flushed\":{flushed}}}"))
+        }
+        ("GET", path) if path.starts_with("/v1/trace/") => {
+            let id = path["/v1/trace/".len()..].parse::<u64>().ok();
+            let traces = inner.traces.lock().unwrap_or_else(|e| e.into_inner());
+            match id.and_then(|id| traces.get(id)) {
+                Some(trace) => Response::json(200, "OK", trace.to_string()),
+                None => Response::error(
+                    404,
+                    "Not Found",
+                    ErrorBody::new("UNKNOWN_TRACE", "no kept trace under that id"),
+                ),
+            }
+        }
+        (method, path) => Response::error(
+            404,
+            "Not Found",
+            ErrorBody::new("NOT_FOUND", format!("no route for {method} {path}")),
+        ),
+    }
+}
+
+/// `/metrics`: serve-layer registry plus the live pool registry, one
+/// Prometheus exposition. Gauges are refreshed from the pool observer at
+/// scrape time, so the stall watchdog's view is visible to scrapers.
+fn metrics_page(inner: &Arc<Inner>) -> Response {
+    let queue_gauge = inner.metrics.gauge("serve_pool_queue_depth", &[]);
+    let inflight_gauge = inner.metrics.gauge("serve_inflight", &[]);
+    let cache_gauge = inner.metrics.gauge("serve_cache_entries", &[]);
+    let obs_samples = inner.metrics.gauge("serve_observer_samples", &[]);
+    let obs_stalls = inner.metrics.gauge("serve_observer_stalls", &[]);
+    inflight_gauge.set(inner.fair.inflight() as i64);
+    cache_gauge.set(inner.cache.len() as i64);
+    let pool_text = {
+        let guard = inner.pool.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(pool) => {
+                queue_gauge.set(pool.queued_jobs() as i64);
+                if let Some(timeline) = pool.observer_timeline() {
+                    obs_samples.set(timeline.len() as i64);
+                    obs_stalls.set(timeline.stalls().len() as i64);
+                }
+                prometheus::render(&pool.metrics())
+            }
+            None => String::new(),
+        }
+    };
+    let mut text = prometheus::render(&inner.metrics.snapshot());
+    text.push_str(&pool_text);
+    Response::text(200, "OK", text)
+}
+
+/// Resolve the client identity for rate limiting / fair queueing: the
+/// `X-Client-Id` header when present, else the peer IP.
+fn client_of(request: &Request, peer: SocketAddr) -> String {
+    request
+        .header("x-client-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| peer.ip().to_string())
+}
+
+fn engine_of(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Cooperative => "cooperative",
+        Backend::Threaded => "threaded",
+        Backend::Compiled => "compiled",
+    }
+}
+
+/// Build (or reject) the cache entry for a graph source.
+fn build_entry(digest: u64, source: &GraphSource) -> Result<CacheEntry, Response> {
+    match source {
+        GraphSource::App(name) => {
+            let Some(app) = all_apps().into_iter().find(|a| a.name() == name.as_str()) else {
+                let known: Vec<&str> = all_apps().iter().map(|a| a.name()).collect();
+                return Err(Response::error(
+                    404,
+                    "Not Found",
+                    ErrorBody::new(
+                        "UNKNOWN_APP",
+                        format!("no app `{name}` (known: {})", known.join(", ")),
+                    ),
+                ));
+            };
+            let graph = app.graph();
+            let lint_config = LintConfig::default();
+            let lint = lint_graph(&graph, &lint_config);
+            let plan = cgsim_compiled::compile(&graph, &lint_config).ok();
+            Ok(CacheEntry {
+                digest,
+                label: name.clone(),
+                lint,
+                payload: CachePayload::App {
+                    name: name.clone(),
+                    graph: Box::new(graph),
+                    plan: plan.map(Box::new),
+                },
+            })
+        }
+        GraphSource::Manifest(manifest) => {
+            if let Err(e) = manifest.graph.validate() {
+                return Err(Response::error(
+                    422,
+                    "Unprocessable Entity",
+                    ErrorBody::new(e.code(), e.message()),
+                ));
+            }
+            let lint = manifest.lint();
+            Ok(CacheEntry {
+                digest,
+                label: manifest.graph.name.clone(),
+                lint,
+                payload: CachePayload::Manifest(manifest.clone()),
+            })
+        }
+    }
+}
+
+fn handle_run(inner: &Arc<Inner>, request: &Request, peer: SocketAddr) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            return Response::error(
+                400,
+                "Bad Request",
+                ErrorBody::new("BAD_REQUEST", "body is not UTF-8"),
+            )
+        }
+    };
+    let run_request: RunRequest = match serde_json::from_str(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return Response::error(
+                400,
+                "Bad Request",
+                ErrorBody::new("BAD_REQUEST", e.to_string()),
+            )
+        }
+    };
+    if run_request.version != WIRE_VERSION {
+        return Response::error(
+            400,
+            "Bad Request",
+            ErrorBody::new(
+                "BAD_VERSION",
+                format!(
+                    "wire version {} unsupported (expected {WIRE_VERSION})",
+                    run_request.version
+                ),
+            ),
+        );
+    }
+
+    let client = client_of(request, peer);
+    if let Some(limiter) = &inner.limiter {
+        if let Err(retry) = limiter.try_acquire(&client) {
+            let mut response = Response::error(
+                429,
+                "Too Many Requests",
+                ErrorBody::new(
+                    "RATE_LIMITED",
+                    format!("client `{client}` over rate budget"),
+                ),
+            );
+            response
+                .extra
+                .push(("Retry-After", retry.as_secs().max(1).to_string()));
+            return response;
+        }
+    }
+
+    let digest = match &run_request.graph {
+        GraphSource::App(name) => digest_app(name),
+        GraphSource::Manifest(manifest) => digest_manifest(manifest),
+    };
+    let entry = match inner.cache.get(digest) {
+        Some(entry) => entry,
+        None => match build_entry(digest, &run_request.graph) {
+            Ok(entry) => inner.cache.insert(entry),
+            Err(response) => return response,
+        },
+    };
+
+    // Deny-by-default lint gate: error findings block execution unless the
+    // request's spec explicitly opts down to Warn/Off.
+    let verify = run_request.spec.config().verify;
+    if verify == VerifyPolicy::Deny && entry.lint.has_errors() {
+        inner.lint_rejected.inc();
+        let findings: Vec<_> = entry.lint.diagnostics.clone();
+        let code = entry
+            .lint
+            .at(Severity::Error)
+            .next()
+            .map(|d| d.code.clone())
+            .unwrap_or_else(|| "CG012".to_string());
+        return Response::error(
+            422,
+            "Unprocessable Entity",
+            ErrorBody::new(
+                code,
+                format!(
+                    "graph `{}` rejected by static verification ({} error finding(s))",
+                    entry.label,
+                    entry.lint.error_count()
+                ),
+            )
+            .with_findings(findings),
+        );
+    }
+
+    // Fair in-flight slot (round-robin across clients), held for the whole
+    // run so a chatty client cannot occupy every pool worker.
+    let _slot = inner.fair.acquire(&client);
+
+    let spec = run_request.spec.clone();
+    let app_slot: Arc<Mutex<Option<AppRun>>> = Arc::new(Mutex::new(None));
+    let sim_slot: Arc<Mutex<Option<SimReport>>> = Arc::new(Mutex::new(None));
+    let job = match &entry.payload {
+        CachePayload::App { name, plan, .. } => {
+            let name = name.clone();
+            let plan = plan.clone().map(|plan| *plan);
+            let blocks = run_request.blocks.max(1);
+            let slot = Arc::clone(&app_slot);
+            Job::new(spec.clone(), move |ctx| {
+                let app = all_apps()
+                    .into_iter()
+                    .find(|a| a.name() == name.as_str())
+                    .ok_or_else(|| format!("app `{name}` vanished"))?;
+                let launch = Launch {
+                    plan,
+                    tracer: ctx.tracer().clone(),
+                };
+                let run = app.run_launched(&ctx.effective_spec(), blocks, launch)?;
+                if let Some(report) = &run.report {
+                    ctx.keep_trace(report.trace.clone());
+                }
+                let output = JobOutput::new(run.checksum).elements(run.out_elems as u64);
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(run);
+                Ok(output)
+            })
+        }
+        CachePayload::Manifest(manifest) => {
+            let manifest = (**manifest).clone();
+            let slot = Arc::clone(&sim_slot);
+            Job::new(spec.clone(), move |_ctx| {
+                // The admission gate already linted; a second Deny here
+                // would double-report, so deploy unchecked.
+                let trace = aie_sim::deploy_manifest(
+                    &manifest,
+                    &DeployOptions::new().verify(VerifyPolicy::Off),
+                )
+                .map_err(|e| format!("[{}] {}", e.code(), e.message()))?;
+                let kinds: HashMap<String, String> = manifest
+                    .graph
+                    .kernels
+                    .iter()
+                    .map(|k| (k.instance.clone(), k.kind.clone()))
+                    .collect();
+                let report =
+                    SimReport::build(&trace, &manifest.profile_map(), &kinds, &manifest.config);
+                let blocks = report.blocks as u64;
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+                Ok(JobOutput::new(0).elements(blocks))
+            })
+        }
+    };
+
+    let submitted = {
+        let guard = inner.pool.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(pool) => pool.submit(job),
+            None => Err(SubmitError::ShuttingDown),
+        }
+    };
+    let handle = match submitted {
+        Ok(handle) => handle,
+        Err(SubmitError::CostExceeded { predicted, limit }) => {
+            return Response::error(
+                429,
+                "Too Many Requests",
+                ErrorBody::new(
+                    "COST_EXCEEDED",
+                    format!("predicted cost {predicted} polls exceeds admission limit {limit}"),
+                ),
+            )
+        }
+        Err(SubmitError::QueueFull) => {
+            return Response::error(
+                503,
+                "Service Unavailable",
+                ErrorBody::new("QUEUE_FULL", "admission queue is full; retry later"),
+            )
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Response::error(
+                503,
+                "Service Unavailable",
+                ErrorBody::new("DRAINING", "server is draining"),
+            )
+        }
+    };
+
+    match handle.wait() {
+        JobOutcome::Completed(result) => {
+            inner.runs_ok.inc();
+            let mut report = if let Some(run) =
+                app_slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+            {
+                let mut report = match &run.report {
+                    Some(run_report) => ServeReport::from(&**run_report),
+                    None => ServeReport::default(),
+                };
+                report.engine = engine_of(spec.target()).into();
+                report.summary.checksum = Some(run.checksum);
+                report.summary.elements = run.out_elems as u64;
+                report.summary.kernel_fraction = run.kernel_fraction;
+                if report.summary.wall_ns == 0 {
+                    report.summary.wall_ns = run.wall_time.as_nanos() as u64;
+                }
+                if run.report.is_none() {
+                    report.summary.drained = true;
+                    report.summary.tasks = 1;
+                    report.summary.completed = 1;
+                }
+                if run_request.trace {
+                    let chrome = match &run.report {
+                        Some(run_report) => run_report.chrome_trace(),
+                        None => cgsim_trace::export::chrome::chrome_trace_json(&result.trace),
+                    };
+                    let id = inner
+                        .traces
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .keep(chrome);
+                    report.trace_ref = Some(format!("/v1/trace/{id}"));
+                }
+                report
+            } else if let Some(sim) = sim_slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                let mut report = ServeReport::from(&sim);
+                if run_request.trace {
+                    let chrome = cgsim_trace::export::chrome::chrome_trace_json(&result.trace);
+                    let id = inner
+                        .traces
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .keep(chrome);
+                    report.trace_ref = Some(format!("/v1/trace/{id}"));
+                }
+                report
+            } else {
+                ServeReport::default()
+            };
+            report.version = crate::report::REPORT_VERSION;
+            report.label = spec.label().to_string();
+            report
+                .counters
+                .push(("wall_ns".into(), result.wall.as_nanos() as u64));
+            report
+                .counters
+                .push(("queue_wait_ns".into(), result.queue_wait.as_nanos() as u64));
+            for (name, value) in &result.output.counters {
+                report.counters.push((name.clone(), *value));
+            }
+            if verify != VerifyPolicy::Off {
+                report.lint = entry.lint.diagnostics.clone();
+            }
+            report.bounds = entry.lint.bounds().cloned();
+            Response::json(200, "OK", report.to_json())
+        }
+        JobOutcome::TimedOut => {
+            inner.runs_failed.inc();
+            Response::error(
+                504,
+                "Gateway Timeout",
+                ErrorBody::new("DEADLINE", "run exceeded its deadline budget"),
+            )
+        }
+        JobOutcome::Cancelled => {
+            inner.runs_failed.inc();
+            Response::error(
+                503,
+                "Service Unavailable",
+                ErrorBody::new("CANCELLED", "run was cancelled"),
+            )
+        }
+        JobOutcome::Failed(error) => {
+            inner.runs_failed.inc();
+            Response::error(
+                500,
+                "Internal Server Error",
+                ErrorBody::new("RUN_FAILED", error),
+            )
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Request-side wire types.
+//!
+//! Everything a client sends is a JSON document with an explicit `version`
+//! field; unknown fields are ignored and absent optional fields fall back
+//! to the same defaults the in-process builder API uses, so a `RunSpec`
+//! built in Rust and one parsed off the wire behave identically.
+
+use aie_sim::DeployManifest;
+use cgsim_lint::Diagnostic;
+use cgsim_runtime::RunSpec;
+use serde::{Deserialize, Serialize};
+
+/// Current request wire-format version. Bump only on incompatible change;
+/// the server rejects other versions with `BAD_VERSION`.
+pub const WIRE_VERSION: u32 = 1;
+
+fn wire_version() -> u32 {
+    WIRE_VERSION
+}
+
+fn default_blocks() -> u64 {
+    4
+}
+
+/// The graph a run request targets.
+///
+/// Externally tagged: `{"app": "bitonic"}` names one of the built-in
+/// evaluation applications (paper Table 1); `{"manifest": {...}}` carries a
+/// full `aie-sim` deployment manifest inline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum GraphSource {
+    /// A built-in evaluation app, by `EvalApp::name`.
+    App(String),
+    /// An inline deployment manifest (graph + cost profiles + workload),
+    /// simulated on the `aie-sim` cycle engine. Boxed: a manifest is two
+    /// orders of magnitude larger than an app name.
+    Manifest(Box<DeployManifest>),
+}
+
+/// Body of `POST /v1/run`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRequest {
+    /// Wire-format version; defaults to [`WIRE_VERSION`] when absent.
+    #[serde(default = "wire_version")]
+    pub version: u32,
+    /// What to run.
+    pub graph: GraphSource,
+    /// Full run specification (backend, schedule, deadline, verify policy
+    /// …); absent fields take the builder defaults.
+    #[serde(default)]
+    pub spec: RunSpec,
+    /// Input blocks to feed (apps) or simulate (manifests ignore this and
+    /// use their embedded workload).
+    #[serde(default = "default_blocks")]
+    pub blocks: u64,
+    /// Keep the run's Chrome trace server-side and return a `trace_ref`
+    /// pointing at it.
+    #[serde(default)]
+    pub trace: bool,
+}
+
+/// JSON error body every non-2xx response carries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine error code: a serve-layer code (`BAD_REQUEST`,
+    /// `RATE_LIMITED`, `QUEUE_FULL`, …) or a lint diagnostic code
+    /// (`CG0xx`) when the graph itself was rejected.
+    pub code: String,
+    /// Human-readable description.
+    pub error: String,
+    /// Lint findings, populated when the admission gate rejected the
+    /// graph.
+    #[serde(default)]
+    pub findings: Vec<Diagnostic>,
+}
+
+impl ErrorBody {
+    /// An error with no findings.
+    pub fn new(code: impl Into<String>, error: impl Into<String>) -> Self {
+        ErrorBody {
+            code: code.into(),
+            error: error.into(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Attach lint findings.
+    pub fn with_findings(mut self, findings: Vec<Diagnostic>) -> Self {
+        self.findings = findings;
+        self
+    }
+
+    /// Serialize for the response body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ErrorBody serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req: RunRequest =
+            serde_json::from_str(r#"{"graph":{"app":"bitonic"}}"#).expect("minimal request parses");
+        assert_eq!(req.version, WIRE_VERSION);
+        assert_eq!(req.graph, GraphSource::App("bitonic".into()));
+        assert_eq!(req.blocks, 4);
+        assert!(!req.trace);
+        assert_eq!(req.spec.label(), RunSpec::default().label());
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = RunRequest {
+            version: WIRE_VERSION,
+            graph: GraphSource::App("farrow".into()),
+            spec: RunSpec::for_graph("wire-rt").backend(cgsim_runtime::Backend::Compiled),
+            blocks: 9,
+            trace: true,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: RunRequest = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.graph, req.graph);
+        assert_eq!(back.blocks, 9);
+        assert!(back.trace);
+        assert_eq!(back.spec.label(), "wire-rt");
+        assert_eq!(back.spec.target(), cgsim_runtime::Backend::Compiled);
+    }
+
+    #[test]
+    fn error_body_round_trips() {
+        let body = ErrorBody::new("CG020", "deadlock");
+        let back: ErrorBody = serde_json::from_str(&body.to_json()).unwrap();
+        assert_eq!(back.code, "CG020");
+        assert_eq!(back.error, "deadlock");
+        assert!(back.findings.is_empty());
+    }
+
+    #[test]
+    fn bad_graph_source_is_rejected() {
+        assert!(serde_json::from_str::<RunRequest>(r#"{"graph":{"nope":1}}"#).is_err());
+        assert!(serde_json::from_str::<RunRequest>(r#"{}"#).is_err());
+    }
+}

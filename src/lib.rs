@@ -13,6 +13,7 @@
 //! * [`graphs`] — the four ported evaluation applications
 //! * [`lint`] — ahead-of-run static graph verifier
 //! * [`pool`] — parallel multi-instance batch engine
+//! * [`serve`] — simulation-as-a-service HTTP daemon
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub use cgsim_graphs as graphs;
 pub use cgsim_lint as lint;
 pub use cgsim_pool as pool;
 pub use cgsim_runtime as runtime;
+pub use cgsim_serve as serve;
 pub use cgsim_threads as threads;
 pub use cgsim_trace as trace;
 

@@ -5,7 +5,7 @@
 //! evaluation-app counterpart of the random-graph `conform` harness
 //! (`cargo run -p cgsim-check --bin conform -- --seed S --cases N`).
 
-use cgsim::graphs::{all_apps, Backend, Profiling, RunSpec, Runtime, Schedule};
+use cgsim::graphs::{all_apps, Backend, Launch, Profiling, RunSpec, Schedule};
 use cgsim::runtime::ChannelMode;
 
 /// ≥ 8 per the conformance harness design; spread out so neighbouring seeds
@@ -127,16 +127,20 @@ fn same_schedule_seed_is_replayable() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_runtime_selectors_still_run_through_the_shim() {
-    // The deprecated `Runtime` variants must stay behaviourally identical to
-    // their RunSpec lowerings until removal.
+fn cached_plan_launch_matches_fresh_compile() {
+    // Launching `Backend::Compiled` with a precompiled plan (the serving
+    // layer's cache path) must be bit-identical to compiling per run.
     for app in all_apps() {
-        let via_shim = app
-            .run_functional(Runtime::CooperativeSeeded(7), 2)
-            .unwrap();
-        let via_spec = app.run_spec(&seeded(7), 2).unwrap();
-        assert_eq!(via_shim.checksum, via_spec.checksum, "{}", app.name());
-        assert_eq!(via_shim.out_elems, via_spec.out_elems);
+        let spec = RunSpec::for_graph(app.name()).backend(Backend::Compiled);
+        let graph = app.graph();
+        let plan = cgsim::compiled::compile(&graph, &cgsim::lint::LintConfig::default())
+            .unwrap_or_else(|e| panic!("{} must compile: {e}", app.name()));
+        let cached = app
+            .run_launched(&spec, 2, Launch::default().with_plan(plan))
+            .unwrap_or_else(|e| panic!("{} cached plan: {e}", app.name()));
+        let fresh = app.run_spec(&spec, 2).unwrap();
+        assert_eq!(cached.checksum, fresh.checksum, "{}", app.name());
+        assert_eq!(cached.out_elems, fresh.out_elems);
+        assert!(cached.report.is_some(), "{}: report missing", app.name());
     }
 }

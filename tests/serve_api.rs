@@ -1,0 +1,327 @@
+//! End-to-end tests for the `cgsim-serve` daemon (PR 10 tentpole).
+//!
+//! Each test boots a real server on an ephemeral port and talks to it over
+//! plain `TcpStream` HTTP — the same wire a `curl` client would use. The
+//! cornerstone assertions: a served run is bit-identical to a direct
+//! `cgsim-pool` run of the same spec, repeat requests hit the compiled-graph
+//! cache, lint-rejected manifests come back as structured `CG0xx` errors,
+//! and `/metrics` is valid Prometheus exposition.
+
+use cgsim::core::{GraphBuilder, KernelDecl, KernelMeta, PortKind, PortSettings, PortSig, Realm};
+use cgsim::graphs::{all_apps, RunSpec};
+use cgsim::intrinsics::OpCounts;
+use cgsim::pool::{Job, JobOutcome, JobOutput, Pool, PoolConfig};
+use cgsim::serve::{RateLimit, ServeConfig, ServeReport, Server};
+use cgsim::sim::{DeployManifest, KernelCostProfile, PortTraffic, SimConfig, WorkloadSpec};
+use cgsim::trace::export::prometheus::check_exposition;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One blocking HTTP exchange; returns (status, headers, body).
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve daemon");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    // Connection: close — read until EOF and split head from body.
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has blank line");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_ascii_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Value of an unlabelled counter/gauge in a Prometheus exposition body.
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.trim_start();
+        rest.split_ascii_whitespace().next()?.parse().ok()
+    })
+}
+
+#[test]
+fn served_run_matches_direct_pool_run_and_caches() {
+    let handle = Server::start(
+        ServeConfig::default()
+            .with_http_workers(2)
+            .with_pool_workers(1)
+            .with_cache_capacity(4),
+    )
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    // Health first: the daemon is up.
+    let (status, _, body) = http(&addr, "GET", "/healthz", &[], "");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    // Served run of a built-in app.
+    let request = r#"{"graph":{"app":"bitonic"},"blocks":4}"#;
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], request);
+    assert_eq!(status, 200, "serve error: {body}");
+    let report = ServeReport::from_json(&body).expect("response is a ServeReport");
+    assert_eq!(report.engine, "cooperative");
+    assert!(report.summary.drained);
+    let served_checksum = report.summary.checksum.expect("app runs carry a checksum");
+
+    // The same spec executed directly on a cgsim-pool — the path the
+    // daemon wraps — must produce a bit-identical checksum.
+    let app = all_apps()
+        .into_iter()
+        .find(|a| a.name() == "bitonic")
+        .expect("bitonic is a built-in app");
+    let pool = Pool::new(PoolConfig::default().with_workers(1));
+    let job = Job::new(RunSpec::for_graph("run"), move |ctx| {
+        let run = app.run_spec(&ctx.effective_spec(), 4)?;
+        Ok(JobOutput::new(run.checksum).elements(run.out_elems as u64))
+    });
+    let outcome = pool.submit(job).expect("pool accepts").wait();
+    let JobOutcome::Completed(result) = outcome else {
+        panic!("direct pool run failed: {outcome:?}");
+    };
+    assert_eq!(
+        result.output.checksum, served_checksum,
+        "served checksum must be bit-identical to a direct pool run"
+    );
+    pool.shutdown();
+
+    // A second identical request is admitted from the compiled-graph cache.
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], request);
+    assert_eq!(status, 200, "serve error: {body}");
+    let (status, _, metrics) = http(&addr, "GET", "/metrics", &[], "");
+    assert_eq!(status, 200);
+    check_exposition(&metrics).expect("/metrics is valid Prometheus exposition");
+    assert_eq!(metric_value(&metrics, "serve_cache_hits"), Some(1.0));
+    assert_eq!(metric_value(&metrics, "serve_cache_misses"), Some(1.0));
+    assert_eq!(metric_value(&metrics, "serve_runs_ok"), Some(2.0));
+
+    // Graceful drain: the final report is the pool's own account of the
+    // jobs the daemon ran.
+    let report = handle.shutdown();
+    assert_eq!(report.engine, "pool");
+    assert!(report
+        .counters
+        .iter()
+        .any(|(name, value)| name == "pool_jobs_completed" && *value == 2));
+}
+
+#[test]
+fn unknown_app_and_bad_json_are_structured_errors() {
+    let handle = Server::start(ServeConfig::default().with_pool_workers(1)).expect("starts");
+    let addr = handle.addr().to_string();
+
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], r#"{"graph":{"app":"nope"}}"#);
+    assert_eq!(status, 404);
+    assert!(body.contains("UNKNOWN_APP"), "{body}");
+    assert!(
+        body.contains("bitonic"),
+        "error should list known apps: {body}"
+    );
+
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], "{not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("BAD_REQUEST"), "{body}");
+
+    let (status, _, _) = http(&addr, "GET", "/no/such/route", &[], "");
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+// A minimal kernel kind for hand-built manifests.
+struct Copy;
+impl KernelDecl for Copy {
+    const NAME: &'static str = "copy";
+    const REALM: Realm = Realm::Aie;
+    fn meta() -> KernelMeta {
+        KernelMeta {
+            name: Self::NAME.into(),
+            realm: Self::REALM,
+            ports: vec![
+                PortSig::read::<f32>("in", PortSettings::DEFAULT),
+                PortSig::write::<f32>("out", PortSettings::DEFAULT),
+            ],
+        }
+    }
+}
+
+/// A manifest whose graph passes `validate()` but deadlocks: a sealed
+/// self-loop beside the working pipeline (lint code CG020).
+fn deadlocked_manifest() -> DeployManifest {
+    let graph = GraphBuilder::build("dead", |g| {
+        let a = g.input::<f32>("a");
+        let b = g.wire::<f32>();
+        let w = g.wire::<f32>();
+        g.invoke::<Copy>(&[a.id(), b.id()])?;
+        g.invoke::<Copy>(&[w.id(), w.id()])?;
+        g.output(&b);
+        Ok(())
+    })
+    .expect("graph builds");
+    // The verify=off leg really deploys, so every kernel kind needs a cost
+    // profile; zero measured ops is fine for a stall demonstration.
+    let stream = |elems| PortTraffic {
+        elems_per_iter: elems,
+        elem_bytes: 4,
+        kind: PortKind::Stream,
+    };
+    let profile = KernelCostProfile::measured(
+        "copy",
+        OpCounts::default(),
+        vec![stream(8)],
+        vec![stream(8)],
+    );
+    DeployManifest::new(
+        graph,
+        vec![profile],
+        SimConfig::extracted(),
+        WorkloadSpec {
+            blocks: 4,
+            elems_per_block_in: vec![32],
+            elems_per_block_out: vec![32],
+        },
+    )
+}
+
+#[test]
+fn lint_rejected_manifest_returns_cg_code_in_error_body() {
+    let handle = Server::start(ServeConfig::default().with_pool_workers(1)).expect("starts");
+    let addr = handle.addr().to_string();
+
+    let manifest = deadlocked_manifest();
+    let request = format!(
+        r#"{{"graph":{{"manifest":{}}}}}"#,
+        serde_json::to_string(&manifest).unwrap()
+    );
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], &request);
+    assert_eq!(status, 422, "deny-by-default admission must reject: {body}");
+    let error: cgsim::serve::ErrorBody = serde_json::from_str(&body).expect("structured error");
+    assert!(
+        error.code.starts_with("CG0"),
+        "lint code, got {}",
+        error.code
+    );
+    assert!(
+        !error.findings.is_empty(),
+        "error body carries the lint findings"
+    );
+    assert!(error.findings.iter().any(|d| d.code == "CG020"), "{body}");
+
+    // The lint gate is an axis of the spec: verify=off runs the same
+    // manifest anyway (it stalls, but the admission gate stands aside).
+    let request = format!(
+        r#"{{"graph":{{"manifest":{}}},"spec":{{"config":{{"verify":"off"}}}}}}"#,
+        serde_json::to_string(&manifest).unwrap()
+    );
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], &request);
+    assert_eq!(status, 200, "verify=off must bypass the gate: {body}");
+    let report = ServeReport::from_json(&body).expect("ServeReport");
+    assert_eq!(report.engine, "aie-sim");
+
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", &[], "");
+    assert_eq!(metric_value(&metrics, "serve_lint_rejected"), Some(1.0));
+    handle.shutdown();
+}
+
+#[test]
+fn rate_limit_returns_429_with_retry_after() {
+    let handle = Server::start(
+        ServeConfig::default()
+            .with_pool_workers(1)
+            .with_rate(RateLimit::new(1.0, 0.001)),
+    )
+    .expect("starts");
+    let addr = handle.addr().to_string();
+
+    let request = r#"{"graph":{"app":"farrow"},"blocks":2}"#;
+    let client = [("x-client-id", "alice")];
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &client, request);
+    assert_eq!(status, 200, "first request spends the burst token: {body}");
+    let (status, headers, body) = http(&addr, "POST", "/v1/run", &client, request);
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("RATE_LIMITED"), "{body}");
+    let retry: u64 = header(&headers, "retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is integer seconds");
+    assert!(retry >= 1);
+
+    // Distinct clients have distinct buckets: bob is not throttled by
+    // alice's spend.
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[("x-client-id", "bob")], request);
+    assert_eq!(status, 200, "{body}");
+
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", &[], "");
+    assert_eq!(metric_value(&metrics, "serve_rate_limited"), Some(1.0));
+    handle.shutdown();
+}
+
+#[test]
+fn trace_ref_round_trips_to_chrome_trace() {
+    let handle = Server::start(ServeConfig::default().with_pool_workers(1)).expect("starts");
+    let addr = handle.addr().to_string();
+
+    let request = r#"{"graph":{"app":"IIR"},"blocks":2,"trace":true}"#;
+    let (status, _, body) = http(&addr, "POST", "/v1/run", &[], request);
+    assert_eq!(status, 200, "{body}");
+    let report = ServeReport::from_json(&body).expect("ServeReport");
+    let trace_ref = report.trace_ref.expect("trace=true yields a trace_ref");
+    let (status, _, trace) = http(&addr, "GET", &trace_ref, &[], "");
+    assert_eq!(status, 200, "trace_ref must resolve: {trace_ref}");
+    assert!(
+        trace.contains("traceEvents"),
+        "Chrome trace JSON expected, got: {}",
+        &trace[..trace.len().min(120)]
+    );
+
+    let (status, _, _) = http(&addr, "GET", "/v1/trace/9999", &[], "");
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn cache_flush_forces_recompile() {
+    let handle = Server::start(ServeConfig::default().with_pool_workers(1)).expect("starts");
+    let addr = handle.addr().to_string();
+
+    let request = r#"{"graph":{"app":"bilinear"},"blocks":2}"#;
+    let (status, _, _) = http(&addr, "POST", "/v1/run", &[], request);
+    assert_eq!(status, 200);
+    let (status, _, body) = http(&addr, "POST", "/v1/cache/flush", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"flushed\":1"), "{body}");
+    let (status, _, _) = http(&addr, "POST", "/v1/run", &[], request);
+    assert_eq!(status, 200);
+
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", &[], "");
+    assert_eq!(metric_value(&metrics, "serve_cache_misses"), Some(2.0));
+    assert_eq!(metric_value(&metrics, "serve_cache_hits"), Some(0.0));
+    handle.shutdown();
+}
